@@ -1,0 +1,47 @@
+#include "common.h"
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace lad::bench {
+
+BenchOptions parse_common_flags(const Flags& flags) {
+  BenchOptions opts;
+  opts.csv = flags.get_bool("csv", false);
+  opts.quick = flags.get_bool("quick", false);
+  opts.seed = static_cast<std::uint64_t>(flags.get_int("seed", 20050404));
+
+  PipelineConfig& p = opts.pipeline;
+  p.seed = opts.seed;
+  p.deploy.nodes_per_group = static_cast<int>(flags.get_int("m", 300));
+  p.deploy.radio_range = flags.get_double("r", 50.0);
+  p.deploy.sigma = flags.get_double("sigma", 50.0);
+  p.threads = static_cast<int>(flags.get_int("threads", 0));
+  // Paper-scale default: 10 networks x 200 victims = 2000 samples per pass.
+  p.networks = static_cast<int>(flags.get_int("networks", opts.quick ? 3 : 10));
+  p.victims_per_network =
+      static_cast<int>(flags.get_int("victims", opts.quick ? 60 : 200));
+  return opts;
+}
+
+void emit(const BenchOptions& opts, const std::string& title,
+          const Table& table) {
+  std::cout << "\n== " << title << " ==\n";
+  if (opts.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+void banner(const std::string& figure, const std::string& params) {
+  std::cout << "LAD reproduction - " << figure << "\n" << params << "\n";
+}
+
+void check_unused(const Flags& flags) {
+  const auto unused = flags.unused();
+  LAD_REQUIRE_MSG(unused.empty(),
+                  "unknown flag(s): --" << join(unused, ", --"));
+}
+
+}  // namespace lad::bench

@@ -1,0 +1,35 @@
+// Shared plumbing for the figure-reproduction benches: flag parsing into
+// the paper's experiment configuration, and uniform output formatting.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "sim/pipeline.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+namespace lad::bench {
+
+struct BenchOptions {
+  PipelineConfig pipeline;
+  bool csv = false;     ///< emit CSV instead of aligned tables
+  bool quick = false;   ///< reduced sample counts (CI smoke mode)
+  std::uint64_t seed = 20050404;  ///< IPDPS 2005 began April 4, 2005
+};
+
+/// Parses the common flags (--quick, --csv, --seed, --networks, --victims,
+/// --m, --r, --sigma, --threads) into the paper-default configuration.
+BenchOptions parse_common_flags(const Flags& flags);
+
+/// Prints a section banner followed by the table in the selected format.
+void emit(const BenchOptions& opts, const std::string& title,
+          const Table& table);
+
+/// Prints the experiment header (figure id, fixed parameters).
+void banner(const std::string& figure, const std::string& params);
+
+/// Rejects unknown flags so typos in sweeps fail fast.
+void check_unused(const Flags& flags);
+
+}  // namespace lad::bench

@@ -1,0 +1,169 @@
+// Micro-benchmarks (google-benchmark) for the performance claims that
+// matter on sensor-class hardware:
+//   * Section 3.3: the g(z) table lookup is constant-time and cheap,
+//     versus the "quite complicated" exact integral;
+//   * metric evaluation cost per detection decision;
+//   * expected-observation computation (n table lookups);
+//   * neighbor-query throughput of the spatial index;
+//   * end-to-end Detector::check and MLE localization.
+#include <benchmark/benchmark.h>
+
+#include "core/detector.h"
+#include "deploy/gz.h"
+#include "deploy/gz_table.h"
+#include "deploy/network.h"
+#include "loc/beaconless_mle.h"
+#include "rng/rng.h"
+
+namespace lad {
+namespace {
+
+const DeploymentConfig& bench_config() {
+  static const DeploymentConfig cfg = [] {
+    DeploymentConfig c;  // paper defaults: 10x10 grid, m=300, sigma=50, R=50
+    return c;
+  }();
+  return cfg;
+}
+
+const DeploymentModel& bench_model() {
+  static const DeploymentModel model(bench_config());
+  return model;
+}
+
+const GzTable& bench_gz() {
+  static const GzTable gz(
+      {bench_config().radio_range, bench_config().sigma}, 256);
+  return gz;
+}
+
+const Network& bench_network() {
+  static const Network* net = [] {
+    Rng rng(42);
+    return new Network(bench_model(), rng);
+  }();
+  return *net;
+}
+
+void BM_GzExactIntegral(benchmark::State& state) {
+  const GzParams params{50.0, 50.0};
+  double z = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gz_exact(z, params));
+    z += 1.7;
+    if (z > 400.0) z = 0.0;
+  }
+}
+BENCHMARK(BM_GzExactIntegral);
+
+void BM_GzTableLookup(benchmark::State& state) {
+  const GzTable& gz = bench_gz();
+  double z = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gz(z));
+    z += 1.7;
+    if (z > 400.0) z = 0.0;
+  }
+}
+BENCHMARK(BM_GzTableLookup);
+
+void BM_ExpectedObservation(benchmark::State& state) {
+  const DeploymentModel& model = bench_model();
+  const GzTable& gz = bench_gz();
+  Rng rng(7);
+  for (auto _ : state) {
+    const Vec2 le{rng.uniform(0, 1000), rng.uniform(0, 1000)};
+    benchmark::DoNotOptimize(model.expected_observation(le, gz));
+  }
+}
+BENCHMARK(BM_ExpectedObservation);
+
+void BM_NeighborQuery(benchmark::State& state) {
+  const Network& net = bench_network();
+  Rng rng(8);
+  for (auto _ : state) {
+    const std::size_t node =
+        static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
+    benchmark::DoNotOptimize(net.observe(node));
+  }
+}
+BENCHMARK(BM_NeighborQuery);
+
+void BM_MetricScore(benchmark::State& state) {
+  const DeploymentModel& model = bench_model();
+  const GzTable& gz = bench_gz();
+  const Network& net = bench_network();
+  const MetricKind kind = static_cast<MetricKind>(state.range(0));
+  const auto metric = make_metric(kind);
+  const Observation obs = net.observe(1234);
+  const ExpectedObservation mu =
+      model.expected_observation(net.position(1234), gz);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metric->score(obs, mu, bench_config().nodes_per_group));
+  }
+}
+BENCHMARK(BM_MetricScore)->Arg(0)->Arg(1)->Arg(2);  // Diff, Add-all, Prob
+
+/// Pre-sampled (observation, location) pairs so the timed region contains
+/// only the operation under test (Pause/ResumeTiming costs more than the
+/// detector check itself).
+struct SampledInputs {
+  std::vector<Observation> observations;
+  std::vector<Vec2> locations;
+};
+
+const SampledInputs& bench_inputs() {
+  static const SampledInputs inputs = [] {
+    SampledInputs in;
+    const Network& net = bench_network();
+    Rng rng(9);
+    for (int i = 0; i < 256; ++i) {
+      const std::size_t node =
+          static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
+      in.observations.push_back(net.observe(node));
+      in.locations.push_back(net.position(node));
+    }
+    return in;
+  }();
+  return inputs;
+}
+
+void BM_DetectorCheck(benchmark::State& state) {
+  const Detector detector(bench_model(), bench_gz(), MetricKind::kDiff, 100.0);
+  const SampledInputs& in = bench_inputs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        detector.check(in.observations[i], in.locations[i]));
+    i = (i + 1) % in.observations.size();
+  }
+}
+BENCHMARK(BM_DetectorCheck);
+
+void BM_MleLocalize(benchmark::State& state) {
+  const BeaconlessMleLocalizer mle(bench_model(), bench_gz());
+  const SampledInputs& in = bench_inputs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mle.estimate(in.observations[i]));
+    i = (i + 1) % in.observations.size();
+  }
+}
+BENCHMARK(BM_MleLocalize);
+
+void BM_NetworkDeployment(benchmark::State& state) {
+  const DeploymentModel& model = bench_model();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    const Network net(model, rng);
+    benchmark::DoNotOptimize(net.num_nodes());
+  }
+}
+BENCHMARK(BM_NetworkDeployment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lad
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Detect-then-correct (the paper's Section 8 roadmap in one program):
+// "Our ultimate goal is not only to detect the anomalies, but also to
+// correct the errors caused by the anomalies."
+//
+// A sensor runs localization, LAD flags the result, and instead of just
+// discarding the location the node re-estimates it with the robust
+// corrector - restoring a usable position under Dec-Only attacks and
+// reducing the damage under Dec-Bounded ones.
+#include <iostream>
+
+#include "attack/displacement.h"
+#include "attack/greedy.h"
+#include "core/lad.h"
+#include "loc/beaconless_mle.h"
+#include "util/csv.h"
+
+using namespace lad;
+
+int main() {
+  DeploymentConfig cfg;
+  cfg.nodes_per_group = 150;
+  const DeploymentModel model(cfg);
+  const GzTable gz({cfg.radio_range, cfg.sigma});
+  Rng rng(8);
+  const Network net(model, rng);
+  const BeaconlessMleLocalizer localizer(model, gz);
+  const LocationCorrector corrector(model, gz);
+
+  // Train the detector.
+  const DiffMetric diff;
+  std::vector<double> benign;
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t node =
+        static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
+    const Observation obs = net.observe(node);
+    benign.push_back(diff.score(obs,
+                                model.expected_observation(
+                                    localizer.estimate(obs), gz),
+                                cfg.nodes_per_group));
+  }
+  const double threshold =
+      train_threshold(MetricKind::kDiff, benign, 0.99).threshold;
+  const Detector detector(model, gz, MetricKind::kDiff, threshold);
+  std::cout << "trained Diff threshold: " << threshold << "\n\n";
+
+  // Attack a set of victims under both adversary classes and run the
+  // detect -> correct pipeline on each.
+  Table table({"attack", "victims", "detected", "mean_err_planted",
+               "mean_err_corrected"});
+  for (AttackClass cls : {AttackClass::kDecOnly, AttackClass::kDecBounded}) {
+    int detected = 0;
+    double err_planted = 0.0, err_corrected = 0.0;
+    constexpr int kVictims = 40;
+    constexpr double kDamage = 180.0;
+    for (int i = 0; i < kVictims; ++i) {
+      std::size_t node;
+      do {
+        node = static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
+      } while (!cfg.field().contains(net.position(node)));
+      const Observation a = net.observe(node);
+      const Vec2 la = net.position(node);
+      const Vec2 fake = displaced_location(la, kDamage, cfg.field(), rng);
+      const TaintResult taint = greedy_taint(
+          a, model.expected_observation(fake, gz), cfg.nodes_per_group,
+          MetricKind::kDiff, cls, static_cast<int>(0.10 * a.total()));
+
+      // Step 1: LAD verdict on the claimed location.
+      const Verdict v = detector.check(taint.tainted, fake);
+      if (v.anomaly) ++detected;
+      err_planted += distance(fake, la);
+
+      // Step 2: if flagged, re-estimate from the observation instead of
+      // accepting the planted location.
+      const Vec2 usable =
+          v.anomaly ? corrector.correct(taint.tainted).corrected : fake;
+      err_corrected += distance(usable, la);
+    }
+    table.new_row()
+        .add(attack_class_name(cls))
+        .add(kVictims)
+        .add(detected)
+        .add(err_planted / kVictims, 1)
+        .add(err_corrected / kVictims, 1);
+  }
+  table.print(std::cout);
+  std::cout << "\nDetection turns a silent 180 m error into a known-bad "
+               "location; correction then\nrecovers a usable position - "
+               "fully under Dec-Only, partially under Dec-Bounded.\n";
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Geographic routing (Section 1: "Location information is also important
+// for geographic routing protocols ... used to select the next forwarding
+// host among the sender's neighbors").
+//
+// The simulation implements greedy geographic forwarding (GPSR's greedy
+// mode): each hop forwards to the neighbor whose *claimed* location is
+// closest to the destination.  An adversary feeds a subset of nodes fake
+// locations (the classic sinkhole setup: victims believe they sit next to
+// everything).  We measure packet delivery with
+//   (a) honest locations,
+//   (b) attacked locations, trusted blindly,
+//   (c) attacked locations with LAD: nodes that fail verification are
+//       excluded from forwarding decisions.
+#include <iostream>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "attack/displacement.h"
+#include "attack/greedy.h"
+#include "core/lad.h"
+#include "loc/beaconless_mle.h"
+#include "util/csv.h"
+
+using namespace lad;
+
+namespace {
+
+struct RoutingWorld {
+  const Network* net;
+  std::vector<Vec2> claimed;        // what each node advertises
+  std::vector<bool> lad_rejected;   // nodes whose claim failed LAD
+};
+
+/// Greedy forwarding using claimed positions; returns hops or nullopt on
+/// failure (loop/local-minimum/dead end).  `use_lad` skips rejected nodes.
+std::optional<int> route(const RoutingWorld& world, std::size_t src,
+                         std::size_t dst, bool use_lad) {
+  const Network& net = *world.net;
+  const Vec2 target = world.claimed[dst];
+  std::size_t current = src;
+  std::unordered_set<std::size_t> visited;
+  for (int hops = 0; hops < 200; ++hops) {
+    if (current == dst) return hops;
+    visited.insert(current);
+    // Forward to the neighbor whose claimed position is closest to the
+    // destination (strictly closer than ours: greedy mode).
+    const double here = distance(world.claimed[current], target);
+    std::size_t best = current;
+    double best_d = here;
+    for (std::size_t nb : net.neighbors_of(current)) {
+      if (visited.count(nb)) continue;
+      if (use_lad && world.lad_rejected[nb]) continue;
+      const double d = distance(world.claimed[nb], target);
+      if (d < best_d) {
+        best_d = d;
+        best = nb;
+      }
+    }
+    if (best == current) return std::nullopt;  // greedy local minimum
+    current = best;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main() {
+  DeploymentConfig cfg;
+  cfg.nodes_per_group = 150;
+  const DeploymentModel model(cfg);
+  const GzTable gz({cfg.radio_range, cfg.sigma});
+  Rng rng(1997);
+  const Network net(model, rng);
+  const BeaconlessMleLocalizer localizer(model, gz);
+
+  // Train the detector.
+  const DiffMetric diff;
+  std::vector<double> benign;
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t node =
+        static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
+    const Observation obs = net.observe(node);
+    benign.push_back(diff.score(obs,
+                                model.expected_observation(
+                                    localizer.estimate(obs), gz),
+                                cfg.nodes_per_group));
+  }
+  const double threshold =
+      train_threshold(MetricKind::kDiff, benign, 0.99).threshold;
+  const Detector detector(model, gz, MetricKind::kDiff, threshold);
+
+  // Build the three routing worlds.
+  RoutingWorld honest{&net, {}, std::vector<bool>(net.num_nodes(), false)};
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    honest.claimed.push_back(net.position(i));
+  }
+
+  // Attack 8% of nodes: their claimed location is pushed 250 m off.
+  RoutingWorld attacked = honest;
+  RoutingWorld defended = honest;
+  int attacked_nodes = 0, rejected_attacked = 0, rejected_honest = 0;
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    const Observation a = net.observe(i);
+    bool is_attacked = rng.bernoulli(0.08);
+    Observation obs_for_check = a;
+    if (is_attacked) {
+      ++attacked_nodes;
+      const Vec2 fake =
+          displaced_location(net.position(i), 250.0, cfg.field(), rng);
+      const ExpectedObservation mu = model.expected_observation(fake, gz);
+      const TaintResult taint = greedy_taint(
+          a, mu, cfg.nodes_per_group, MetricKind::kDiff,
+          AttackClass::kDecBounded, static_cast<int>(0.10 * a.total()));
+      attacked.claimed[i] = fake;
+      defended.claimed[i] = fake;
+      obs_for_check = taint.tainted;
+    }
+    const bool rejected =
+        detector.check(obs_for_check, defended.claimed[i]).anomaly;
+    defended.lad_rejected[i] = rejected;
+    if (rejected) (is_attacked ? rejected_attacked : rejected_honest)++;
+  }
+  std::cout << "attacked nodes: " << attacked_nodes << " of "
+            << net.num_nodes() << "; LAD rejected " << rejected_attacked
+            << " attacked + " << rejected_honest << " honest claims\n\n";
+
+  // Route random source/destination pairs across each world.
+  constexpr int kFlows = 300;
+  Table table({"world", "delivered", "delivery_rate", "mean_hops"});
+  for (const auto& [label, world] :
+       std::vector<std::pair<std::string, const RoutingWorld*>>{
+           {"honest locations", &honest},
+           {"attacked, trusted", &attacked},
+           {"attacked + LAD filter", &defended}}) {
+    Rng flow_rng(555);  // identical flows across worlds
+    int delivered = 0;
+    double total_hops = 0;
+    const bool use_lad = world == &defended;
+    for (int f = 0; f < kFlows; ++f) {
+      const std::size_t src =
+          static_cast<std::size_t>(flow_rng.uniform_int(net.num_nodes()));
+      const std::size_t dst =
+          static_cast<std::size_t>(flow_rng.uniform_int(net.num_nodes()));
+      if (const auto hops = route(*world, src, dst, use_lad)) {
+        ++delivered;
+        total_hops += *hops;
+      }
+    }
+    table.new_row()
+        .add(label)
+        .add(delivered)
+        .add(static_cast<double>(delivered) / kFlows, 3)
+        .add(delivered ? total_hops / delivered : 0.0, 1);
+  }
+  table.print(std::cout);
+  std::cout << "\nForged locations break greedy forwarding (packets chase "
+               "phantom positions);\nfiltering LAD-rejected nodes restores "
+               "most of the delivery rate.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "attack/adversary.h"
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace lad {
+
+const char* attack_class_name(AttackClass c) {
+  switch (c) {
+    case AttackClass::kDecBounded: return "dec-bounded";
+    case AttackClass::kDecOnly: return "dec-only";
+  }
+  return "?";
+}
+
+AttackClass attack_class_from_name(const std::string& name) {
+  const std::string n = to_lower(name);
+  if (n == "dec-bounded" || n == "decbounded") return AttackClass::kDecBounded;
+  if (n == "dec-only" || n == "deconly") return AttackClass::kDecOnly;
+  LAD_REQUIRE_MSG(false, "unknown attack class: " << name);
+  return AttackClass::kDecBounded;  // unreachable
+}
+
+namespace {
+void check_pair(const Observation& a, const Observation& o) {
+  LAD_REQUIRE_MSG(a.num_groups() == o.num_groups(),
+                  "observation group-count mismatch");
+  a.require_valid();
+  o.require_valid();
+}
+}  // namespace
+
+int decrement_mass(const Observation& a, const Observation& o) {
+  check_pair(a, o);
+  int mass = 0;
+  for (std::size_t i = 0; i < a.num_groups(); ++i) {
+    if (a.counts[i] > o.counts[i]) mass += a.counts[i] - o.counts[i];
+  }
+  return mass;
+}
+
+bool is_feasible_dec_bounded(const Observation& a, const Observation& o,
+                             int x) {
+  LAD_REQUIRE_MSG(x >= 0, "negative compromise budget");
+  return decrement_mass(a, o) <= x;
+}
+
+bool is_feasible_dec_only(const Observation& a, const Observation& o, int x) {
+  LAD_REQUIRE_MSG(x >= 0, "negative compromise budget");
+  check_pair(a, o);
+  int total = 0;
+  for (std::size_t i = 0; i < a.num_groups(); ++i) {
+    if (o.counts[i] > a.counts[i]) return false;  // increases forbidden
+    total += a.counts[i] - o.counts[i];
+  }
+  return total <= x;
+}
+
+bool is_feasible(AttackClass cls, const Observation& a, const Observation& o,
+                 int x) {
+  return cls == AttackClass::kDecBounded ? is_feasible_dec_bounded(a, o, x)
+                                         : is_feasible_dec_only(a, o, x);
+}
+
+}  // namespace lad

@@ -1,0 +1,37 @@
+// The unified attack framework of Section 6: Dec-Bounded and Dec-Only
+// attack classes over observations, with feasibility predicates matching
+// Definitions 4 and 5 exactly.
+//
+//   Dec-Bounded (Def. 4):  sum_{i : a_i > o_i} (a_i - o_i) <= x
+//                          (increases unbounded: multi-impersonation etc.)
+//   Dec-Only    (Def. 5):  o_i <= a_i for all i,
+//                          sum_i (a_i - o_i) <= x
+//                          (authentication + packet leashes deployed)
+#pragma once
+
+#include <string>
+
+#include "deploy/observation.h"
+
+namespace lad {
+
+enum class AttackClass { kDecBounded, kDecOnly };
+
+const char* attack_class_name(AttackClass c);
+AttackClass attack_class_from_name(const std::string& name);
+
+/// Total decrement mass sum_{i : a_i > o_i} (a_i - o_i).
+int decrement_mass(const Observation& a, const Observation& o);
+
+/// Definition 4 feasibility: o results from a Dec-Bounded attack with at
+/// most `x` compromised neighbors.  Counts must be non-negative.
+bool is_feasible_dec_bounded(const Observation& a, const Observation& o,
+                             int x);
+
+/// Definition 5 feasibility.
+bool is_feasible_dec_only(const Observation& a, const Observation& o, int x);
+
+bool is_feasible(AttackClass cls, const Observation& a, const Observation& o,
+                 int x);
+
+}  // namespace lad

@@ -1,0 +1,24 @@
+#include "attack/displacement.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace lad {
+
+Vec2 displaced_location(Vec2 la, double d, const Aabb& field, Rng& rng,
+                        int max_tries) {
+  LAD_REQUIRE_MSG(d >= 0, "displacement distance must be non-negative");
+  if (d == 0.0) return la;
+  for (int t = 0; t < max_tries; ++t) {
+    const double theta = rng.uniform(0.0, 2.0 * M_PI);
+    const Vec2 cand = polar_offset(la, d, theta);
+    if (field.contains(cand)) return cand;
+  }
+  // Fall back: displace toward the field center, clamped.
+  const Vec2 dir = (field.center() - la).normalized();
+  const Vec2 cand = la + dir * d;
+  return field.clamp(cand);
+}
+
+}  // namespace lad

@@ -1,0 +1,20 @@
+// D-anomaly location displacement (Section 7.1, step 2): "We simulate an
+// attack against the localization of node v by letting v's estimated
+// location be a random location Le, where |Le - La| = D".
+#pragma once
+
+#include "geom/aabb.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
+
+namespace lad {
+
+/// A uniformly random direction at exact distance `d` from `la`, kept
+/// inside `field` by rejection over the direction (up to `max_tries`
+/// angles); if no direction fits - possible when d exceeds the distance to
+/// every boundary - the direction toward the field center is used and the
+/// point clamped, which only shortens the displacement in that corner case.
+Vec2 displaced_location(Vec2 la, double d, const Aabb& field, Rng& rng,
+                        int max_tries = 64);
+
+}  // namespace lad

@@ -1,0 +1,103 @@
+#include "attack/realize.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace lad {
+
+RealizationPlan realize_taint(BroadcastSim& sim, const Network& net,
+                              std::size_t victim,
+                              const std::vector<std::size_t>& compromised,
+                              const Observation& target) {
+  RealizationPlan plan;
+  const Observation baseline = sim.observe(victim);
+  LAD_REQUIRE_MSG(baseline.num_groups() == target.num_groups(),
+                  "target observation size mismatch");
+
+  const std::size_t n = target.num_groups();
+  std::vector<int> delta(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    delta[i] = target.counts[i] - baseline.counts[i];
+  }
+
+  // Partition the compromised neighbors by group for silence assignment.
+  std::vector<std::vector<std::size_t>> by_group(n);
+  for (std::size_t node : compromised) {
+    LAD_REQUIRE_MSG(node != victim, "the victim cannot be compromised here");
+    by_group[static_cast<std::size_t>(net.group_of(node))].push_back(node);
+  }
+
+  const bool need_increase =
+      std::any_of(delta.begin(), delta.end(), [](int d) { return d > 0; });
+
+  // Choose the speaker: prefer a compromised node from a group that needs
+  // no decrement, so silencing never conflicts with speaking.
+  if (need_increase) {
+    for (std::size_t node : compromised) {
+      const std::size_t g = static_cast<std::size_t>(net.group_of(node));
+      if (delta[g] >= 0) {
+        plan.speaker = node;
+        break;
+      }
+    }
+    if (plan.speaker == SIZE_MAX && !compromised.empty()) {
+      plan.speaker = compromised.front();
+    }
+  }
+
+  // If the speaker's own group must shrink, reassign its primary claim via
+  // impersonation: one decrement of its group and one increment of a
+  // deficient group for free, before any silences are allocated.
+  NodeBehavior speaker_behavior;
+  if (plan.speaker != SIZE_MAX) {
+    const std::size_t sg = static_cast<std::size_t>(net.group_of(plan.speaker));
+    if (delta[sg] < 0) {
+      for (std::size_t g = 0; g < n; ++g) {
+        if (delta[g] > 0) {
+          speaker_behavior.impersonate_group = static_cast<int>(g);
+          --delta[g];   // one forged claim delivered by the primary message
+          ++delta[sg];  // one fewer silence needed in the speaker's group
+          break;
+        }
+      }
+    }
+  }
+
+  // Decrements: silence compromised neighbors of the deficient groups.
+  for (std::size_t g = 0; g < n; ++g) {
+    int need = -delta[g];
+    if (need <= 0) continue;
+    for (std::size_t node : by_group[g]) {
+      if (need == 0) break;
+      if (node == plan.speaker) continue;  // the speaker must transmit
+      plan.silenced.push_back(node);
+      --need;
+    }
+    // Any remaining `need` is physically unrealizable (not enough
+    // compromised neighbors in this group) - reported via `exact=false`.
+  }
+
+  // Increases: the speaker floods forged claims (multi-impersonation).
+  if (plan.speaker != SIZE_MAX) {
+    for (std::size_t g = 0; g < n; ++g) {
+      if (delta[g] > 0) {
+        plan.claims.emplace_back(static_cast<int>(g), delta[g]);
+      }
+    }
+    speaker_behavior.extra_claims = plan.claims;
+    sim.set_behavior(plan.speaker, speaker_behavior);
+  }
+
+  for (std::size_t node : plan.silenced) {
+    NodeBehavior b;
+    b.silent = true;
+    sim.set_behavior(node, b);
+  }
+
+  plan.achieved = sim.observe(victim);
+  plan.exact = (plan.achieved == target);
+  return plan;
+}
+
+}  // namespace lad

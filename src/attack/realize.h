@@ -1,0 +1,37 @@
+// Realizes a formal taint (a -> o) as concrete message-level behaviour on a
+// BroadcastSim: silence attacks supply the decrements, multi-impersonation
+// by a single compromised speaker supplies the increases.
+//
+// This bridges the two layers of the paper's attack story: Definitions 4/5
+// reason about observation vectors, Figure 3 shows the concrete message
+// attacks.  Integration tests use this to check that the formal taints the
+// greedy procedures emit are actually achievable over the radio - up to
+// physical limits: a decrement of group i requires a compromised *neighbor
+// of the victim from group i* (the formal model's global budget is an
+// over-approximation of attacker power, as the paper notes).
+#pragma once
+
+#include <vector>
+
+#include "deploy/observation.h"
+#include "net/broadcast.h"
+
+namespace lad {
+
+struct RealizationPlan {
+  std::vector<std::size_t> silenced;  ///< nodes put into silence attack
+  std::size_t speaker = SIZE_MAX;     ///< node carrying the forged claims
+  std::vector<std::pair<int, int>> claims;  ///< (group, copies) injected
+  Observation achieved;               ///< what the victim actually observes
+  bool exact = false;                 ///< achieved == target?
+};
+
+/// Configures behaviours on `sim` (which must wrap `net`) so that `victim`'s
+/// observation approaches `target`.  `compromised` lists the attacker's
+/// nodes among the victim's neighbors.  Returns what was achieved.
+RealizationPlan realize_taint(BroadcastSim& sim, const Network& net,
+                              std::size_t victim,
+                              const std::vector<std::size_t>& compromised,
+                              const Observation& target);
+
+}  // namespace lad

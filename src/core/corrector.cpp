@@ -1,0 +1,121 @@
+#include "core/corrector.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "stats/special.h"
+#include "util/assert.h"
+
+namespace lad {
+
+LocationCorrector::LocationCorrector(const DeploymentModel& model,
+                                     const GzTable& gz, double penalty_cap,
+                                     int seeds, double tol_meters)
+    : model_(&model), gz_(&gz), penalty_cap_(penalty_cap), seeds_(seeds),
+      tol_meters_(tol_meters) {
+  LAD_REQUIRE_MSG(penalty_cap > 0, "penalty cap must be positive");
+  LAD_REQUIRE_MSG(seeds >= 1, "need at least one search seed");
+  LAD_REQUIRE_MSG(tol_meters > 0, "tolerance must be positive");
+}
+
+namespace {
+constexpr double kPFloor = 1e-300;  // see BeaconlessMleLocalizer
+}
+
+double LocationCorrector::group_term(int count, Vec2 theta, int group) const {
+  const int m = model_->config().nodes_per_group;
+  double p = gz_->at(theta, model_->deployment_point(group));
+  if (p < kPFloor) p = kPFloor;
+  const double term = log_binomial_pmf(count, m, p);
+  return std::max(term, -penalty_cap_);
+}
+
+double LocationCorrector::robust_log_likelihood(const Observation& obs,
+                                                Vec2 theta) const {
+  double ll = 0.0;
+  for (std::size_t g = 0; g < obs.num_groups(); ++g) {
+    ll += group_term(obs.counts[g], theta, static_cast<int>(g));
+  }
+  return ll;
+}
+
+Vec2 LocationCorrector::pattern_search(const Observation& obs,
+                                       Vec2 seed) const {
+  const Aabb field = model_->config().field();
+  Vec2 best = field.clamp(seed);
+  double best_ll = robust_log_likelihood(obs, best);
+  double pitch = model_->config().field_side /
+                 (2.0 * std::max(model_->config().grid_nx,
+                                 model_->config().grid_ny));
+  static constexpr std::array<Vec2, 8> kDirs = {
+      Vec2{1, 0},  Vec2{-1, 0}, Vec2{0, 1},  Vec2{0, -1},
+      Vec2{1, 1},  Vec2{1, -1}, Vec2{-1, 1}, Vec2{-1, -1}};
+  while (pitch >= tol_meters_) {
+    bool improved = false;
+    for (const Vec2& d : kDirs) {
+      const Vec2 cand = field.clamp(best + d * pitch);
+      const double ll = robust_log_likelihood(obs, cand);
+      if (ll > best_ll) {
+        best_ll = ll;
+        best = cand;
+        improved = true;
+      }
+    }
+    if (!improved) pitch /= 2.0;
+  }
+  return best;
+}
+
+CorrectionResult LocationCorrector::correct(const Observation& obs) const {
+  LAD_REQUIRE_MSG(obs.num_groups() ==
+                      static_cast<std::size_t>(model_->num_groups()),
+                  "observation size mismatch");
+
+  // Multi-start seeds: weighted centroid + deployment points of the
+  // highest-count groups (one of them sits near the true bump).
+  std::vector<Vec2> starts;
+  double wx = 0, wy = 0, wt = 0;
+  std::vector<std::pair<int, int>> by_count;  // (count, group)
+  for (std::size_t g = 0; g < obs.num_groups(); ++g) {
+    const Vec2 dp = model_->deployment_point(static_cast<int>(g));
+    wx += obs.counts[g] * dp.x;
+    wy += obs.counts[g] * dp.y;
+    wt += obs.counts[g];
+    if (obs.counts[g] > 0) {
+      by_count.emplace_back(obs.counts[g], static_cast<int>(g));
+    }
+  }
+  starts.push_back(wt > 0 ? Vec2{wx / wt, wy / wt}
+                          : model_->config().field().center());
+  std::sort(by_count.rbegin(), by_count.rend());
+  for (int s = 0; s < seeds_ && s < static_cast<int>(by_count.size()); ++s) {
+    starts.push_back(
+        model_->deployment_point(by_count[static_cast<std::size_t>(s)].second));
+  }
+
+  Vec2 best{};
+  double best_ll = -std::numeric_limits<double>::infinity();
+  for (const Vec2& seed : starts) {
+    const Vec2 cand = pattern_search(obs, seed);
+    const double ll = robust_log_likelihood(obs, cand);
+    if (ll > best_ll) {
+      best_ll = ll;
+      best = cand;
+    }
+  }
+
+  CorrectionResult result;
+  result.corrected = best;
+  result.robust_ll = best_ll;
+  for (std::size_t g = 0; g < obs.num_groups(); ++g) {
+    if (group_term(obs.counts[g], best, static_cast<int>(g)) <=
+        -penalty_cap_) {
+      result.capped_groups.push_back(static_cast<int>(g));
+    }
+  }
+  return result;
+}
+
+}  // namespace lad

@@ -1,0 +1,20 @@
+#include "core/detector.h"
+
+namespace lad {
+
+Detector::Detector(const DeploymentModel& model, const GzTable& gz,
+                   MetricKind metric, double threshold)
+    : model_(&model), gz_(&gz), metric_(make_metric(metric)),
+      threshold_(threshold) {}
+
+double Detector::score(const Observation& o, Vec2 le) const {
+  const ExpectedObservation mu = model_->expected_observation(le, *gz_);
+  return metric_->score(o, mu, model_->config().nodes_per_group);
+}
+
+Verdict Detector::check(const Observation& o, Vec2 le) const {
+  const double s = score(o, le);
+  return {s > threshold_, s, threshold_};
+}
+
+}  // namespace lad

@@ -1,0 +1,46 @@
+// The LAD detector: given a trained threshold, classify (observation,
+// estimated location) pairs as normal or anomalous.
+//
+// This is what would run on a sensor node after the localization phase
+// (Section 4): compute mu from the deployment knowledge (constant-time
+// g(z) table lookups), evaluate the metric, compare with the threshold.
+#pragma once
+
+#include <memory>
+
+#include "core/metric.h"
+#include "deploy/deployment_model.h"
+#include "deploy/gz_table.h"
+
+namespace lad {
+
+struct Verdict {
+  bool anomaly;      ///< true => raise the alarm, reject Le
+  double score;      ///< the metric value that was compared
+  double threshold;  ///< the trained detection threshold
+};
+
+class Detector {
+ public:
+  /// The model and gz table must outlive the detector.
+  Detector(const DeploymentModel& model, const GzTable& gz, MetricKind metric,
+           double threshold);
+
+  MetricKind metric() const { return metric_->kind(); }
+  double threshold() const { return threshold_; }
+  void set_threshold(double t) { threshold_ = t; }
+
+  /// Anomaly score of observation `o` against estimated location `le`.
+  double score(const Observation& o, Vec2 le) const;
+
+  /// Full decision.
+  Verdict check(const Observation& o, Vec2 le) const;
+
+ private:
+  const DeploymentModel* model_;
+  const GzTable* gz_;
+  std::unique_ptr<Metric> metric_;
+  double threshold_;
+};
+
+}  // namespace lad

@@ -1,0 +1,53 @@
+#include "core/fusion.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace lad {
+
+FusionDetector::FusionDetector(const DeploymentModel& model, const GzTable& gz,
+                               double diff_threshold, double addall_threshold,
+                               double prob_threshold)
+    : model_(&model), gz_(&gz),
+      metrics_{make_metric(MetricKind::kDiff),
+               make_metric(MetricKind::kAddAll),
+               make_metric(MetricKind::kProb)},
+      thresholds_{diff_threshold, addall_threshold, prob_threshold} {
+  for (double t : thresholds_) {
+    LAD_REQUIRE_MSG(t > 0, "fusion thresholds must be positive");
+  }
+}
+
+std::array<double, 3> FusionDetector::normalized_scores(const Observation& o,
+                                                        Vec2 le) const {
+  const ExpectedObservation mu = model_->expected_observation(le, *gz_);
+  const int m = model_->config().nodes_per_group;
+  std::array<double, 3> out{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    out[i] = metrics_[i]->score(o, mu, m) / thresholds_[i];
+  }
+  return out;
+}
+
+double FusionDetector::fused_score(const Observation& o, Vec2 le) const {
+  const auto s = normalized_scores(o, le);
+  return *std::max_element(s.begin(), s.end());
+}
+
+Verdict FusionDetector::check(const Observation& o, Vec2 le) const {
+  const double s = fused_score(o, le);
+  return {s > 1.0, s, 1.0};
+}
+
+MetricKind FusionDetector::dominant_metric(const Observation& o,
+                                           Vec2 le) const {
+  const auto s = normalized_scores(o, le);
+  const std::size_t idx = static_cast<std::size_t>(
+      std::max_element(s.begin(), s.end()) - s.begin());
+  static constexpr std::array<MetricKind, 3> kKinds = {
+      MetricKind::kDiff, MetricKind::kAddAll, MetricKind::kProb};
+  return kKinds[idx];
+}
+
+}  // namespace lad

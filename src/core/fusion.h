@@ -1,0 +1,49 @@
+// Metric fusion - an extension beyond the paper.
+//
+// Section 5 proposes three metrics and evaluates them separately (Fig. 4).
+// A natural next step is to run them together: each metric is trained to
+// its own threshold, and the fused score of a sample is
+//
+//   max_i  score_i / threshold_i      (ratio > 1 <=> metric i alarms)
+//
+// so the OR-combination "any metric alarms" corresponds to fused > 1, and
+// the fused quantity is still a single scalar that supports ROC analysis.
+// The ablation bench (tab_metric_fusion) measures whether fusing buys
+// detection at equal false-positive cost - the interesting case is the
+// attacker that optimizes against ONE metric and gets caught by another.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "core/detector.h"
+#include "core/metric.h"
+
+namespace lad {
+
+class FusionDetector {
+ public:
+  /// Per-metric thresholds, typically each trained at the same tau.
+  /// Thresholds must be positive (scores are normalized by them).
+  FusionDetector(const DeploymentModel& model, const GzTable& gz,
+                 double diff_threshold, double addall_threshold,
+                 double prob_threshold);
+
+  /// max_i score_i / threshold_i; alarm when > 1.
+  double fused_score(const Observation& o, Vec2 le) const;
+
+  Verdict check(const Observation& o, Vec2 le) const;
+
+  /// Which metric dominated the fused score (diagnostics).
+  MetricKind dominant_metric(const Observation& o, Vec2 le) const;
+
+ private:
+  std::array<double, 3> normalized_scores(const Observation& o, Vec2 le) const;
+
+  const DeploymentModel* model_;
+  const GzTable* gz_;
+  std::array<std::unique_ptr<Metric>, 3> metrics_;
+  std::array<double, 3> thresholds_;
+};
+
+}  // namespace lad

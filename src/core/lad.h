@@ -1,0 +1,25 @@
+// Umbrella header for the LAD public API.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   lad::DeploymentConfig cfg;                    // Section 7.1 defaults
+//   lad::DeploymentModel model(cfg);
+//   lad::GzTable gz({cfg.radio_range, cfg.sigma});  // Theorem 1, tabulated
+//   ... simulate benign deployments, collect metric scores ...
+//   auto trained = lad::train_threshold(lad::MetricKind::kDiff, scores, 0.99);
+//   lad::Detector detector(model, gz, trained.metric, trained.threshold);
+//   lad::Verdict v = detector.check(observation, estimated_location);
+#pragma once
+
+#include "core/corrector.h"  // IWYU pragma: export
+#include "core/detector.h"   // IWYU pragma: export
+#include "core/fusion.h"     // IWYU pragma: export
+#include "core/serialize.h"  // IWYU pragma: export
+#include "core/metric.h"     // IWYU pragma: export
+#include "core/trainer.h"    // IWYU pragma: export
+#include "deploy/config.h"   // IWYU pragma: export
+#include "deploy/deployment_model.h"  // IWYU pragma: export
+#include "deploy/gz.h"       // IWYU pragma: export
+#include "deploy/gz_table.h" // IWYU pragma: export
+#include "deploy/network.h"  // IWYU pragma: export
+#include "deploy/observation.h"  // IWYU pragma: export

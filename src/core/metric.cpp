@@ -1,0 +1,105 @@
+#include "core/metric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/special.h"
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace lad {
+
+const char* metric_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kDiff: return "diff";
+    case MetricKind::kAddAll: return "add-all";
+    case MetricKind::kProb: return "prob";
+  }
+  return "?";
+}
+
+MetricKind metric_from_name(const std::string& name) {
+  const std::string n = to_lower(name);
+  if (n == "diff" || n == "dm") return MetricKind::kDiff;
+  if (n == "add-all" || n == "addall" || n == "am") return MetricKind::kAddAll;
+  if (n == "prob" || n == "probability" || n == "pm") return MetricKind::kProb;
+  LAD_REQUIRE_MSG(false, "unknown metric name: " << name);
+  return MetricKind::kDiff;  // unreachable
+}
+
+namespace {
+void check_sizes(const Observation& o, const ExpectedObservation& mu) {
+  LAD_REQUIRE_MSG(o.num_groups() == mu.size(),
+                  "observation has " << o.num_groups()
+                                     << " groups but expectation has "
+                                     << mu.size());
+}
+}  // namespace
+
+double DiffMetric::score(const Observation& o, const ExpectedObservation& mu,
+                         int /*m*/) const {
+  check_sizes(o, mu);
+  double dm = 0.0;
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    dm += std::abs(static_cast<double>(o.counts[i]) - mu[i]);
+  }
+  return dm;
+}
+
+double AddAllMetric::score(const Observation& o, const ExpectedObservation& mu,
+                           int /*m*/) const {
+  check_sizes(o, mu);
+  double am = 0.0;
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    am += std::max(static_cast<double>(o.counts[i]), mu[i]);
+  }
+  return am;
+}
+
+double prob_metric_group_score(int count, double mu_i, int m) {
+  LAD_REQUIRE_MSG(m > 0, "m must be positive");
+  double p = mu_i / static_cast<double>(m);
+  p = std::clamp(p, 0.0, 1.0);
+  const double lp = log_binomial_pmf(count, m, p);
+  if (std::isinf(lp)) {
+    // Impossible count (e.g. o_i > 0 where p == 0): maximally anomalous,
+    // but kept finite so scores stay orderable and trainable.
+    return 1e12;
+  }
+  return -lp;
+}
+
+double ProbMetric::score(const Observation& o, const ExpectedObservation& mu,
+                         int m) const {
+  check_sizes(o, mu);
+  // Alarm when min_i Pr(X_i = o_i) is small  <=>  max_i -log Pr is large.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    worst = std::max(worst, prob_metric_group_score(o.counts[i], mu[i], m));
+  }
+  return worst;
+}
+
+double ProbMetric::min_probability(const Observation& o,
+                                   const ExpectedObservation& mu, int m) {
+  check_sizes(o, mu);
+  double min_p = 1.0;
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    const double p = std::clamp(mu[i] / static_cast<double>(m), 0.0, 1.0);
+    min_p = std::min(min_p, binomial_pmf(o.counts[i], m, p));
+  }
+  return min_p;
+}
+
+std::unique_ptr<Metric> make_metric(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kDiff: return std::make_unique<DiffMetric>();
+    case MetricKind::kAddAll: return std::make_unique<AddAllMetric>();
+    case MetricKind::kProb: return std::make_unique<ProbMetric>();
+  }
+  LAD_REQUIRE_MSG(false, "invalid metric kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace lad

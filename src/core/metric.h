@@ -1,0 +1,72 @@
+// The three anomaly-detection metrics of Section 5.
+//
+// All metrics are exposed through one convention: score(o, mu, m) returns a
+// real number where HIGHER means MORE ANOMALOUS.  This lets the detector,
+// trainer, ROC builder and greedy attack procedures treat metrics
+// uniformly.
+//
+//  * Diff    (5.2):  DM = sum_i |o_i - mu_i|                (higher = worse)
+//  * Add-all (5.3):  AM = sum_i max(o_i, mu_i)              (higher = worse)
+//  * Prob    (5.4):  PM = min_i Binom(o_i; m, g_i(Le)); the paper alarms
+//                    when PM < threshold, so the score is -log PM
+//                    (higher = worse), computed in log space because the
+//                    pmf underflows for m = 1000.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "deploy/observation.h"
+
+namespace lad {
+
+enum class MetricKind { kDiff, kAddAll, kProb };
+
+const char* metric_name(MetricKind kind);
+MetricKind metric_from_name(const std::string& name);
+
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  virtual MetricKind kind() const = 0;
+  std::string name() const { return metric_name(kind()); }
+
+  /// Anomaly score of actual observation `o` against expected observation
+  /// `mu` (Eq. 2) with `m` nodes per group.  Higher = more anomalous.
+  virtual double score(const Observation& o, const ExpectedObservation& mu,
+                       int m) const = 0;
+};
+
+class DiffMetric final : public Metric {
+ public:
+  MetricKind kind() const override { return MetricKind::kDiff; }
+  double score(const Observation& o, const ExpectedObservation& mu,
+               int m) const override;
+};
+
+class AddAllMetric final : public Metric {
+ public:
+  MetricKind kind() const override { return MetricKind::kAddAll; }
+  double score(const Observation& o, const ExpectedObservation& mu,
+               int m) const override;
+};
+
+class ProbMetric final : public Metric {
+ public:
+  MetricKind kind() const override { return MetricKind::kProb; }
+  double score(const Observation& o, const ExpectedObservation& mu,
+               int m) const override;
+
+  /// min_i Binom(o_i; m, p_i) in linear space (may underflow; tests only).
+  static double min_probability(const Observation& o,
+                                const ExpectedObservation& mu, int m);
+};
+
+std::unique_ptr<Metric> make_metric(MetricKind kind);
+
+/// -log pmf of one group's count: the Prob metric's per-group term; shared
+/// with the greedy attack procedures.
+double prob_metric_group_score(int count, double mu_i, int m);
+
+}  // namespace lad

@@ -1,0 +1,118 @@
+#include "core/serialize.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace lad {
+
+DetectorBundle make_bundle(const DeploymentModel& model, int gz_omega,
+                           MetricKind metric, double threshold) {
+  DetectorBundle b;
+  b.config = model.config();
+  b.deployment_points = model.deployment_points();
+  b.gz_omega = gz_omega;
+  b.metric = metric;
+  b.threshold = threshold;
+  return b;
+}
+
+namespace {
+constexpr const char* kHeader = "lad-detector v1";
+
+/// %.17g round-trips doubles exactly.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+}  // namespace
+
+void save_bundle(std::ostream& os, const DetectorBundle& bundle) {
+  os << kHeader << "\n";
+  os << "field_side " << num(bundle.config.field_side) << "\n";
+  os << "grid_nx " << bundle.config.grid_nx << "\n";
+  os << "grid_ny " << bundle.config.grid_ny << "\n";
+  os << "nodes_per_group " << bundle.config.nodes_per_group << "\n";
+  os << "sigma " << num(bundle.config.sigma) << "\n";
+  os << "radio_range " << num(bundle.config.radio_range) << "\n";
+  os << "clamp_to_field " << (bundle.config.clamp_to_field ? 1 : 0) << "\n";
+  os << "gz_omega " << bundle.gz_omega << "\n";
+  os << "metric " << metric_name(bundle.metric) << "\n";
+  os << "threshold " << num(bundle.threshold) << "\n";
+  os << "points " << bundle.deployment_points.size() << "\n";
+  for (const Vec2& p : bundle.deployment_points) {
+    os << num(p.x) << " " << num(p.y) << "\n";
+  }
+}
+
+namespace {
+
+std::string read_line(std::istream& is, const char* what) {
+  std::string line;
+  LAD_REQUIRE_MSG(static_cast<bool>(std::getline(is, line)),
+                  "truncated detector bundle: missing " << what);
+  return line;
+}
+
+std::pair<std::string, std::string> read_kv(std::istream& is,
+                                            const std::string& expect_key) {
+  const std::string line = read_line(is, expect_key.c_str());
+  const std::size_t sp = line.find(' ');
+  LAD_REQUIRE_MSG(sp != std::string::npos,
+                  "malformed bundle line: '" << line << "'");
+  const std::string key = line.substr(0, sp);
+  LAD_REQUIRE_MSG(key == expect_key, "expected key '" << expect_key
+                                                      << "' but found '"
+                                                      << key << "'");
+  return {key, line.substr(sp + 1)};
+}
+
+}  // namespace
+
+DetectorBundle load_bundle(std::istream& is) {
+  const std::string header = read_line(is, "header");
+  LAD_REQUIRE_MSG(header == kHeader,
+                  "unsupported bundle header: '" << header << "'");
+  DetectorBundle b;
+  b.config.field_side = parse_double(read_kv(is, "field_side").second);
+  b.config.grid_nx = static_cast<int>(parse_int(read_kv(is, "grid_nx").second));
+  b.config.grid_ny = static_cast<int>(parse_int(read_kv(is, "grid_ny").second));
+  b.config.nodes_per_group =
+      static_cast<int>(parse_int(read_kv(is, "nodes_per_group").second));
+  b.config.sigma = parse_double(read_kv(is, "sigma").second);
+  b.config.radio_range = parse_double(read_kv(is, "radio_range").second);
+  b.config.clamp_to_field =
+      parse_int(read_kv(is, "clamp_to_field").second) != 0;
+  b.gz_omega = static_cast<int>(parse_int(read_kv(is, "gz_omega").second));
+  b.metric = metric_from_name(read_kv(is, "metric").second);
+  b.threshold = parse_double(read_kv(is, "threshold").second);
+  const long long npoints = parse_int(read_kv(is, "points").second);
+  LAD_REQUIRE_MSG(npoints > 0 && npoints < 1000000,
+                  "implausible deployment point count " << npoints);
+  for (long long i = 0; i < npoints; ++i) {
+    const std::string line = read_line(is, "deployment point");
+    const std::size_t sp = line.find(' ');
+    LAD_REQUIRE_MSG(sp != std::string::npos,
+                    "malformed point line: '" << line << "'");
+    b.deployment_points.push_back(
+        {parse_double(line.substr(0, sp)), parse_double(line.substr(sp + 1))});
+  }
+  b.config.validate();
+  return b;
+}
+
+RuntimeDetector::RuntimeDetector(const DetectorBundle& bundle) {
+  model_ = std::make_unique<DeploymentModel>(bundle.config,
+                                             bundle.deployment_points);
+  gz_ = std::make_unique<GzTable>(
+      GzParams{bundle.config.radio_range, bundle.config.sigma},
+      bundle.gz_omega);
+  detector_ = std::make_unique<Detector>(*model_, *gz_, bundle.metric,
+                                         bundle.threshold);
+}
+
+}  // namespace lad

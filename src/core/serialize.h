@@ -1,0 +1,66 @@
+// Persistence for trained detectors.
+//
+// The paper's workflow trains thresholds offline ("through training ...
+// we use tau percentile") and ships the deployment knowledge + threshold
+// to sensors.  This module serializes exactly that bundle - deployment
+// configuration, deployment points, g(z) table resolution, metric and
+// threshold - in a line-oriented text format, and materializes a working
+// Detector from it.
+//
+// Format (version header + key/value lines + point list):
+//   lad-detector v1
+//   field_side 1000
+//   ...
+//   points 100
+//   50 50
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/detector.h"
+
+namespace lad {
+
+/// Everything a sensor needs to run LAD: self-contained and serializable.
+struct DetectorBundle {
+  DeploymentConfig config;
+  std::vector<Vec2> deployment_points;
+  int gz_omega = 256;
+  MetricKind metric = MetricKind::kDiff;
+  double threshold = 0.0;
+
+  bool operator==(const DetectorBundle&) const = default;
+};
+
+/// Captures a bundle from live objects.
+DetectorBundle make_bundle(const DeploymentModel& model, int gz_omega,
+                           MetricKind metric, double threshold);
+
+void save_bundle(std::ostream& os, const DetectorBundle& bundle);
+
+/// Throws lad::AssertionError on malformed/truncated/unsupported input.
+DetectorBundle load_bundle(std::istream& is);
+
+/// A detector materialized from a bundle, owning its model and g(z) table.
+class RuntimeDetector {
+ public:
+  explicit RuntimeDetector(const DetectorBundle& bundle);
+
+  const DeploymentModel& model() const { return *model_; }
+  const GzTable& gz() const { return *gz_; }
+  const Detector& detector() const { return *detector_; }
+
+  Verdict check(const Observation& o, Vec2 le) const {
+    return detector_->check(o, le);
+  }
+
+ private:
+  std::unique_ptr<DeploymentModel> model_;
+  std::unique_ptr<GzTable> gz_;
+  std::unique_ptr<Detector> detector_;
+};
+
+}  // namespace lad

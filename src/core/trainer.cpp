@@ -1,0 +1,42 @@
+#include "core/trainer.h"
+
+#include "stats/quantile.h"
+#include "util/assert.h"
+
+namespace lad {
+
+TrainingResult train_threshold(MetricKind metric, std::vector<double> scores,
+                               double tau) {
+  LAD_REQUIRE_MSG(!scores.empty(), "cannot train on zero samples");
+  LAD_REQUIRE_MSG(tau > 0.0 && tau <= 1.0, "tau must be in (0,1]");
+  TrainingResult r;
+  r.metric = metric;
+  r.tau = tau;
+  r.num_samples = scores.size();
+  for (double s : scores) r.score_stats.add(s);
+  r.threshold = quantile_inplace(scores, tau);
+  return r;
+}
+
+std::vector<TrainingResult> train_thresholds(MetricKind metric,
+                                             std::vector<double> scores,
+                                             const std::vector<double>& taus) {
+  LAD_REQUIRE_MSG(!scores.empty(), "cannot train on zero samples");
+  RunningStats stats;
+  for (double s : scores) stats.add(s);
+  const std::vector<double> qs = quantiles(std::move(scores), taus);
+  std::vector<TrainingResult> out;
+  out.reserve(taus.size());
+  for (std::size_t i = 0; i < taus.size(); ++i) {
+    TrainingResult r;
+    r.metric = metric;
+    r.tau = taus[i];
+    r.threshold = qs[i];
+    r.num_samples = stats.count();
+    r.score_stats = stats;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace lad

@@ -1,0 +1,33 @@
+// Threshold training (Section 5.5): simulate benign deployments, compute
+// the metric for every sampled sensor using its *scheme-estimated* location
+// (so the threshold absorbs the localization scheme's natural error), and
+// take the tau-percentile of the resulting sample distribution.
+// (1 - tau) is the training false-positive rate.
+#pragma once
+
+#include <vector>
+
+#include "core/metric.h"
+#include "stats/running_stats.h"
+
+namespace lad {
+
+struct TrainingResult {
+  MetricKind metric;
+  double tau;             ///< percentile level used (e.g. 0.99)
+  double threshold;       ///< the trained detection threshold
+  std::size_t num_samples;
+  RunningStats score_stats;  ///< distribution summary of the benign scores
+};
+
+/// Derives the threshold from pre-collected benign scores.  The scores are
+/// whatever Metric::score produced on benign (non-attacked) samples.
+TrainingResult train_threshold(MetricKind metric, std::vector<double> scores,
+                               double tau);
+
+/// Thresholds for several tau levels from one sample set (one sort).
+std::vector<TrainingResult> train_thresholds(MetricKind metric,
+                                             std::vector<double> scores,
+                                             const std::vector<double>& taus);
+
+}  // namespace lad

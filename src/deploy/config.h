@@ -1,0 +1,41 @@
+// Deployment configuration (Section 7.1 defaults).
+//
+// "the deployment area is a square plane of 1000 meters by 1000 meters.
+//  The plane is divided into 10 x 10 grids.  Each grid is 100m x 100m.
+//  The center of each grid is the deployment point. ... We set the
+//  parameter sigma of the Gaussian distribution to 50 in all of the
+//  experiments."  m = 300 nodes per group is the paper's default density.
+// The paper does not state the radio range; R = 50 m is our documented
+// default (see DESIGN.md).
+#pragma once
+
+#include "geom/aabb.h"
+#include "util/assert.h"
+
+namespace lad {
+
+struct DeploymentConfig {
+  double field_side = 1000.0;  ///< square field edge length (meters)
+  int grid_nx = 10;            ///< deployment points per row
+  int grid_ny = 10;            ///< deployment points per column
+  int nodes_per_group = 300;   ///< the paper's m
+  double sigma = 50.0;         ///< Gaussian scatter std-dev (meters)
+  double radio_range = 50.0;   ///< transmission range R (meters)
+  bool clamp_to_field = false; ///< clamp resident points into the field
+
+  bool operator==(const DeploymentConfig&) const = default;
+
+  int num_groups() const { return grid_nx * grid_ny; }
+  int total_nodes() const { return num_groups() * nodes_per_group; }
+  Aabb field() const { return Aabb::square(field_side); }
+
+  void validate() const {
+    LAD_REQUIRE_MSG(field_side > 0, "field side must be positive");
+    LAD_REQUIRE_MSG(grid_nx > 0 && grid_ny > 0, "grid must be non-empty");
+    LAD_REQUIRE_MSG(nodes_per_group > 0, "m must be positive");
+    LAD_REQUIRE_MSG(sigma > 0, "sigma must be positive");
+    LAD_REQUIRE_MSG(radio_range > 0, "radio range must be positive");
+  }
+};
+
+}  // namespace lad

@@ -1,0 +1,55 @@
+#include "deploy/gz.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/geometry.h"
+#include "stats/integrate.h"
+#include "stats/special.h"
+#include "util/assert.h"
+
+namespace lad {
+
+double gz_at_zero(const GzParams& params) {
+  return rayleigh_cdf(params.radio_range, params.sigma);
+}
+
+double gz_support_radius(const GzParams& params, double tail_sigmas) {
+  return params.radio_range + tail_sigmas * params.sigma;
+}
+
+double gz_exact(double z, const GzParams& params) {
+  LAD_REQUIRE_MSG(z >= 0, "g(z) is defined for z >= 0");
+  LAD_REQUIRE_MSG(params.radio_range > 0 && params.sigma > 0,
+                  "R and sigma must be positive");
+  const double R = params.radio_range;
+  const double sigma = params.sigma;
+
+  // Concentric case: closed form, and the integral formula divides by z.
+  if (z < 1e-9) return gz_at_zero(params);
+
+  // Term 1: circles around the deployment point that lie entirely inside
+  // the query disk (only possible when z < R).
+  double result = 0.0;
+  if (z < R) result += rayleigh_cdf(R - z, sigma);
+
+  // Term 2: partially-overlapping annulus.  Truncate the upper limit where
+  // the Gaussian tail is numerically zero.
+  const double lo = std::abs(z - R);
+  double hi = z + R;
+  const double tail = 12.0 * sigma;
+  if (lo >= tail) return result;  // the whole annulus is in the dead tail
+  hi = std::min(hi, tail);
+
+  auto integrand = [R, sigma, z](double ell) {
+    if (ell <= 0.0) return 0.0;  // removable endpoint when z == R
+    const double theta = arc_half_angle(ell, z, R);
+    return gaussian2d_pdf_radial(ell, sigma) * 2.0 * ell * theta;
+  };
+  result += integrate_adaptive_simpson(integrand, lo, hi, params.tol);
+
+  // Clamp tiny negative / >1 excursions from quadrature round-off.
+  return std::clamp(result, 0.0, 1.0);
+}
+
+}  // namespace lad

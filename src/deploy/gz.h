@@ -1,0 +1,38 @@
+// Theorem 1: g(z) - the probability that a node of group Gi resides within
+// the radio neighborhood (radius R) of a point at distance z from Gi's
+// deployment point, when resident points follow an isotropic 2-D Gaussian
+// with std sigma around the deployment point.
+//
+//   g(z) = 1{z<R} * [1 - exp(-(R-z)^2 / 2 sigma^2)]
+//        + Integral_{|z-R|}^{z+R} f(l) * 2 l * acos((l^2+z^2-R^2)/(2 l z)) dl
+//   with f(l) = (1 / 2 pi sigma^2) exp(-l^2 / 2 sigma^2).
+//
+// The paper omits the proof; the derivation is: integrate the radial
+// Gaussian over the query disk in polar coordinates about the deployment
+// point.  Circles of radius l < R - z lie entirely inside the disk (the
+// Rayleigh-CDF first term); circles with |z-R| <= l <= z+R intersect it in
+// an arc of half-angle acos(...) (the integral term).  Unit tests validate
+// the implementation against brute-force Monte-Carlo and against the exact
+// z = 0 closed form.
+#pragma once
+
+namespace lad {
+
+struct GzParams {
+  double radio_range;  ///< R
+  double sigma;        ///< Gaussian scatter std-dev
+  double tol = 1e-10;  ///< quadrature tolerance
+};
+
+/// Exact g(z) by adaptive quadrature.  z must be >= 0.
+double gz_exact(double z, const GzParams& params);
+
+/// Closed form for z = 0: the disk is concentric, so g(0) is the Rayleigh
+/// CDF at R: 1 - exp(-R^2 / 2 sigma^2).
+double gz_at_zero(const GzParams& params);
+
+/// Distance beyond which g(z) < eps for practical purposes: R + k * sigma
+/// with k chosen so the Gaussian tail is negligible (k = 8 covers 1e-14).
+double gz_support_radius(const GzParams& params, double tail_sigmas = 8.0);
+
+}  // namespace lad

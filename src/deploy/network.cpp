@@ -1,0 +1,83 @@
+#include "deploy/network.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace lad {
+
+Network::Network(const DeploymentModel& model, Rng& rng) : model_(&model) {
+  const DeploymentConfig& cfg = model.config();
+  const std::size_t total = static_cast<std::size_t>(model.total_nodes());
+  positions_.reserve(total);
+  groups_.reserve(total);
+  for (int g = 0; g < model.num_groups(); ++g) {
+    for (int k = 0; k < cfg.nodes_per_group; ++k) {
+      positions_.push_back(model.sample_resident_point(g, rng));
+      groups_.push_back(static_cast<std::uint16_t>(g));
+    }
+  }
+  tx_range_override_.assign(total, std::numeric_limits<float>::quiet_NaN());
+  max_tx_range_ = cfg.radio_range;
+  // Cell size = R keeps radius-R queries within a 3x3 cell neighborhood.
+  index_ = std::make_unique<GridIndex>(positions_, cfg.field(), cfg.radio_range);
+}
+
+double Network::tx_range(std::size_t node) const {
+  const float o = tx_range_override_[node];
+  return std::isnan(o) ? model_->config().radio_range : static_cast<double>(o);
+}
+
+void Network::set_tx_range(std::size_t node, double range) {
+  LAD_REQUIRE_MSG(range >= 0, "negative tx range");
+  tx_range_override_[node] = static_cast<float>(range);
+  if (range > max_tx_range_) max_tx_range_ = range;
+}
+
+void Network::reset_tx_ranges() {
+  tx_range_override_.assign(positions_.size(),
+                            std::numeric_limits<float>::quiet_NaN());
+  max_tx_range_ = model_->config().radio_range;
+}
+
+std::vector<std::size_t> Network::nodes_within(Vec2 p, double radius,
+                                               std::size_t exclude) const {
+  std::vector<std::size_t> out;
+  index_->for_each_in_radius(p, radius, [&](std::size_t i) {
+    if (i != exclude) out.push_back(i);
+  });
+  return out;
+}
+
+std::vector<std::size_t> Network::neighbors_of(std::size_t node) const {
+  LAD_REQUIRE(node < positions_.size());
+  const Vec2 p = positions_[node];
+  std::vector<std::size_t> out;
+  // Query at the widest active range, then filter by each sender's range.
+  index_->for_each_in_radius(p, max_tx_range_, [&](std::size_t i) {
+    if (i == node) return;
+    if (distance(positions_[i], p) <= tx_range(i)) out.push_back(i);
+  });
+  return out;
+}
+
+Observation Network::observe(std::size_t node) const {
+  Observation o(static_cast<std::size_t>(num_groups()));
+  const Vec2 p = positions_[node];
+  index_->for_each_in_radius(p, max_tx_range_, [&](std::size_t i) {
+    if (i == node) return;
+    if (distance(positions_[i], p) <= tx_range(i)) ++o.counts[groups_[i]];
+  });
+  return o;
+}
+
+Observation Network::observe_at(Vec2 p) const {
+  Observation o(static_cast<std::size_t>(num_groups()));
+  index_->for_each_in_radius(p, max_tx_range_, [&](std::size_t i) {
+    if (distance(positions_[i], p) <= tx_range(i)) ++o.counts[groups_[i]];
+  });
+  return o;
+}
+
+}  // namespace lad

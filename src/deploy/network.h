@@ -1,0 +1,65 @@
+// A deployed sensor network: every node's resident point and group id,
+// plus a spatial index for radio-neighborhood queries.
+//
+// Storage is structure-of-arrays (positions[], groups[]) - observation
+// computation walks positions linearly within grid cells (Per.16/Per.19).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "deploy/deployment_model.h"
+#include "deploy/observation.h"
+#include "geom/grid_index.h"
+#include "rng/rng.h"
+
+namespace lad {
+
+class Network {
+ public:
+  /// Deploys all groups of the model: node k of group g resides at a fresh
+  /// Gaussian sample around g's deployment point.
+  Network(const DeploymentModel& model, Rng& rng);
+
+  const DeploymentModel& model() const { return *model_; }
+  std::size_t num_nodes() const { return positions_.size(); }
+  int num_groups() const { return model_->num_groups(); }
+  double radio_range() const { return model_->config().radio_range; }
+
+  Vec2 position(std::size_t node) const { return positions_[node]; }
+  int group_of(std::size_t node) const { return groups_[node]; }
+  const std::vector<Vec2>& positions() const { return positions_; }
+
+  /// Per-node transmit range; nodes default to the model's R.  Attacks may
+  /// raise a compromised node's range (range-change attack, Section 6).
+  double tx_range(std::size_t node) const;
+  void set_tx_range(std::size_t node, double range);
+  void reset_tx_ranges();
+
+  /// Indices of all nodes within `radius` of p (excluding `exclude`).
+  std::vector<std::size_t> nodes_within(Vec2 p, double radius,
+                                        std::size_t exclude = SIZE_MAX) const;
+
+  /// Neighbor set of `node` under the symmetric unit-disk model with the
+  /// *receiver's* perspective: u hears v iff |u - v| <= tx_range(v).
+  std::vector<std::size_t> neighbors_of(std::size_t node) const;
+
+  /// The untainted observation of `node`: counts of heard group ids.
+  Observation observe(std::size_t node) const;
+
+  /// Observation a hypothetical node at p would make (no exclusion).
+  Observation observe_at(Vec2 p) const;
+
+  const GridIndex& index() const { return *index_; }
+
+ private:
+  const DeploymentModel* model_;
+  std::vector<Vec2> positions_;
+  std::vector<std::uint16_t> groups_;
+  std::vector<float> tx_range_override_;  // NaN = default R
+  double max_tx_range_;                   // current max for index queries
+  std::unique_ptr<GridIndex> index_;
+};
+
+}  // namespace lad

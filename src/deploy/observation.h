@@ -1,0 +1,38 @@
+// A sensor's observation o = (o1, ..., on): the number of neighbors it
+// hears from each deployment group (Section 5.1).  This is the single data
+// structure the whole detection pipeline revolves around.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace lad {
+
+struct Observation {
+  std::vector<int> counts;  ///< counts[i] = neighbors heard from group i
+
+  Observation() = default;
+  explicit Observation(std::size_t num_groups) : counts(num_groups, 0) {}
+  explicit Observation(std::vector<int> c) : counts(std::move(c)) {}
+
+  std::size_t num_groups() const { return counts.size(); }
+
+  int& operator[](std::size_t i) { return counts[i]; }
+  int operator[](std::size_t i) const { return counts[i]; }
+
+  /// |o|: total number of neighbors observed.
+  int total() const { return std::accumulate(counts.begin(), counts.end(), 0); }
+
+  bool operator==(const Observation&) const = default;
+
+  void require_valid() const {
+    for (int c : counts) LAD_REQUIRE_MSG(c >= 0, "negative observation count");
+  }
+};
+
+/// The expected observation mu = (mu1, ..., mun) is real-valued (Eq. 2).
+using ExpectedObservation = std::vector<double>;
+
+}  // namespace lad

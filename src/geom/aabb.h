@@ -1,0 +1,40 @@
+// Axis-aligned bounding box; used for the deployment field and for clamping
+// displaced locations back into it.
+#pragma once
+
+#include <algorithm>
+
+#include "geom/vec2.h"
+#include "util/assert.h"
+
+namespace lad {
+
+struct Aabb {
+  Vec2 lo;
+  Vec2 hi;
+
+  constexpr Aabb() = default;
+  Aabb(Vec2 lo_, Vec2 hi_) : lo(lo_), hi(hi_) {
+    LAD_REQUIRE_MSG(lo.x <= hi.x && lo.y <= hi.y, "inverted AABB");
+  }
+
+  static Aabb square(double side) { return {{0.0, 0.0}, {side, side}}; }
+
+  constexpr double width() const { return hi.x - lo.x; }
+  constexpr double height() const { return hi.y - lo.y; }
+  constexpr double area() const { return width() * height(); }
+  constexpr Vec2 center() const {
+    return {(lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0};
+  }
+
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// Nearest point inside the box.
+  Vec2 clamp(Vec2 p) const {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+  }
+};
+
+}  // namespace lad

@@ -1,0 +1,55 @@
+#include "geom/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace lad {
+
+double signed_area2(Vec2 a, Vec2 b, Vec2 c) {
+  return (b - a).cross(c - a);
+}
+
+bool point_in_triangle(Vec2 p, Vec2 a, Vec2 b, Vec2 c) {
+  const double d1 = signed_area2(p, a, b);
+  const double d2 = signed_area2(p, b, c);
+  const double d3 = signed_area2(p, c, a);
+  const bool has_neg = (d1 < 0) || (d2 < 0) || (d3 < 0);
+  const bool has_pos = (d1 > 0) || (d2 > 0) || (d3 > 0);
+  return !(has_neg && has_pos);
+}
+
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 == 0.0) return distance(p, a);
+  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return distance(p, a + ab * t);
+}
+
+double circle_intersection_area(double d, double r1, double r2) {
+  LAD_REQUIRE_MSG(d >= 0 && r1 >= 0 && r2 >= 0,
+                  "negative geometry arguments");
+  if (r1 == 0.0 || r2 == 0.0) return 0.0;
+  if (d >= r1 + r2) return 0.0;  // disjoint
+  const double rmin = std::min(r1, r2);
+  if (d <= std::abs(r1 - r2)) return M_PI * rmin * rmin;  // containment
+  // Standard lens area.
+  const double a1 =
+      std::acos(std::clamp((d * d + r1 * r1 - r2 * r2) / (2 * d * r1), -1.0, 1.0));
+  const double a2 =
+      std::acos(std::clamp((d * d + r2 * r2 - r1 * r1) / (2 * d * r2), -1.0, 1.0));
+  const double tri =
+      0.5 * std::sqrt(std::max(0.0, (-d + r1 + r2) * (d + r1 - r2) *
+                                        (d - r1 + r2) * (d + r1 + r2)));
+  return r1 * r1 * a1 + r2 * r2 * a2 - tri;
+}
+
+double arc_half_angle(double ell, double z, double R) {
+  LAD_REQUIRE_MSG(ell > 0 && z > 0, "arc_half_angle needs positive radii");
+  const double c = (ell * ell + z * z - R * R) / (2.0 * ell * z);
+  return std::acos(std::clamp(c, -1.0, 1.0));
+}
+
+}  // namespace lad

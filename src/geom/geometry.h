@@ -1,0 +1,30 @@
+// Geometric predicates used by the localization schemes (APIT's
+// point-in-triangle test, MMSE residuals) and by the g(z) validation tests
+// (circle-circle intersection area has a closed form we check the Theorem-1
+// integral against).
+#pragma once
+
+#include "geom/vec2.h"
+
+namespace lad {
+
+/// Signed twice-area of triangle (a, b, c); >0 when counter-clockwise.
+double signed_area2(Vec2 a, Vec2 b, Vec2 c);
+
+/// True if p lies inside or on the triangle (a, b, c), any orientation.
+bool point_in_triangle(Vec2 p, Vec2 a, Vec2 b, Vec2 c);
+
+/// Distance from point p to segment [a, b].
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b);
+
+/// Area of the intersection of two disks with centers distance d apart and
+/// radii r1, r2.  Handles containment and disjoint cases exactly.
+double circle_intersection_area(double d, double r1, double r2);
+
+/// Half-angle subtended at the origin-circle of radius `ell` by a disk of
+/// radius R centered at distance z: acos((ell^2 + z^2 - R^2) / (2 ell z)),
+/// clamped into [0, pi] against floating-point noise.  This is exactly the
+/// cos^{-1} term of the paper's Theorem 1.
+double arc_half_angle(double ell, double z, double R);
+
+}  // namespace lad

@@ -1,0 +1,56 @@
+// Uniform-grid spatial index over 2-D points.
+//
+// Neighbor queries (all points within radius r of a query point) are the
+// innermost operation of every simulated deployment: a 30k-node network
+// computes one observation per sampled sensor, each a radius query.  The
+// grid makes that O(points in the 3x3 cell neighborhood).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/vec2.h"
+
+namespace lad {
+
+class GridIndex {
+ public:
+  /// Builds an index over `points` covering `bounds` with cells of size
+  /// `cell_size` (typically the radio range).  Points outside the bounds are
+  /// clamped into the border cells, so queries remain correct for them.
+  GridIndex(const std::vector<Vec2>& points, const Aabb& bounds,
+            double cell_size);
+
+  std::size_t size() const { return points_.size(); }
+
+  /// Calls fn(index) for every point with distance(p, point) <= radius.
+  /// The query point itself is included if it is in the index; callers that
+  /// want "neighbors of node i" should skip i in the callback.
+  void for_each_in_radius(Vec2 p, double radius,
+                          const std::function<void(std::size_t)>& fn) const;
+
+  /// Collects indices within `radius` of p (convenience wrapper).
+  std::vector<std::size_t> query(Vec2 p, double radius) const;
+
+  /// Number of points within `radius` of p, excluding `exclude`
+  /// (pass SIZE_MAX to exclude nothing).
+  std::size_t count_in_radius(Vec2 p, double radius,
+                              std::size_t exclude = SIZE_MAX) const;
+
+ private:
+  std::size_t cell_of(Vec2 p) const;
+  void cell_coords(Vec2 p, int& cx, int& cy) const;
+
+  Aabb bounds_;
+  double cell_size_;
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<Vec2> points_;
+  // CSR layout: cell_start_[c]..cell_start_[c+1] indexes into cell_items_.
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> cell_items_;
+};
+
+}  // namespace lad

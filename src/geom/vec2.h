@@ -1,0 +1,61 @@
+// 2-D point/vector type.  Locations in the paper are points in a
+// 1000 m x 1000 m plane; all coordinates are in meters.
+#pragma once
+
+#include <cmath>
+
+namespace lad {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// 2-D cross product (z component of the 3-D cross).
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  constexpr double norm2() const { return x * x + y * y; }
+  double norm() const { return std::sqrt(norm2()); }
+
+  /// Unit vector in the same direction; (0,0) maps to (0,0).
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Euclidean distance |L1 - L2| (the paper's distance notation).
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+constexpr double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+/// Point at distance r and angle theta (radians) from c.
+inline Vec2 polar_offset(Vec2 c, double r, double theta) {
+  return {c.x + r * std::cos(theta), c.y + r * std::sin(theta)};
+}
+
+}  // namespace lad

@@ -1,0 +1,44 @@
+// Amorphous positioning (Nagpal, Shrobe, Bachrach - ref. [29]).
+//
+// Like DV-Hop, nodes multilaterate against anchors using hop-count derived
+// distances, but the per-hop distance is computed *offline* from the
+// expected local density via the Kleinrock-Silvester formula:
+//
+//   d_hop = R * (1 + e^{-n} - Integral_{-1}^{1}
+//                 e^{-(n/pi)(acos t - t sqrt(1-t^2))} dt)
+//
+// where n is the expected number of neighbors.  Additionally a half-hop
+// smoothing (h - 0.5) is applied, as in the original scheme.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "loc/localizer.h"
+
+namespace lad {
+
+/// Kleinrock-Silvester expected distance covered per hop for local density
+/// `expected_neighbors` and radio range R.
+double kleinrock_silvester_hop_distance(double expected_neighbors, double R);
+
+class AmorphousLocalizer final : public Localizer {
+ public:
+  AmorphousLocalizer(int kx, int ky, int max_anchors_used = 8);
+
+  std::string name() const override { return "amorphous"; }
+
+  void prepare(const Network& net) override;
+  Vec2 localize(const Network& net, std::size_t node) override;
+
+  double hop_distance() const { return hop_distance_; }
+
+ private:
+  int kx_, ky_, max_anchors_used_;
+  std::vector<std::size_t> anchors_;
+  std::vector<Vec2> anchor_positions_;
+  std::vector<std::vector<std::uint16_t>> hops_;
+  double hop_distance_ = 0.0;
+};
+
+}  // namespace lad

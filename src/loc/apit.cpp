@@ -1,0 +1,102 @@
+#include "loc/apit.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/geometry.h"
+#include "util/assert.h"
+
+namespace lad {
+
+ApitLocalizer::ApitLocalizer(const BeaconField& beacons, int grid_cells,
+                             int max_triangles)
+    : beacons_(&beacons), grid_cells_(grid_cells),
+      max_triangles_(max_triangles) {
+  LAD_REQUIRE_MSG(grid_cells > 0, "grid resolution must be positive");
+  LAD_REQUIRE_MSG(max_triangles > 0, "need at least one triangle");
+}
+
+bool ApitLocalizer::approximate_point_in_triangle(const Network& net,
+                                                  std::size_t node, Vec2 a,
+                                                  Vec2 b, Vec2 c) const {
+  const Vec2 p = net.position(node);
+  const double da = distance(p, a);
+  const double db = distance(p, b);
+  const double dc = distance(p, c);
+  for (std::size_t nb : net.neighbors_of(node)) {
+    const Vec2 q = net.position(nb);
+    const double ea = distance(q, a) - da;
+    const double eb = distance(q, b) - db;
+    const double ec = distance(q, c) - dc;
+    // Departure test: a neighbor simultaneously closer to (or farther
+    // from) all three anchors witnesses a direction out of the triangle.
+    if ((ea > 0 && eb > 0 && ec > 0) || (ea < 0 && eb < 0 && ec < 0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Vec2 ApitLocalizer::localize(const Network& net, std::size_t node) {
+  const Vec2 p = net.position(node);
+  const std::vector<std::size_t> heard = beacons_->heard_at(p);
+  if (heard.size() < 3) return p;  // not enough anchors: no estimate
+
+  const Aabb field = net.model().config().field();
+  const double cw = field.width() / grid_cells_;
+  const double ch = field.height() / grid_cells_;
+  std::vector<int> votes(static_cast<std::size_t>(grid_cells_) * grid_cells_, 0);
+
+  int tested = 0;
+  for (std::size_t i = 0; i < heard.size() && tested < max_triangles_; ++i) {
+    for (std::size_t j = i + 1; j < heard.size() && tested < max_triangles_; ++j) {
+      for (std::size_t k = j + 1; k < heard.size() && tested < max_triangles_;
+           ++k) {
+        const Vec2 a = (*beacons_)[heard[i]].declared_position;
+        const Vec2 b = (*beacons_)[heard[j]].declared_position;
+        const Vec2 c = (*beacons_)[heard[k]].declared_position;
+        ++tested;
+        const int inside =
+            approximate_point_in_triangle(net, node, a, b, c) ? 1 : -1;
+        // SCAN: adjust votes of grid cells inside the triangle.
+        const double xmin = std::min({a.x, b.x, c.x});
+        const double xmax = std::max({a.x, b.x, c.x});
+        const double ymin = std::min({a.y, b.y, c.y});
+        const double ymax = std::max({a.y, b.y, c.y});
+        const int cx0 = std::clamp(static_cast<int>((xmin - field.lo.x) / cw), 0,
+                                   grid_cells_ - 1);
+        const int cx1 = std::clamp(static_cast<int>((xmax - field.lo.x) / cw), 0,
+                                   grid_cells_ - 1);
+        const int cy0 = std::clamp(static_cast<int>((ymin - field.lo.y) / ch), 0,
+                                   grid_cells_ - 1);
+        const int cy1 = std::clamp(static_cast<int>((ymax - field.lo.y) / ch), 0,
+                                   grid_cells_ - 1);
+        for (int cy = cy0; cy <= cy1; ++cy) {
+          for (int cx = cx0; cx <= cx1; ++cx) {
+            const Vec2 center{field.lo.x + (cx + 0.5) * cw,
+                              field.lo.y + (cy + 0.5) * ch};
+            if (point_in_triangle(center, a, b, c)) {
+              votes[static_cast<std::size_t>(cy) * grid_cells_ + cx] += inside;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Center of gravity of the maximum-vote cells.
+  const int best = *std::max_element(votes.begin(), votes.end());
+  Vec2 sum{0, 0};
+  int count = 0;
+  for (int cy = 0; cy < grid_cells_; ++cy) {
+    for (int cx = 0; cx < grid_cells_; ++cx) {
+      if (votes[static_cast<std::size_t>(cy) * grid_cells_ + cx] == best) {
+        sum += Vec2{field.lo.x + (cx + 0.5) * cw, field.lo.y + (cy + 0.5) * ch};
+        ++count;
+      }
+    }
+  }
+  return count > 0 ? sum / count : p;
+}
+
+}  // namespace lad

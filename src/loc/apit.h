@@ -1,0 +1,42 @@
+// APIT (He, Huang, Blum, Stankovic, Abdelzaher - ref. [12]).
+//
+// A node tests, for each triangle of heard anchors, whether it lies inside
+// (the Approximate Point-In-Triangle test), then SCANs a grid: cells
+// covered by every "inside" triangle accumulate votes and the estimate is
+// the center of gravity of the max-vote cells.
+//
+// The approximate PIT test uses neighbor information as the departure
+// probe: the node is declared *outside* triangle (A,B,C) if some neighbor
+// is simultaneously closer to (or farther from) all three anchors - i.e.
+// there is a direction of simultaneous departure.  Signal strength is the
+// paper's distance proxy; the simulator uses true distances, which is the
+// ideal-RSS case.
+#pragma once
+
+#include "loc/beacons.h"
+#include "loc/localizer.h"
+
+namespace lad {
+
+class ApitLocalizer final : public Localizer {
+ public:
+  /// grid_cells: SCAN resolution per axis.  max_triangles bounds the
+  /// number of anchor triangles tested per node (the protocol's cost knob).
+  ApitLocalizer(const BeaconField& beacons, int grid_cells = 100,
+                int max_triangles = 60);
+
+  std::string name() const override { return "apit"; }
+
+  Vec2 localize(const Network& net, std::size_t node) override;
+
+  /// The approximate PIT test, exposed for unit testing.
+  bool approximate_point_in_triangle(const Network& net, std::size_t node,
+                                     Vec2 a, Vec2 b, Vec2 c) const;
+
+ private:
+  const BeaconField* beacons_;
+  int grid_cells_;
+  int max_triangles_;
+};
+
+}  // namespace lad

@@ -1,0 +1,59 @@
+#include "loc/beacons.h"
+
+#include "util/assert.h"
+
+namespace lad {
+
+BeaconField BeaconField::grid(const Aabb& field, int kx, int ky,
+                              double tx_range) {
+  LAD_REQUIRE_MSG(kx > 0 && ky > 0, "beacon grid must be non-empty");
+  LAD_REQUIRE_MSG(tx_range > 0, "beacon range must be positive");
+  BeaconField f;
+  f.tx_range_ = tx_range;
+  const double dx = field.width() / kx;
+  const double dy = field.height() / ky;
+  for (int row = 0; row < ky; ++row) {
+    for (int col = 0; col < kx; ++col) {
+      const Vec2 p{field.lo.x + (col + 0.5) * dx, field.lo.y + (row + 0.5) * dy};
+      f.beacons_.push_back({p, p, false});
+    }
+  }
+  return f;
+}
+
+BeaconField BeaconField::random(const Aabb& field, int count, double tx_range,
+                                Rng& rng) {
+  LAD_REQUIRE_MSG(count > 0, "need at least one beacon");
+  LAD_REQUIRE_MSG(tx_range > 0, "beacon range must be positive");
+  BeaconField f;
+  f.tx_range_ = tx_range;
+  for (int i = 0; i < count; ++i) {
+    const Vec2 p{rng.uniform(field.lo.x, field.hi.x),
+                 rng.uniform(field.lo.y, field.hi.y)};
+    f.beacons_.push_back({p, p, false});
+  }
+  return f;
+}
+
+void BeaconField::compromise(std::size_t i, Vec2 declared) {
+  LAD_REQUIRE(i < beacons_.size());
+  beacons_[i].declared_position = declared;
+  beacons_[i].compromised = true;
+}
+
+void BeaconField::reset_compromises() {
+  for (Beacon& b : beacons_) {
+    b.declared_position = b.true_position;
+    b.compromised = false;
+  }
+}
+
+std::vector<std::size_t> BeaconField::heard_at(Vec2 p) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < beacons_.size(); ++i) {
+    if (distance(beacons_[i].true_position, p) <= tx_range_) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace lad

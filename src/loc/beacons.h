@@ -1,0 +1,54 @@
+// Beacon (anchor) nodes for the beacon-based schemes.
+//
+// Beacons know their own location (GPS / manual configuration) and
+// broadcast it with a high-power transmitter of range `tx_range`.  A
+// compromised beacon keeps its true radio position but *declares* a false
+// location - exactly the attack of Section 6.3 ("an adversary can ...
+// introduce arbitrarily large location errors by compromising a single
+// anchor node and having the compromised anchor node declaring a false
+// location").
+#pragma once
+
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
+
+namespace lad {
+
+struct Beacon {
+  Vec2 true_position;      ///< where the beacon's radio actually is
+  Vec2 declared_position;  ///< what it claims in its broadcasts
+  bool compromised = false;
+};
+
+class BeaconField {
+ public:
+  BeaconField() = default;
+
+  /// kx x ky beacons on a regular grid over `field` (cell centers).
+  static BeaconField grid(const Aabb& field, int kx, int ky, double tx_range);
+
+  /// `count` beacons uniformly at random in `field`.
+  static BeaconField random(const Aabb& field, int count, double tx_range,
+                            Rng& rng);
+
+  double tx_range() const { return tx_range_; }
+  std::size_t size() const { return beacons_.size(); }
+  const Beacon& operator[](std::size_t i) const { return beacons_[i]; }
+  const std::vector<Beacon>& beacons() const { return beacons_; }
+
+  /// Marks beacon i compromised with the given declared location.
+  void compromise(std::size_t i, Vec2 declared);
+  void reset_compromises();
+
+  /// Indices of beacons whose broadcasts reach p (true radio positions).
+  std::vector<std::size_t> heard_at(Vec2 p) const;
+
+ private:
+  std::vector<Beacon> beacons_;
+  double tx_range_ = 0.0;
+};
+
+}  // namespace lad

@@ -1,0 +1,18 @@
+#include "loc/centroid.h"
+
+namespace lad {
+
+Vec2 CentroidLocalizer::estimate_at(Vec2 p) const {
+  const std::vector<std::size_t> heard = beacons_->heard_at(p);
+  if (heard.empty()) return p;  // no information: a real node keeps nothing;
+                                // returning p keeps the API total (documented)
+  Vec2 sum{0.0, 0.0};
+  for (std::size_t i : heard) sum += (*beacons_)[i].declared_position;
+  return sum / static_cast<double>(heard.size());
+}
+
+Vec2 CentroidLocalizer::localize(const Network& net, std::size_t node) {
+  return estimate_at(net.position(node));
+}
+
+}  // namespace lad

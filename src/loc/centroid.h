@@ -1,0 +1,29 @@
+// Centroid localization (Bulusu, Heidemann, Estrin - ref. [4]): a node's
+// estimate is the centroid of the *declared* positions of all beacons it
+// hears.  "It induces low overhead, but high inaccuracy as compared to
+// others" - and a single compromised beacon shifts the centroid by
+// lie_magnitude / heard_count.
+#pragma once
+
+#include "loc/beacons.h"
+#include "loc/localizer.h"
+
+namespace lad {
+
+class CentroidLocalizer final : public Localizer {
+ public:
+  /// The beacon field must outlive the localizer.
+  explicit CentroidLocalizer(const BeaconField& beacons) : beacons_(&beacons) {}
+
+  std::string name() const override { return "centroid"; }
+
+  Vec2 localize(const Network& net, std::size_t node) override;
+
+  /// Estimate for an arbitrary point (used by tests and examples).
+  Vec2 estimate_at(Vec2 p) const;
+
+ private:
+  const BeaconField* beacons_;
+};
+
+}  // namespace lad

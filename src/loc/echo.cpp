@@ -1,0 +1,71 @@
+#include "loc/echo.h"
+
+#include "util/assert.h"
+
+namespace lad {
+
+EchoProtocol::EchoProtocol(std::vector<EchoVerifier> verifiers,
+                           double processing_slack)
+    : verifiers_(std::move(verifiers)), processing_slack_(processing_slack) {
+  LAD_REQUIRE_MSG(!verifiers_.empty(), "Echo needs at least one verifier");
+  LAD_REQUIRE_MSG(processing_slack >= 0, "negative processing slack");
+  for (const EchoVerifier& v : verifiers_) {
+    LAD_REQUIRE_MSG(v.range > 0, "verifier range must be positive");
+  }
+}
+
+EchoProtocol EchoProtocol::grid(const Aabb& field, int kx, int ky,
+                                double range, double processing_slack) {
+  LAD_REQUIRE_MSG(kx > 0 && ky > 0, "verifier grid must be non-empty");
+  std::vector<EchoVerifier> vs;
+  const double dx = field.width() / kx;
+  const double dy = field.height() / ky;
+  for (int row = 0; row < ky; ++row) {
+    for (int col = 0; col < kx; ++col) {
+      vs.push_back({{field.lo.x + (col + 0.5) * dx,
+                     field.lo.y + (row + 0.5) * dy},
+                    range});
+    }
+  }
+  return EchoProtocol(std::move(vs), processing_slack);
+}
+
+int EchoProtocol::verify(Vec2 claimed, Vec2 actual,
+                         double attacker_delay) const {
+  LAD_REQUIRE_MSG(attacker_delay >= 0,
+                  "a prover cannot reply before receiving the nonce");
+  bool covered = false;
+  for (const EchoVerifier& v : verifiers_) {
+    if (distance(v.position, claimed) > v.range) continue;
+    covered = true;
+    // RF downlink is ~instant; the echo takes d(actual)/s + delay.  The
+    // deadline is the round trip a prover AT the claimed point would need.
+    const double elapsed =
+        distance(v.position, actual) / kUltrasoundSpeed + attacker_delay;
+    const double deadline =
+        distance(v.position, claimed) / kUltrasoundSpeed + processing_slack_;
+    if (elapsed <= deadline) return +1;
+  }
+  return covered ? -1 : 0;
+}
+
+double EchoProtocol::coverage(const Aabb& field, int samples_per_axis) const {
+  LAD_REQUIRE_MSG(samples_per_axis > 0, "need at least one sample");
+  int in = 0, total = 0;
+  for (int i = 0; i < samples_per_axis; ++i) {
+    for (int j = 0; j < samples_per_axis; ++j) {
+      const Vec2 p{field.lo.x + field.width() * (i + 0.5) / samples_per_axis,
+                   field.lo.y + field.height() * (j + 0.5) / samples_per_axis};
+      ++total;
+      for (const EchoVerifier& v : verifiers_) {
+        if (distance(v.position, p) <= v.range) {
+          ++in;
+          break;
+        }
+      }
+    }
+  }
+  return static_cast<double>(in) / total;
+}
+
+}  // namespace lad

@@ -1,0 +1,33 @@
+// Localization-scheme interface.
+//
+// LAD is independent of the localization scheme (Section 7.2): the detector
+// only consumes the estimated location Le.  Every scheme in this directory
+// implements this interface so the training pipeline, the evaluator, and
+// the localizer-ablation bench can swap them freely.
+//
+// Protocol: prepare(net) is called once per deployed network (schemes that
+// flood hop counts or build beacon tables do their per-network work there);
+// localize(net, node) is then called per sensor.
+#pragma once
+
+#include <string>
+
+#include "deploy/network.h"
+#include "geom/vec2.h"
+
+namespace lad {
+
+class Localizer {
+ public:
+  virtual ~Localizer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Per-network precomputation (default: none).
+  virtual void prepare(const Network& net) { (void)net; }
+
+  /// Estimated location Le of `node`.
+  virtual Vec2 localize(const Network& net, std::size_t node) = 0;
+};
+
+}  // namespace lad

@@ -1,0 +1,83 @@
+#include "loc/mmse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+/// Solves the 2x2 system [[a,b],[c,d]] x = [e,f]; returns false if singular.
+bool solve2x2(double a, double b, double c, double d, double e, double f,
+              Vec2& out) {
+  const double det = a * d - b * c;
+  const double scale = std::max({std::abs(a), std::abs(b), std::abs(c),
+                                 std::abs(d), 1e-300});
+  if (std::abs(det) < 1e-12 * scale * scale) return false;
+  out.x = (e * d - b * f) / det;
+  out.y = (a * f - e * c) / det;
+  return true;
+}
+
+}  // namespace
+
+std::optional<MmseResult> mmse_multilaterate(
+    const std::vector<Vec2>& references, const std::vector<double>& distances,
+    int gauss_newton_iters) {
+  LAD_REQUIRE_MSG(references.size() == distances.size(),
+                  "references/distances size mismatch");
+  const std::size_t n = references.size();
+  if (n < 3) return std::nullopt;
+
+  // Linearization: |p - a_i|^2 - |p - a_n|^2 = d_i^2 - d_n^2 gives
+  //   2 (a_n - a_i) . p = d_i^2 - d_n^2 - |a_i|^2 + |a_n|^2.
+  // Solve the overdetermined linear system by normal equations.
+  const Vec2 an = references[n - 1];
+  const double dn = distances[n - 1];
+  double ata00 = 0, ata01 = 0, ata11 = 0, atb0 = 0, atb1 = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double ax = 2.0 * (an.x - references[i].x);
+    const double ay = 2.0 * (an.y - references[i].y);
+    const double b = distances[i] * distances[i] - dn * dn -
+                     references[i].norm2() + an.norm2();
+    ata00 += ax * ax;
+    ata01 += ax * ay;
+    ata11 += ay * ay;
+    atb0 += ax * b;
+    atb1 += ay * b;
+  }
+  Vec2 p;
+  if (!solve2x2(ata00, ata01, ata01, ata11, atb0, atb1, p)) return std::nullopt;
+
+  // Gauss-Newton refinement of the nonlinear least squares.
+  for (int it = 0; it < gauss_newton_iters; ++it) {
+    double jtj00 = 0, jtj01 = 0, jtj11 = 0, jtr0 = 0, jtr1 = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec2 diff = p - references[i];
+      const double dist = diff.norm();
+      if (dist < 1e-9) continue;  // at a reference: gradient undefined
+      const double r = dist - distances[i];
+      const double jx = diff.x / dist;
+      const double jy = diff.y / dist;
+      jtj00 += jx * jx;
+      jtj01 += jx * jy;
+      jtj11 += jy * jy;
+      jtr0 += jx * r;
+      jtr1 += jy * r;
+    }
+    Vec2 step;
+    if (!solve2x2(jtj00, jtj01, jtj01, jtj11, jtr0, jtr1, step)) break;
+    p -= step;
+    if (step.norm() < 1e-10) break;
+  }
+
+  double ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = distance(p, references[i]) - distances[i];
+    ss += r * r;
+  }
+  return MmseResult{p, std::sqrt(ss / static_cast<double>(n))};
+}
+
+}  // namespace lad

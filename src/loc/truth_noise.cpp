@@ -1,0 +1,3 @@
+#include "loc/truth_noise.h"
+
+// Header-only implementation; this translation unit anchors the vtable.

@@ -1,0 +1,33 @@
+// Reference localizer: the true position plus isotropic Gaussian noise.
+//
+// Not a real protocol - it models "some localization scheme with error
+// std-dev sigma_err" and lets experiments separate LAD's behaviour from any
+// particular scheme's error structure (used in tests and the localizer
+// ablation as the controlled baseline).
+#pragma once
+
+#include "loc/localizer.h"
+#include "rng/rng.h"
+
+namespace lad {
+
+class TruthNoiseLocalizer final : public Localizer {
+ public:
+  TruthNoiseLocalizer(double error_sigma, std::uint64_t seed)
+      : error_sigma_(error_sigma), rng_(seed) {}
+
+  std::string name() const override { return "truth+noise"; }
+
+  Vec2 localize(const Network& net, std::size_t node) override {
+    const Vec2 p = net.position(node);
+    if (error_sigma_ <= 0) return p;
+    return {p.x + rng_.normal(0.0, error_sigma_),
+            p.y + rng_.normal(0.0, error_sigma_)};
+  }
+
+ private:
+  double error_sigma_;
+  Rng rng_;
+};
+
+}  // namespace lad

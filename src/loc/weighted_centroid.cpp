@@ -1,0 +1,20 @@
+#include "loc/weighted_centroid.h"
+
+namespace lad {
+
+Vec2 weighted_centroid_estimate(const DeploymentModel& model,
+                                const Observation& obs) {
+  double wx = 0.0, wy = 0.0, wt = 0.0;
+  for (std::size_t g = 0; g < obs.num_groups(); ++g) {
+    const double w = static_cast<double>(obs.counts[g]);
+    if (w <= 0) continue;
+    const Vec2 dp = model.deployment_point(static_cast<int>(g));
+    wx += w * dp.x;
+    wy += w * dp.y;
+    wt += w;
+  }
+  if (wt <= 0) return model.config().field().center();  // heard nobody
+  return {wx / wt, wy / wt};
+}
+
+}  // namespace lad

@@ -1,0 +1,30 @@
+// Observation-weighted centroid of the deployment points: the simplest
+// beaconless estimator (Le = sum_i o_i * G_i / sum_i o_i).  It is also the
+// seed for the beaconless MLE's search.
+#pragma once
+
+#include "deploy/deployment_model.h"
+#include "loc/localizer.h"
+
+namespace lad {
+
+/// Standalone helper usable without a Network (the MLE seeds from it).
+Vec2 weighted_centroid_estimate(const DeploymentModel& model,
+                                const Observation& obs);
+
+class WeightedCentroidLocalizer final : public Localizer {
+ public:
+  explicit WeightedCentroidLocalizer(const DeploymentModel& model)
+      : model_(&model) {}
+
+  std::string name() const override { return "weighted-centroid"; }
+
+  Vec2 localize(const Network& net, std::size_t node) override {
+    return weighted_centroid_estimate(*model_, net.observe(node));
+  }
+
+ private:
+  const DeploymentModel* model_;
+};
+
+}  // namespace lad

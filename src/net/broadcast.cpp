@@ -1,0 +1,106 @@
+#include "net/broadcast.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace lad {
+
+BroadcastSim::BroadcastSim(const Network& net) : net_(&net) {}
+
+void BroadcastSim::set_behavior(std::size_t node, NodeBehavior behavior) {
+  LAD_REQUIRE(node < net_->num_nodes());
+  for (auto& [n, b] : behaviors_) {
+    if (n == node) {
+      b = std::move(behavior);
+      return;
+    }
+  }
+  behaviors_.emplace_back(node, std::move(behavior));
+}
+
+void BroadcastSim::clear_behaviors() { behaviors_.clear(); }
+
+const NodeBehavior* BroadcastSim::behavior_of(std::size_t node) const {
+  for (const auto& [n, b] : behaviors_) {
+    if (n == node) return &b;
+  }
+  return nullptr;
+}
+
+void BroadcastSim::deliver(std::size_t sender, Observation& obs,
+                           bool via_wormhole) const {
+  if (via_wormhole && defenses_.wormhole_detection) return;
+
+  const int true_group = net_->group_of(sender);
+  const NodeBehavior* b = behavior_of(sender);
+  if (b == nullptr) {
+    ++obs.counts[static_cast<std::size_t>(true_group)];
+    return;
+  }
+  if (b->silent) return;
+
+  int claimed = b->impersonate_group.value_or(true_group);
+  if (defenses_.authentication && claimed != true_group) {
+    claimed = -1;  // forged primary claim rejected
+  }
+  if (claimed >= 0) {
+    LAD_REQUIRE_MSG(claimed < static_cast<int>(obs.num_groups()),
+                    "claimed group out of range");
+    ++obs.counts[static_cast<std::size_t>(claimed)];
+  }
+  if (!defenses_.authentication) {
+    for (const auto& [group, copies] : b->extra_claims) {
+      LAD_REQUIRE_MSG(group >= 0 && group < static_cast<int>(obs.num_groups()),
+                      "extra claim group out of range");
+      LAD_REQUIRE_MSG(copies >= 0, "negative claim count");
+      obs.counts[static_cast<std::size_t>(group)] += copies;
+    }
+  }
+}
+
+Observation BroadcastSim::observe(std::size_t victim) const {
+  LAD_REQUIRE(victim < net_->num_nodes());
+  Observation obs(static_cast<std::size_t>(net_->num_groups()));
+
+  // Direct radio deliveries.
+  for (std::size_t sender : net_->neighbors_of(victim)) {
+    deliver(sender, obs, /*via_wormhole=*/false);
+  }
+
+  // Wormhole replays: any transmitter in an endpoint's capture zone whose
+  // replica reaches the victim.  Direct neighbors are not double-counted,
+  // and a sender reachable through several tunnels/ends is delivered once
+  // (receivers de-duplicate identical replayed announcements).
+  for (std::size_t sender : wormhole_senders(victim)) {
+    deliver(sender, obs, /*via_wormhole=*/true);
+  }
+  return obs;
+}
+
+std::vector<std::size_t> BroadcastSim::wormhole_senders(
+    std::size_t victim) const {
+  std::vector<std::size_t> out;
+  if (wormholes_.empty()) return out;
+  const Vec2 vp = net_->position(victim);
+  std::vector<std::size_t> direct = net_->neighbors_of(victim);
+  std::sort(direct.begin(), direct.end());
+  for (const Wormhole& w : wormholes_) {
+    for (Vec2 end : {w.end_a, w.end_b}) {
+      for (std::size_t sender : net_->nodes_within(end, w.radius, victim)) {
+        if (!wormhole_delivers(w, net_->position(sender), vp)) continue;
+        if (std::binary_search(direct.begin(), direct.end(), sender)) continue;
+        out.push_back(sender);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t BroadcastSim::heard_count(std::size_t victim) const {
+  return net_->neighbors_of(victim).size() + wormhole_senders(victim).size();
+}
+
+}  // namespace lad

@@ -1,0 +1,56 @@
+#include "net/hopcount.h"
+
+#include <deque>
+
+#include "util/assert.h"
+
+namespace lad {
+
+std::vector<std::uint16_t> hop_counts_from(const Network& net,
+                                           std::size_t source) {
+  LAD_REQUIRE(source < net.num_nodes());
+  std::vector<std::uint16_t> hops(net.num_nodes(), kUnreachableHops);
+  std::deque<std::size_t> queue;
+  hops[source] = 0;
+  queue.push_back(source);
+  const double r = net.radio_range();
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    const std::uint16_t next = static_cast<std::uint16_t>(hops[u] + 1);
+    net.index().for_each_in_radius(net.position(u), r, [&](std::size_t v) {
+      if (hops[v] != kUnreachableHops) return;
+      hops[v] = next;
+      queue.push_back(v);
+    });
+  }
+  hops[source] = 0;  // the source visit above marks it; keep it at 0
+  return hops;
+}
+
+std::vector<std::vector<std::uint16_t>> hop_counts_from_all(
+    const Network& net, const std::vector<std::size_t>& sources) {
+  std::vector<std::vector<std::uint16_t>> out;
+  out.reserve(sources.size());
+  for (std::size_t s : sources) out.push_back(hop_counts_from(net, s));
+  return out;
+}
+
+double average_hop_distance(
+    const Network& net, const std::vector<std::size_t>& sources,
+    const std::vector<std::vector<std::uint16_t>>& hops) {
+  LAD_REQUIRE(sources.size() == hops.size());
+  double total_dist = 0.0;
+  double total_hops = 0.0;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    for (std::size_t j = i + 1; j < sources.size(); ++j) {
+      const std::uint16_t h = hops[i][sources[j]];
+      if (h == kUnreachableHops || h == 0) continue;
+      total_dist += distance(net.position(sources[i]), net.position(sources[j]));
+      total_hops += static_cast<double>(h);
+    }
+  }
+  return total_hops > 0 ? total_dist / total_hops : 0.0;
+}
+
+}  // namespace lad

@@ -1,0 +1,34 @@
+// Multi-source BFS hop counts over the radio connectivity graph.
+//
+// DV-Hop and Amorphous (refs. [32], [29]) need, for every node, the minimum
+// hop count to each anchor.  The BFS expands over the spatial index without
+// materializing the (large) adjacency list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "deploy/network.h"
+
+namespace lad {
+
+inline constexpr std::uint16_t kUnreachableHops = 0xFFFF;
+
+/// hops[node] = minimum number of radio hops from `source` to node
+/// (kUnreachableHops if disconnected).  Uses the model's uniform range R.
+std::vector<std::uint16_t> hop_counts_from(const Network& net,
+                                           std::size_t source);
+
+/// Hop counts from every source in `sources`; result[s][node].
+std::vector<std::vector<std::uint16_t>> hop_counts_from_all(
+    const Network& net, const std::vector<std::size_t>& sources);
+
+/// Average over all pairs (s1, s2) of sources of
+/// euclidean_distance(s1, s2) / hops(s1, s2); this is DV-Hop's per-hop
+/// distance estimate computed at the anchors.  Pairs that are disconnected
+/// are skipped; returns 0 if no pair is connected.
+double average_hop_distance(const Network& net,
+                            const std::vector<std::size_t>& sources,
+                            const std::vector<std::vector<std::uint16_t>>& hops);
+
+}  // namespace lad

@@ -1,0 +1,14 @@
+#include "net/wormhole.h"
+
+namespace lad {
+
+bool wormhole_delivers(const Wormhole& w, Vec2 sender, Vec2 receiver) {
+  const bool fwd = distance(sender, w.end_a) <= w.radius &&
+                   distance(receiver, w.end_b) <= w.radius;
+  if (fwd) return true;
+  if (!w.bidirectional) return false;
+  return distance(sender, w.end_b) <= w.radius &&
+         distance(receiver, w.end_a) <= w.radius;
+}
+
+}  // namespace lad

@@ -1,0 +1,28 @@
+// Wormhole links (Hu, Perrig, Johnson's attack model, ref. [15] of the
+// paper): an attacker records transmissions near endpoint A and replays
+// them near endpoint B (and vice versa for bidirectional tunnels).  In the
+// paper's taxonomy this implements the range-change attack: nodes far from
+// the victim appear as neighbors.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace lad {
+
+struct Wormhole {
+  Vec2 end_a;
+  Vec2 end_b;
+  /// Capture/replay radius around each endpoint.
+  double radius;
+  /// If true, traffic flows in both directions; otherwise only A -> B.
+  bool bidirectional = true;
+};
+
+/// True if a transmission from `sender` is replayed such that `receiver`
+/// hears it through `w`: the sender is within the capture radius of one
+/// endpoint and the receiver within the replay radius of the other.
+bool wormhole_delivers(const Wormhole& w, Vec2 sender, Vec2 receiver);
+
+}  // namespace lad

@@ -1,0 +1,61 @@
+#include "rng/philox.h"
+
+namespace lad {
+namespace {
+
+constexpr std::uint32_t kMul0 = 0xD2511F53u;
+constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void mulhilo(std::uint32_t a, std::uint32_t b, std::uint32_t& hi,
+                    std::uint32_t& lo) {
+  const std::uint64_t p = static_cast<std::uint64_t>(a) * b;
+  hi = static_cast<std::uint32_t>(p >> 32);
+  lo = static_cast<std::uint32_t>(p);
+}
+
+inline Philox4x32::Counter round_once(const Philox4x32::Counter& c,
+                                      const Philox4x32::Key& k) {
+  std::uint32_t hi0, lo0, hi1, lo1;
+  mulhilo(kMul0, c[0], hi0, lo0);
+  mulhilo(kMul1, c[2], hi1, lo1);
+  return {hi1 ^ c[1] ^ k[0], lo1, hi0 ^ c[3] ^ k[1], lo0};
+}
+
+}  // namespace
+
+Philox4x32::Counter Philox4x32::block(Counter counter, Key key) {
+  counter = round_once(counter, key);
+  for (int r = 1; r < 10; ++r) {
+    key[0] += kWeyl0;
+    key[1] += kWeyl1;
+    counter = round_once(counter, key);
+  }
+  return counter;
+}
+
+Philox4x32::Philox4x32(std::uint64_t key, std::uint64_t stream) {
+  key_ = {static_cast<std::uint32_t>(key), static_cast<std::uint32_t>(key >> 32)};
+  // The stream id occupies the top half of the counter; the bottom half is
+  // the running block index, giving 2^64 blocks per stream.
+  counter_ = {0, 0, static_cast<std::uint32_t>(stream),
+              static_cast<std::uint32_t>(stream >> 32)};
+}
+
+void Philox4x32::refill() {
+  buffer_ = block(counter_, key_);
+  have_ = 4;
+  // 64-bit increment of the low half of the counter.
+  if (++counter_[0] == 0) ++counter_[1];
+}
+
+std::uint64_t Philox4x32::next() {
+  if (have_ < 2) refill();
+  const std::uint32_t lo = buffer_[4 - have_];
+  const std::uint32_t hi = buffer_[4 - have_ + 1];
+  have_ -= 2;
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+}  // namespace lad

@@ -1,0 +1,41 @@
+// Philox4x32-10 counter-based RNG (Salmon et al., SC'11 / Random123).
+//
+// Counter-based generation is what makes the Monte-Carlo engine's results
+// independent of thread count: trial t of experiment e reads the stream
+// keyed by (e, t) regardless of which worker executes it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lad {
+
+class Philox4x32 {
+ public:
+  using Counter = std::array<std::uint32_t, 4>;
+  using Key = std::array<std::uint32_t, 2>;
+
+  /// One 10-round Philox block: 128 bits of output per counter value.
+  static Counter block(Counter counter, Key key);
+
+  /// Convenience: keyed 64-bit stream.  `key` identifies the experiment,
+  /// `stream` the trial; consecutive next() calls walk the counter.
+  Philox4x32(std::uint64_t key, std::uint64_t stream);
+
+  std::uint64_t next();
+
+  using result_type = std::uint64_t;
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+ private:
+  void refill();
+
+  Counter counter_{};
+  Key key_{};
+  Counter buffer_{};
+  int have_ = 0;  // number of unconsumed 32-bit words in buffer_
+};
+
+}  // namespace lad

@@ -1,0 +1,155 @@
+#include "rng/rng.h"
+
+#include <cmath>
+
+#include "rng/philox.h"
+#include "rng/splitmix.h"
+#include "util/assert.h"
+
+namespace lad {
+
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) {
+  // One Philox block mixes (seed, stream_id) into a fresh 64-bit seed; the
+  // full 10-round block guarantees adjacent stream ids decorrelate.
+  Philox4x32::Counter c = {static_cast<std::uint32_t>(stream_id),
+                           static_cast<std::uint32_t>(stream_id >> 32), 0x4c414421u,
+                           0x44455443u};  // "LAD!","DETC" domain separators
+  Philox4x32::Key k = {static_cast<std::uint32_t>(seed),
+                       static_cast<std::uint32_t>(seed >> 32)};
+  const auto out = Philox4x32::block(c, k);
+  const std::uint64_t mixed =
+      (static_cast<std::uint64_t>(out[0]) << 32) | out[1];
+  return Rng(mixed ^ (static_cast<std::uint64_t>(out[2]) << 32 | out[3]));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(bits() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  LAD_ASSERT(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  LAD_REQUIRE_MSG(n > 0, "uniform_int(0) is undefined");
+  // Rejection from the top to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % n);
+  std::uint64_t v;
+  do {
+    v = bits();
+  } while (v >= limit);
+  return v % n;
+}
+
+long long Rng::uniform_int(long long lo, long long hi) {
+  LAD_REQUIRE_MSG(lo <= hi, "uniform_int range is empty");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<long long>(uniform_int(span));
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform01() - 1.0;
+    v = 2.0 * uniform01() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double f = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * f;
+  has_spare_ = true;
+  return u * f;
+}
+
+double Rng::exponential(double lambda) {
+  LAD_REQUIRE_MSG(lambda > 0, "exponential rate must be positive");
+  // 1 - uniform01() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform01()) / lambda;
+}
+
+int Rng::binomial(int n, double p) {
+  LAD_REQUIRE_MSG(n >= 0, "binomial n must be non-negative");
+  LAD_REQUIRE_MSG(p >= 0.0 && p <= 1.0, "binomial p must be in [0,1]");
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  // Exploit symmetry so the inversion loop runs over the smaller tail.
+  if (p > 0.5) return n - binomial(n, 1.0 - p);
+
+  const double mean = n * p;
+  if (mean > 1e4) {
+    // Normal approximation with continuity correction; clamped to [0, n].
+    const double sd = std::sqrt(mean * (1.0 - p));
+    double v = std::floor(normal(mean, sd) + 0.5);
+    if (v < 0) v = 0;
+    if (v > n) v = n;
+    return static_cast<int>(v);
+  }
+
+  // Inversion by sequential search over the pmf (exact).
+  const double q = 1.0 - p;
+  const double s = p / q;
+  double pmf = std::pow(q, n);
+  double cdf = pmf;
+  double u = uniform01();
+  int k = 0;
+  while (u > cdf && k < n) {
+    ++k;
+    pmf *= s * (n - k + 1) / k;
+    cdf += pmf;
+    if (pmf <= 0.0) break;  // underflow guard in the far tail
+  }
+  return k;
+}
+
+int Rng::poisson(double lambda) {
+  LAD_REQUIRE_MSG(lambda >= 0, "poisson rate must be non-negative");
+  if (lambda == 0.0) return 0;
+  if (lambda > 30.0) {
+    const double v = std::floor(normal(lambda, std::sqrt(lambda)) + 0.5);
+    return v < 0 ? 0 : static_cast<int>(v);
+  }
+  const double limit = std::exp(-lambda);
+  int k = 0;
+  double prod = uniform01();
+  while (prod > limit) {
+    ++k;
+    prod *= uniform01();
+  }
+  return k;
+}
+
+std::size_t Rng::discrete(const std::vector<double>& weights) {
+  LAD_REQUIRE_MSG(!weights.empty(), "discrete() needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    LAD_REQUIRE_MSG(w >= 0.0, "discrete() weights must be non-negative");
+    total += w;
+  }
+  LAD_REQUIRE_MSG(total > 0.0, "discrete() needs a positive total weight");
+  double u = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: return the last index
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  LAD_REQUIRE_MSG(k <= n, "cannot sample " << k << " items from " << n);
+  // Partial Fisher-Yates over an index vector.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(uniform_int(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace lad

@@ -1,0 +1,40 @@
+// SplitMix64 (Steele, Lea, Flood 2014).  Used to expand a single 64-bit seed
+// into the larger states of xoshiro256** / Philox, and as a cheap one-shot
+// hash for combining (seed, stream-id) pairs.
+#pragma once
+
+#include <cstdint>
+
+namespace lad {
+
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of two 64-bit values into one; used to derive independent
+/// sub-stream seeds, e.g. mix64(experiment_seed, trial_index).
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  SplitMix64 sm(a ^ (0x9E3779B97F4A7C15ULL + (b << 6) + (b >> 2)));
+  sm.next();
+  return sm.next() ^ b;
+}
+
+}  // namespace lad

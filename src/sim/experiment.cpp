@@ -1,0 +1,103 @@
+#include "sim/experiment.h"
+
+#include "core/trainer.h"
+#include "loc/beaconless_mle.h"
+#include "stats/quantile.h"
+#include "util/assert.h"
+
+namespace lad {
+
+std::vector<RocExperimentResult> run_roc_experiment(
+    Pipeline& pipeline, const LocalizerFactory& factory,
+    const std::vector<MetricKind>& metrics,
+    const std::vector<AttackClass>& classes,
+    const std::vector<double>& damages, double compromised_frac) {
+  LAD_REQUIRE_MSG(!metrics.empty() && !classes.empty() && !damages.empty(),
+                  "empty experiment grid");
+  auto benign = pipeline.benign_scores(factory, metrics);
+
+  std::vector<RocExperimentResult> out;
+  for (MetricKind metric : metrics) {
+    for (AttackClass cls : classes) {
+      for (double d : damages) {
+        AttackSpec spec;
+        spec.metric = metric;
+        spec.attack_class = cls;
+        spec.damage = d;
+        spec.compromised_frac = compromised_frac;
+        const std::vector<double> attack = pipeline.attack_scores(spec);
+        out.push_back({metric, cls, d, compromised_frac,
+                       RocCurve(benign.at(metric), attack)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<DrPoint> run_dr_sweep(Pipeline& pipeline,
+                                  const LocalizerFactory& factory,
+                                  MetricKind metric, AttackClass attack_class,
+                                  const std::vector<double>& damages,
+                                  const std::vector<double>& compromised_fracs,
+                                  double fp_budget) {
+  LAD_REQUIRE_MSG(fp_budget > 0 && fp_budget < 1, "FP budget must be in (0,1)");
+  auto benign = pipeline.benign_scores(factory, {metric});
+  const std::vector<double>& scores = benign.at(metric);
+  const TrainingResult trained =
+      train_threshold(metric, scores, 1.0 - fp_budget);
+  const double realized_fp = fraction_above(scores, trained.threshold);
+
+  std::vector<DrPoint> out;
+  for (double x : compromised_fracs) {
+    for (double d : damages) {
+      AttackSpec spec;
+      spec.metric = metric;
+      spec.attack_class = attack_class;
+      spec.damage = d;
+      spec.compromised_frac = x;
+      const std::vector<double> attack = pipeline.attack_scores(spec);
+      out.push_back({d, x, fraction_above(attack, trained.threshold),
+                     realized_fp, trained.threshold});
+    }
+  }
+  return out;
+}
+
+std::vector<DensityPoint> run_density_sweep(
+    const PipelineConfig& base_config, const std::vector<int>& densities,
+    MetricKind metric, AttackClass attack_class,
+    const std::vector<double>& damages,
+    const std::vector<double>& compromised_fracs, double fp_budget) {
+  std::vector<DensityPoint> out;
+  for (int m : densities) {
+    PipelineConfig cfg = base_config;
+    cfg.deploy.nodes_per_group = m;
+    // Decorrelate deployments across densities.
+    cfg.seed = base_config.seed + static_cast<std::uint64_t>(m) * 0x9E37ull;
+    Pipeline pipeline(cfg);
+    const LocalizerFactory factory =
+        beaconless_mle_factory(pipeline.model(), pipeline.gz());
+
+    auto benign = pipeline.benign_scores(factory, {metric});
+    const std::vector<double>& scores = benign.at(metric);
+    const TrainingResult trained =
+        train_threshold(metric, scores, 1.0 - fp_budget);
+    const double loc_error = pipeline.mean_localization_error(factory);
+
+    for (double x : compromised_fracs) {
+      for (double d : damages) {
+        AttackSpec spec;
+        spec.metric = metric;
+        spec.attack_class = attack_class;
+        spec.damage = d;
+        spec.compromised_frac = x;
+        const std::vector<double> attack = pipeline.attack_scores(spec);
+        out.push_back({m, d, x, fraction_above(attack, trained.threshold),
+                       loc_error, trained.threshold});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lad

@@ -1,0 +1,50 @@
+#include "sim/parallel.h"
+
+#include <thread>
+
+#ifdef LAD_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+#include "util/thread_pool.h"
+
+namespace lad {
+
+int default_parallelism() {
+#ifdef LAD_HAVE_OPENMP
+  return omp_get_max_threads();
+#else
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+#endif
+}
+
+void parallel_for_items(std::size_t n,
+                        const std::function<void(std::size_t)>& fn,
+                        int max_threads) {
+  if (n == 0) return;
+  const int threads = max_threads > 0 ? max_threads : default_parallelism();
+  if (threads == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+#ifdef LAD_HAVE_OPENMP
+  // Exceptions must not escape an OpenMP region; capture and rethrow.
+  std::exception_ptr first_error = nullptr;
+#pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    try {
+      fn(static_cast<std::size_t>(i));
+    } catch (...) {
+#pragma omp critical(lad_parallel_error)
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+#else
+  ThreadPool pool(static_cast<std::size_t>(threads));
+  pool.parallel_for(0, n, fn);
+#endif
+}
+
+}  // namespace lad

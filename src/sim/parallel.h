@@ -1,0 +1,24 @@
+// Parallel-for over independent simulation work items.
+//
+// Uses OpenMP when compiled in (dynamic schedule: network generation and
+// MLE search have variable cost per item), otherwise the internal thread
+// pool.  Work items must be independent (CP.2): callers write results into
+// pre-sized slots indexed by the item id, so no synchronization is needed,
+// and determinism comes from per-item RNG streams, never from scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace lad {
+
+/// Runs fn(i) for i in [0, n) in parallel; blocks until done.
+/// Set max_threads = 1 to force serial execution (tests use this to verify
+/// scheduling-independence of results).
+void parallel_for_items(std::size_t n, const std::function<void(std::size_t)>& fn,
+                        int max_threads = 0);
+
+/// Number of workers parallel_for_items would use by default.
+int default_parallelism();
+
+}  // namespace lad

@@ -1,0 +1,230 @@
+#include "sim/pipeline.h"
+
+#include <cmath>
+
+#include "attack/displacement.h"
+#include "attack/greedy.h"
+#include "loc/beaconless_mle.h"
+#include "rng/rng.h"
+#include "sim/parallel.h"
+#include "util/assert.h"
+
+namespace lad {
+
+namespace {
+// Domain separators for sub-stream derivation: every pass uses a distinct
+// constant so re-running one pass never perturbs another.
+constexpr std::uint64_t kStreamNetworks = 0x4e455457ull;  // "NETW"
+constexpr std::uint64_t kStreamBenign = 0x42454e49ull;    // "BENI"
+constexpr std::uint64_t kStreamAttack = 0x41545441ull;    // "ATTA"
+
+/// Draws a victim node, optionally restricted to the deployment field.
+std::size_t draw_victim(const Network& net, const PipelineConfig& cfg,
+                        Rng& rng) {
+  const Aabb field = cfg.deploy.field();
+  for (int tries = 0; tries < 256; ++tries) {
+    const std::size_t node =
+        static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
+    if (!cfg.victims_in_field_only || field.contains(net.position(node))) {
+      return node;
+    }
+  }
+  // Essentially unreachable (>90% of nodes are in-field); fall back to any.
+  return static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
+}
+}  // namespace
+
+LocalizerFactory beaconless_mle_factory(const DeploymentModel& model,
+                                        const GzTable& gz) {
+  return [&model, &gz](std::uint64_t) {
+    return std::make_unique<BeaconlessMleLocalizer>(model, gz);
+  };
+}
+
+namespace {
+
+/// Builds the deployment reality from the knowledge model and the
+/// configured mismatch (Section 8 future work).
+DeploymentModel make_actual_model(const DeploymentModel& knowledge,
+                                  const PipelineConfig& cfg) {
+  DeploymentConfig actual_cfg = cfg.deploy;
+  if (cfg.actual_sigma > 0.0) actual_cfg.sigma = cfg.actual_sigma;
+  std::vector<Vec2> points = knowledge.deployment_points();
+  if (cfg.deployment_jitter > 0.0) {
+    Rng rng = Rng::stream(cfg.seed ^ 0x4a495454ull /*"JITT"*/, 0);
+    for (Vec2& p : points) {
+      p.x += rng.normal(0.0, cfg.deployment_jitter);
+      p.y += rng.normal(0.0, cfg.deployment_jitter);
+    }
+  }
+  return DeploymentModel(actual_cfg, std::move(points));
+}
+
+}  // namespace
+
+Pipeline::Pipeline(const PipelineConfig& config)
+    : config_(config),
+      model_(DeploymentModel::make(config.shape, config.deploy,
+                                   config.seed ^ 0x53485045ull /*"SHPE"*/)),
+      actual_model_(make_actual_model(model_, config)),
+      gz_({config.deploy.radio_range, config.deploy.sigma}, config.gz_omega) {
+  LAD_REQUIRE_MSG(config.networks > 0, "need at least one network");
+  LAD_REQUIRE_MSG(config.victims_per_network > 0,
+                  "need at least one victim per network");
+  networks_.resize(static_cast<std::size_t>(config.networks));
+  parallel_for_items(
+      networks_.size(),
+      [this](std::size_t i) {
+        Rng rng = Rng::stream(config_.seed ^ kStreamNetworks, i);
+        networks_[i] = std::make_unique<Network>(actual_model_, rng);
+      },
+      config_.threads);
+}
+
+std::map<MetricKind, std::vector<double>> Pipeline::benign_scores(
+    const LocalizerFactory& factory, const std::vector<MetricKind>& metrics) {
+  const std::size_t nnet = networks_.size();
+  const std::size_t k = static_cast<std::size_t>(config_.victims_per_network);
+  const int m = config_.deploy.nodes_per_group;
+
+  std::vector<std::unique_ptr<Metric>> metric_impls;
+  for (MetricKind kind : metrics) metric_impls.push_back(make_metric(kind));
+
+  // scores[metric][network * k + victim]
+  std::vector<std::vector<double>> scores(
+      metrics.size(), std::vector<double>(nnet * k, 0.0));
+
+  parallel_for_items(
+      nnet,
+      [&](std::size_t ni) {
+        const Network& net = *networks_[ni];
+        Rng rng = Rng::stream(config_.seed ^ kStreamBenign, ni);
+        std::unique_ptr<Localizer> localizer = factory(rng.bits());
+        localizer->prepare(net);
+        for (std::size_t v = 0; v < k; ++v) {
+          const std::size_t node = draw_victim(net, config_, rng);
+          const Observation obs = net.observe(node);
+          const Vec2 le = localizer->localize(net, node);
+          const ExpectedObservation mu = model_.expected_observation(le, gz_);
+          for (std::size_t mi = 0; mi < metric_impls.size(); ++mi) {
+            scores[mi][ni * k + v] = metric_impls[mi]->score(obs, mu, m);
+          }
+        }
+      },
+      config_.threads);
+
+  std::map<MetricKind, std::vector<double>> out;
+  for (std::size_t mi = 0; mi < metrics.size(); ++mi) {
+    out[metrics[mi]] = std::move(scores[mi]);
+  }
+  return out;
+}
+
+std::vector<double> Pipeline::attack_scores(const AttackSpec& spec) {
+  LAD_REQUIRE_MSG(spec.damage >= 0, "damage must be non-negative");
+  LAD_REQUIRE_MSG(spec.compromised_frac >= 0 && spec.compromised_frac <= 1,
+                  "compromised fraction must be in [0,1]");
+  const std::size_t nnet = networks_.size();
+  const std::size_t k = static_cast<std::size_t>(config_.victims_per_network);
+  const int m = config_.deploy.nodes_per_group;
+  const Aabb field = config_.deploy.field();
+  const std::unique_ptr<Metric> metric = make_metric(spec.metric);
+
+  std::vector<double> scores(nnet * k, 0.0);
+  // The attack sub-stream is independent of the benign pass but *also*
+  // independent of the spec, so different (D, x) settings see the same
+  // victims - variance reduction that matches the paper's sweeps.
+  parallel_for_items(
+      nnet,
+      [&](std::size_t ni) {
+        const Network& net = *networks_[ni];
+        Rng rng = Rng::stream(config_.seed ^ kStreamAttack, ni);
+        for (std::size_t v = 0; v < k; ++v) {
+          // Step 1 (7.1): random victim, untainted observation a at La.
+          const std::size_t node = draw_victim(net, config_, rng);
+          const Observation a = net.observe(node);
+          const Vec2 la = net.position(node);
+          // Step 2: plant Le with |Le - La| = D; expected observation mu.
+          const Vec2 le = displaced_location(la, spec.damage, field, rng);
+          const ExpectedObservation mu = model_.expected_observation(le, gz_);
+          // Step 3: tainted observation minimizing the metric.
+          const int budget = static_cast<int>(
+              std::lround(spec.compromised_frac * a.total()));
+          const TaintResult taint =
+              greedy_taint(a, mu, m, spec.metric, spec.attack_class, budget);
+          scores[ni * k + v] = metric->score(taint.tainted, mu, m);
+        }
+      },
+      config_.threads);
+  return scores;
+}
+
+std::map<MetricKind, std::vector<double>> Pipeline::attack_scores_cross(
+    const AttackSpec& spec, const std::vector<MetricKind>& scorers) {
+  LAD_REQUIRE_MSG(!scorers.empty(), "need at least one scoring metric");
+  const std::size_t nnet = networks_.size();
+  const std::size_t k = static_cast<std::size_t>(config_.victims_per_network);
+  const int m = config_.deploy.nodes_per_group;
+  const Aabb field = config_.deploy.field();
+
+  std::vector<std::unique_ptr<Metric>> scorer_impls;
+  for (MetricKind kind : scorers) scorer_impls.push_back(make_metric(kind));
+  std::vector<std::vector<double>> scores(
+      scorers.size(), std::vector<double>(nnet * k, 0.0));
+
+  parallel_for_items(
+      nnet,
+      [&](std::size_t ni) {
+        const Network& net = *networks_[ni];
+        Rng rng = Rng::stream(config_.seed ^ kStreamAttack, ni);
+        for (std::size_t v = 0; v < k; ++v) {
+          const std::size_t node = draw_victim(net, config_, rng);
+          const Observation a = net.observe(node);
+          const Vec2 la = net.position(node);
+          const Vec2 le = displaced_location(la, spec.damage, field, rng);
+          const ExpectedObservation mu = model_.expected_observation(le, gz_);
+          const int budget = static_cast<int>(
+              std::lround(spec.compromised_frac * a.total()));
+          const TaintResult taint =
+              greedy_taint(a, mu, m, spec.metric, spec.attack_class, budget);
+          for (std::size_t si = 0; si < scorer_impls.size(); ++si) {
+            scores[si][ni * k + v] =
+                scorer_impls[si]->score(taint.tainted, mu, m);
+          }
+        }
+      },
+      config_.threads);
+
+  std::map<MetricKind, std::vector<double>> out;
+  for (std::size_t si = 0; si < scorers.size(); ++si) {
+    out[scorers[si]] = std::move(scores[si]);
+  }
+  return out;
+}
+
+double Pipeline::mean_localization_error(const LocalizerFactory& factory) {
+  const std::size_t nnet = networks_.size();
+  const std::size_t k = static_cast<std::size_t>(config_.victims_per_network);
+  std::vector<double> errors(nnet, 0.0);
+  parallel_for_items(
+      nnet,
+      [&](std::size_t ni) {
+        const Network& net = *networks_[ni];
+        Rng rng = Rng::stream(config_.seed ^ kStreamBenign, ni);
+        std::unique_ptr<Localizer> localizer = factory(rng.bits());
+        localizer->prepare(net);
+        double total = 0.0;
+        for (std::size_t v = 0; v < k; ++v) {
+          const std::size_t node = draw_victim(net, config_, rng);
+          const Vec2 le = localizer->localize(net, node);
+          total += distance(le, net.position(node));
+        }
+        errors[ni] = total / static_cast<double>(k);
+      },
+      config_.threads);
+  double sum = 0.0;
+  for (double e : errors) sum += e;
+  return sum / static_cast<double>(nnet);
+}
+
+}  // namespace lad

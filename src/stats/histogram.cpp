@@ -1,0 +1,63 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace lad {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  LAD_REQUIRE_MSG(hi > lo, "histogram range is empty");
+  LAD_REQUIRE_MSG(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  std::size_t bin;
+  if (x < lo_) {
+    bin = 0;
+  } else if (x >= hi_) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>((x - lo_) / width_);
+    bin = std::min(bin, counts_.size() - 1);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  LAD_REQUIRE(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const { return lo_ + width_ * static_cast<double>(bin); }
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+double Histogram::bin_center(std::size_t bin) const {
+  return bin_lo(bin) + width_ / 2.0;
+}
+
+double Histogram::cdf(double x) const {
+  if (total_ == 0) return 0.0;
+  if (x < lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  const double pos = (x - lo_) / width_;
+  const std::size_t bin = std::min(static_cast<std::size_t>(pos), counts_.size() - 1);
+  std::uint64_t below = 0;
+  for (std::size_t b = 0; b < bin; ++b) below += counts_[b];
+  const double frac = pos - static_cast<double>(bin);
+  return (static_cast<double>(below) +
+          frac * static_cast<double>(counts_[bin])) /
+         static_cast<double>(total_);
+}
+
+void Histogram::merge(const Histogram& o) {
+  LAD_REQUIRE_MSG(o.lo_ == lo_ && o.hi_ == hi_ && o.counts_.size() == counts_.size(),
+                  "merging histograms with different layouts");
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += o.counts_[b];
+  total_ += o.total_;
+}
+
+}  // namespace lad

@@ -1,0 +1,36 @@
+// Fixed-width histogram over [lo, hi); out-of-range samples land in
+// saturated edge bins so nothing is silently dropped.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lad {
+
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const;
+  std::uint64_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  double bin_center(std::size_t bin) const;
+
+  /// Fraction of mass at or below x (empirical CDF evaluated on bin edges;
+  /// linear within the containing bin).
+  double cdf(double x) const;
+
+  /// Merges histograms with identical layout.
+  void merge(const Histogram& o);
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace lad

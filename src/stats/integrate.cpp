@@ -1,0 +1,146 @@
+#include "stats/integrate.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+double simpson(const std::function<double(double)>& f, double a, double fa,
+               double b, double fb, double m, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const std::function<double(double)>& f, double a, double fa,
+                double b, double fb, double m, double fm, double whole,
+                double tol, int depth) {
+  const double lm = (a + m) / 2.0;
+  const double rm = (m + b) / 2.0;
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(f, a, fa, m, fm, lm, flm);
+  const double right = simpson(f, m, fm, b, fb, rm, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;  // Richardson extrapolation
+  }
+  return adaptive(f, a, fa, m, fm, lm, flm, left, tol / 2.0, depth - 1) +
+         adaptive(f, m, fm, b, fb, rm, frm, right, tol / 2.0, depth - 1);
+}
+
+// Nodes/weights for the positive half-interval; symmetric about 0.
+struct GlRule {
+  const double* nodes;
+  const double* weights;
+  int half;  // number of positive nodes (order/2)
+};
+
+constexpr double kGl4Nodes[] = {0.3399810435848563, 0.8611363115940526};
+constexpr double kGl4Weights[] = {0.6521451548625461, 0.3478548451374538};
+
+constexpr double kGl8Nodes[] = {0.1834346424956498, 0.5255324099163290,
+                                0.7966664774136267, 0.9602898564975363};
+constexpr double kGl8Weights[] = {0.3626837833783620, 0.3137066458778873,
+                                  0.2223810344533745, 0.1012285362903763};
+
+constexpr double kGl16Nodes[] = {
+    0.0950125098376374, 0.2816035507792589, 0.4580167776572274,
+    0.6178762444026438, 0.7554044083550030, 0.8656312023878318,
+    0.9445750230732326, 0.9894009349916499};
+constexpr double kGl16Weights[] = {
+    0.1894506104550685, 0.1826034150449236, 0.1691565193950025,
+    0.1495959888165767, 0.1246289712555339, 0.0951585116824928,
+    0.0622535239386479, 0.0271524594117541};
+
+constexpr double kGl32Nodes[] = {
+    0.0483076656877383, 0.1444719615827965, 0.2392873622521371,
+    0.3318686022821277, 0.4213512761306353, 0.5068999089322294,
+    0.5877157572407623, 0.6630442669302152, 0.7321821187402897,
+    0.7944837959679424, 0.8493676137325700, 0.8963211557660521,
+    0.9349060759377397, 0.9647622555875064, 0.9856115115452684,
+    0.9972638618494816};
+constexpr double kGl32Weights[] = {
+    0.0965400885147278, 0.0956387200792749, 0.0938443990808046,
+    0.0911738786957639, 0.0876520930044038, 0.0833119242269467,
+    0.0781938957870703, 0.0723457941088485, 0.0658222227763618,
+    0.0586840934785355, 0.0509980592623762, 0.0428358980222267,
+    0.0342738629130214, 0.0253920653092621, 0.0162743947309057,
+    0.0070186100094701};
+
+constexpr double kGl64Nodes[] = {
+    0.0243502926634244, 0.0729931217877990, 0.1214628192961206,
+    0.1696444204239928, 0.2174236437400071, 0.2646871622087674,
+    0.3113228719902110, 0.3572201583376681, 0.4022701579639916,
+    0.4463660172534641, 0.4894031457070530, 0.5312794640198946,
+    0.5718956462026340, 0.6111553551723933, 0.6489654712546573,
+    0.6852363130542333, 0.7198818501716109, 0.7528199072605319,
+    0.7839723589433414, 0.8132653151227975, 0.8406292962525803,
+    0.8659993981540928, 0.8893154459951141, 0.9105221370785028,
+    0.9295691721319396, 0.9464113748584028, 0.9610087996520538,
+    0.9733268277899110, 0.9833362538846260, 0.9910133714767443,
+    0.9963401167719553, 0.9993050417357722};
+constexpr double kGl64Weights[] = {
+    0.0486909570091397, 0.0485754674415034, 0.0483447622348030,
+    0.0479993885964583, 0.0475401657148303, 0.0469681828162100,
+    0.0462847965813144, 0.0454916279274181, 0.0445905581637566,
+    0.0435837245293235, 0.0424735151236536, 0.0412625632426235,
+    0.0399537411327203, 0.0385501531786156, 0.0370551285402400,
+    0.0354722132568824, 0.0338051618371416, 0.0320579283548516,
+    0.0302346570724025, 0.0283396726142595, 0.0263774697150547,
+    0.0243527025687109, 0.0222701738083833, 0.0201348231535302,
+    0.0179517157756973, 0.0157260304760247, 0.0134630478967186,
+    0.0111681394601311, 0.0088467598263639, 0.0065044579689784,
+    0.0041470332605625, 0.0017832807216964};
+
+GlRule gl_rule(int order) {
+  switch (order) {
+    case 4: return {kGl4Nodes, kGl4Weights, 2};
+    case 8: return {kGl8Nodes, kGl8Weights, 4};
+    case 16: return {kGl16Nodes, kGl16Weights, 8};
+    case 32: return {kGl32Nodes, kGl32Weights, 16};
+    case 64: return {kGl64Nodes, kGl64Weights, 32};
+    default:
+      LAD_REQUIRE_MSG(false, "unsupported Gauss-Legendre order " << order);
+      return {nullptr, nullptr, 0};
+  }
+}
+
+}  // namespace
+
+double integrate_adaptive_simpson(const std::function<double(double)>& f,
+                                  double a, double b, double tol,
+                                  int max_depth) {
+  LAD_REQUIRE_MSG(tol > 0, "tolerance must be positive");
+  if (a == b) return 0.0;
+  const double sign = a < b ? 1.0 : -1.0;
+  if (a > b) std::swap(a, b);
+  const double m = (a + b) / 2.0;
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(m);
+  const double whole = simpson(f, a, fa, b, fb, m, fm);
+  return sign * adaptive(f, a, fa, b, fb, m, fm, whole, tol, max_depth);
+}
+
+double integrate_gauss_legendre(const std::function<double(double)>& f,
+                                double a, double b, int order, int panels) {
+  LAD_REQUIRE_MSG(panels > 0, "need at least one panel");
+  const GlRule rule = gl_rule(order);
+  const double h = (b - a) / panels;
+  double total = 0.0;
+  for (int p = 0; p < panels; ++p) {
+    const double lo = a + p * h;
+    const double c = lo + h / 2.0;
+    const double s = h / 2.0;
+    double panel = 0.0;
+    for (int i = 0; i < rule.half; ++i) {
+      panel += rule.weights[i] * (f(c - s * rule.nodes[i]) + f(c + s * rule.nodes[i]));
+    }
+    total += panel * s;
+  }
+  return total;
+}
+
+}  // namespace lad

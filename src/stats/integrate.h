@@ -1,0 +1,23 @@
+// 1-D quadrature: adaptive Simpson (with error control) and fixed-order
+// Gauss-Legendre panels.  Theorem 1's g(z) integral is the main client; the
+// integrand has a removable cosine-edge singularity at the interval ends, so
+// the adaptive rule splits there automatically.
+#pragma once
+
+#include <functional>
+
+namespace lad {
+
+/// Adaptive Simpson on [a, b] with absolute tolerance `tol` and a recursion
+/// depth cap (the error estimate uses the standard Richardson correction).
+double integrate_adaptive_simpson(const std::function<double(double)>& f,
+                                  double a, double b, double tol = 1e-10,
+                                  int max_depth = 32);
+
+/// Composite Gauss-Legendre with `order`-point panels (order in {4, 8, 16,
+/// 32, 64}) over `panels` equal subdivisions of [a, b].
+double integrate_gauss_legendre(const std::function<double(double)>& f,
+                                double a, double b, int order = 16,
+                                int panels = 8);
+
+}  // namespace lad

@@ -1,0 +1,58 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace lad {
+
+double quantile_inplace(std::vector<double>& samples, double q) {
+  LAD_REQUIRE_MSG(!samples.empty(), "quantile of an empty sample set");
+  LAD_REQUIRE_MSG(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  const std::size_t n = samples.size();
+  if (n == 1) return samples[0];
+  const double h = q * static_cast<double>(n - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+  const double frac = h - static_cast<double>(lo);
+  std::nth_element(samples.begin(), samples.begin() + lo, samples.end());
+  const double vlo = samples[lo];
+  if (frac == 0.0) return vlo;
+  // The (lo+1)-th order statistic is the min of the tail after nth_element.
+  const double vhi = *std::min_element(samples.begin() + lo + 1, samples.end());
+  return vlo + frac * (vhi - vlo);
+}
+
+double quantile(std::vector<double> samples, double q) {
+  return quantile_inplace(samples, q);
+}
+
+std::vector<double> quantiles(std::vector<double> samples,
+                              const std::vector<double>& qs) {
+  LAD_REQUIRE_MSG(!samples.empty(), "quantiles of an empty sample set");
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  const std::size_t n = samples.size();
+  for (double q : qs) {
+    LAD_REQUIRE_MSG(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+    const double h = q * static_cast<double>(n - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+    const double frac = h - static_cast<double>(lo);
+    double v = samples[lo];
+    if (frac > 0.0 && lo + 1 < n) v += frac * (samples[lo + 1] - samples[lo]);
+    out.push_back(v);
+  }
+  return out;
+}
+
+double fraction_above(const std::vector<double>& samples, double x) {
+  if (samples.empty()) return 0.0;
+  std::size_t above = 0;
+  for (double s : samples) {
+    if (s > x) ++above;
+  }
+  return static_cast<double>(above) / static_cast<double>(samples.size());
+}
+
+}  // namespace lad

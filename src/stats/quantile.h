@@ -1,0 +1,25 @@
+// Exact sample quantiles.  Threshold training in the paper takes the
+// tau-percentile of the metric's sample distribution (Section 5.5); this is
+// that operation.
+#pragma once
+
+#include <vector>
+
+namespace lad {
+
+/// Returns the q-quantile (q in [0,1]) of the samples using linear
+/// interpolation between order statistics (type-7 / default in R and NumPy).
+/// The input is copied; use quantile_inplace to avoid the copy.
+double quantile(std::vector<double> samples, double q);
+
+/// As quantile(), but reorders `samples` in place (nth_element based).
+double quantile_inplace(std::vector<double>& samples, double q);
+
+/// Multiple quantiles of the same sample set; sorts once, O(n log n).
+std::vector<double> quantiles(std::vector<double> samples,
+                              const std::vector<double>& qs);
+
+/// Fraction of samples strictly greater than x.
+double fraction_above(const std::vector<double>& samples, double x);
+
+}  // namespace lad

@@ -1,0 +1,42 @@
+#include "stats/running_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lad {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += o.m2_ + delta * delta * na * nb / n;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace lad

@@ -1,0 +1,51 @@
+// Streaming moments (Welford) plus a mergeable variant for parallel
+// reductions: each Monte-Carlo worker accumulates locally, then merges.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lad {
+
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (Chan et al. parallel update).
+  void merge(const RunningStats& o);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Kahan-compensated summation; used where millions of small probabilities
+/// are accumulated.
+class KahanSum {
+ public:
+  void add(double x) {
+    const double y = x - c_;
+    const double t = sum_ + y;
+    c_ = (t - sum_) - y;
+    sum_ = t;
+  }
+  double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double c_ = 0.0;
+};
+
+}  // namespace lad

@@ -1,0 +1,66 @@
+#include "stats/special.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace lad {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+double log_factorial(int n) {
+  LAD_REQUIRE_MSG(n >= 0, "factorial of a negative number");
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_binomial_coefficient(int n, int k) {
+  LAD_REQUIRE_MSG(k >= 0 && k <= n, "C(n,k) requires 0 <= k <= n");
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double log_binomial_pmf(int k, int n, double p) {
+  LAD_REQUIRE_MSG(n >= 0, "binomial n must be non-negative");
+  LAD_REQUIRE_MSG(p >= 0.0 && p <= 1.0, "binomial p must be in [0,1]");
+  if (k < 0 || k > n) return kNegInf;
+  if (p == 0.0) return k == 0 ? 0.0 : kNegInf;
+  if (p == 1.0) return k == n ? 0.0 : kNegInf;
+  return log_binomial_coefficient(n, k) + k * std::log(p) +
+         (n - k) * std::log1p(-p);
+}
+
+double binomial_pmf(int k, int n, double p) {
+  const double lp = log_binomial_pmf(k, n, p);
+  return lp == kNegInf ? 0.0 : std::exp(lp);
+}
+
+double binomial_cdf(int k, int n, double p) {
+  if (k < 0) return 0.0;
+  if (k >= n) return 1.0;
+  double cdf = 0.0;
+  for (int i = 0; i <= k; ++i) cdf += binomial_pmf(i, n, p);
+  return std::min(cdf, 1.0);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normal_pdf(double x) {
+  static const double kInvSqrt2Pi = 1.0 / std::sqrt(2.0 * M_PI);
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double gaussian2d_pdf_radial(double r, double sigma) {
+  LAD_REQUIRE_MSG(sigma > 0, "sigma must be positive");
+  return std::exp(-r * r / (2.0 * sigma * sigma)) /
+         (2.0 * M_PI * sigma * sigma);
+}
+
+double rayleigh_cdf(double r, double sigma) {
+  LAD_REQUIRE_MSG(sigma > 0, "sigma must be positive");
+  if (r <= 0) return 0.0;
+  return -std::expm1(-r * r / (2.0 * sigma * sigma));
+}
+
+}  // namespace lad

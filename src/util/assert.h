@@ -1,0 +1,52 @@
+// Assertion macros used across the library.
+//
+// LAD_REQUIRE  - precondition / invariant check that stays on in release
+//                builds; throws lad::AssertionError so tests can observe it.
+// LAD_ASSERT   - internal sanity check compiled out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lad {
+
+/// Thrown when a LAD_REQUIRE contract is violated.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assertion_failure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "assertion failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw AssertionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace lad
+
+#define LAD_REQUIRE(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::lad::detail::assertion_failure(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define LAD_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream lad_require_os_;                                  \
+      lad_require_os_ << msg;                                              \
+      ::lad::detail::assertion_failure(#expr, __FILE__, __LINE__,          \
+                                       lad_require_os_.str());             \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define LAD_ASSERT(expr) ((void)0)
+#else
+#define LAD_ASSERT(expr) LAD_REQUIRE(expr)
+#endif

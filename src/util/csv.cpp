@@ -1,0 +1,107 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace lad {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  LAD_REQUIRE_MSG(!columns_.empty(), "a table needs at least one column");
+}
+
+Table& Table::new_row() {
+  LAD_REQUIRE_MSG(rows_.empty() || rows_.back().size() == columns_.size(),
+                  "previous row incomplete: got " << rows_.back().size()
+                                                  << " of " << columns_.size()
+                                                  << " cells");
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(double v, int precision) {
+  LAD_REQUIRE_MSG(!rows_.empty(), "call new_row() before add()");
+  rows_.back().push_back(format_double(v, precision));
+  return *this;
+}
+
+Table& Table::add(long long v) {
+  LAD_REQUIRE_MSG(!rows_.empty(), "call new_row() before add()");
+  rows_.back().push_back(std::to_string(v));
+  return *this;
+}
+
+Table& Table::add(const std::string& v) {
+  LAD_REQUIRE_MSG(!rows_.empty(), "call new_row() before add()");
+  rows_.back().push_back(v);
+  return *this;
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  LAD_REQUIRE(row < rows_.size());
+  LAD_REQUIRE(col < rows_[row].size());
+  return rows_[row][col];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto pad = [&](const std::string& s, std::size_t w) {
+    os << s;
+    for (std::size_t i = s.size(); i < w; ++i) os << ' ';
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << "  ";
+    pad(columns_[c], width[c]);
+  }
+  os << "\n";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << "  ";
+    os << std::string(width[c], '-');
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      pad(row[c], width[c]);
+    }
+    os << "\n";
+  }
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(columns_[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace lad

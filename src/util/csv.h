@@ -1,0 +1,44 @@
+// Result-table builder: accumulates typed rows and renders them either as an
+// aligned text table (for stdout) or as CSV (for downstream plotting).  Every
+// figure bench emits its paper series through this class so the output
+// format is uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lad {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Begins a new row; values are appended with add()/operator<<.
+  Table& new_row();
+  Table& add(double v, int precision = 4);
+  Table& add(long long v);
+  Table& add(int v) { return add(static_cast<long long>(v)); }
+  Table& add(std::size_t v) { return add(static_cast<long long>(v)); }
+  Table& add(const std::string& v);
+  Table& add(const char* v) { return add(std::string(v)); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Cell as rendered text (row/col bounds-checked).
+  const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Aligned human-readable rendering.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV rendering (quotes cells containing comma/quote).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lad

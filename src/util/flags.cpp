@@ -1,0 +1,101 @@
+#include "util/flags.h"
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace lad {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      flags.positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      flags.values_[std::string(arg.substr(0, eq))] =
+          std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // "--name value" form only when the next token is not itself a flag.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags.values_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[std::string(arg)] = "true";  // bare boolean
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& name) const {
+  read_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& def) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? def : parse_double(it->second);
+}
+
+long long Flags::get_int(const std::string& name, long long def) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? def : parse_int(it->second);
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string v = to_lower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  LAD_REQUIRE_MSG(false, "flag --" << name << " is not a boolean: " << v);
+  return def;  // unreachable
+}
+
+std::vector<double> Flags::get_double_list(
+    const std::string& name, const std::vector<double>& def) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::vector<double> out;
+  for (const std::string& tok : split(it->second, ',')) {
+    out.push_back(parse_double(tok));
+  }
+  return out;
+}
+
+std::vector<long long> Flags::get_int_list(
+    const std::string& name, const std::vector<long long>& def) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::vector<long long> out;
+  for (const std::string& tok : split(it->second, ',')) {
+    out.push_back(parse_int(tok));
+  }
+  return out;
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (!read_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace lad

@@ -1,0 +1,46 @@
+// Tiny command-line flag parser for the bench harnesses and examples.
+//
+// Supported syntax:  --name=value   --name value   --bool_flag
+// Unknown flags throw, so typos in experiment sweeps fail fast.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lad {
+
+class Flags {
+ public:
+  /// Parses argv (skipping argv[0]).  Positional arguments (tokens that do
+  /// not start with "--") are collected in order.
+  static Flags parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  /// Typed accessors with defaults.  Throw lad::AssertionError if the flag
+  /// is present but not parseable as the requested type.
+  std::string get_string(const std::string& name, const std::string& def) const;
+  double get_double(const std::string& name, double def) const;
+  long long get_int(const std::string& name, long long def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Comma-separated list of doubles, e.g. --d=80,120,160.
+  std::vector<double> get_double_list(const std::string& name,
+                                      const std::vector<double>& def) const;
+  std::vector<long long> get_int_list(const std::string& name,
+                                      const std::vector<long long>& def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names that were parsed but never read; used to reject typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace lad

@@ -1,0 +1,68 @@
+// Minimal leveled logger.  Single global sink (stderr by default) guarded by
+// a mutex; hot paths should not log, so contention is a non-issue.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace lad {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global logging configuration; thread-safe.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Redirect output (e.g. to a std::ostringstream in tests).  Pass nullptr
+  /// to restore stderr.  The caller keeps ownership of the stream.
+  void set_sink(std::ostream* sink);
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kInfo;
+  std::ostream* sink_ = nullptr;  // nullptr => std::cerr
+};
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace lad
+
+#define LAD_LOG(lvl)                                                 \
+  if (static_cast<int>(lvl) <                                        \
+      static_cast<int>(::lad::Logger::instance().level())) {         \
+  } else                                                             \
+    ::lad::detail::LogLine(lvl)
+
+#define LAD_DEBUG LAD_LOG(::lad::LogLevel::kDebug)
+#define LAD_INFO LAD_LOG(::lad::LogLevel::kInfo)
+#define LAD_WARN LAD_LOG(::lad::LogLevel::kWarn)
+#define LAD_ERROR LAD_LOG(::lad::LogLevel::kError)

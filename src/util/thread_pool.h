@@ -1,0 +1,48 @@
+// Fixed-size thread pool with a static-chunked parallel_for.
+//
+// The Monte-Carlo engine prefers OpenMP when available; this pool is the
+// portable fallback and is also used directly by a few tests to validate
+// thread-count-independent determinism (results must not depend on how work
+// is scheduled, only on per-trial seeds).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lad {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 => hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [begin, end) across the pool and blocks until all
+  /// iterations finished.  Work is split into contiguous chunks so that
+  /// cache behaviour is predictable.  Exceptions thrown by fn propagate to
+  /// the caller (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void submit(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace lad

@@ -1,0 +1,87 @@
+#include "attack/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+TEST(AttackClassNames, RoundTrip) {
+  EXPECT_EQ(attack_class_from_name(attack_class_name(AttackClass::kDecBounded)),
+            AttackClass::kDecBounded);
+  EXPECT_EQ(attack_class_from_name(attack_class_name(AttackClass::kDecOnly)),
+            AttackClass::kDecOnly);
+  EXPECT_THROW(attack_class_from_name("nope"), AssertionError);
+}
+
+TEST(DecrementMass, CountsOnlyDecreases) {
+  const Observation a(std::vector<int>{5, 3, 0, 7});
+  const Observation o(std::vector<int>{2, 9, 0, 6});
+  EXPECT_EQ(decrement_mass(a, o), 4);  // (5-2) + (7-6)
+  EXPECT_EQ(decrement_mass(a, a), 0);
+}
+
+TEST(DecBounded, AllowsUnboundedIncreases) {
+  const Observation a(std::vector<int>{1, 1});
+  const Observation o(std::vector<int>{1000000, 1});
+  EXPECT_TRUE(is_feasible_dec_bounded(a, o, 0));
+}
+
+TEST(DecBounded, BoundsTotalDecrease) {
+  const Observation a(std::vector<int>{5, 5});
+  EXPECT_TRUE(is_feasible_dec_bounded(a, Observation(std::vector<int>{3, 4}), 3));
+  EXPECT_FALSE(is_feasible_dec_bounded(a, Observation(std::vector<int>{3, 4}), 2));
+  // Mixed increase and decrease: only decreases count toward the budget.
+  EXPECT_TRUE(
+      is_feasible_dec_bounded(a, Observation(std::vector<int>{0, 500}), 5));
+  EXPECT_FALSE(
+      is_feasible_dec_bounded(a, Observation(std::vector<int>{0, 500}), 4));
+}
+
+TEST(DecOnly, ForbidsAnyIncrease) {
+  const Observation a(std::vector<int>{5, 5});
+  EXPECT_FALSE(is_feasible_dec_only(a, Observation(std::vector<int>{5, 6}), 100));
+  EXPECT_TRUE(is_feasible_dec_only(a, Observation(std::vector<int>{5, 5}), 0));
+}
+
+TEST(DecOnly, BoundsTotalDecrease) {
+  const Observation a(std::vector<int>{5, 5});
+  EXPECT_TRUE(is_feasible_dec_only(a, Observation(std::vector<int>{2, 4}), 4));
+  EXPECT_FALSE(is_feasible_dec_only(a, Observation(std::vector<int>{2, 4}), 3));
+}
+
+TEST(DecOnly, ImpliesDecBounded) {
+  // Every Dec-Only-feasible taint is Dec-Bounded-feasible (Section 6.2:
+  // "Dec-Only attacks are less powerful").
+  const Observation a(std::vector<int>{4, 2, 9});
+  const std::vector<std::vector<int>> candidates = {
+      {4, 2, 9}, {3, 2, 9}, {0, 0, 9}, {4, 0, 7}};
+  for (const auto& c : candidates) {
+    const Observation o{std::vector<int>(c)};
+    if (is_feasible_dec_only(a, o, 6)) {
+      EXPECT_TRUE(is_feasible_dec_bounded(a, o, 6));
+    }
+  }
+}
+
+TEST(Feasibility, DispatchMatchesSpecificPredicates) {
+  const Observation a(std::vector<int>{3, 3});
+  const Observation o(std::vector<int>{1, 5});
+  EXPECT_EQ(is_feasible(AttackClass::kDecBounded, a, o, 2),
+            is_feasible_dec_bounded(a, o, 2));
+  EXPECT_EQ(is_feasible(AttackClass::kDecOnly, a, o, 2),
+            is_feasible_dec_only(a, o, 2));
+}
+
+TEST(Feasibility, RejectsMalformedInputs) {
+  const Observation a(std::vector<int>{3});
+  EXPECT_THROW(is_feasible_dec_bounded(a, Observation(std::vector<int>{1, 2}), 1),
+               AssertionError);
+  EXPECT_THROW(is_feasible_dec_bounded(a, Observation(std::vector<int>{-1}), 1),
+               AssertionError);
+  EXPECT_THROW(is_feasible_dec_bounded(a, a, -1), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

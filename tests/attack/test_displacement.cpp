@@ -1,0 +1,74 @@
+#include "attack/displacement.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+TEST(Displacement, ExactDistanceWhenFeasible) {
+  Rng rng(1);
+  const Aabb field = Aabb::square(1000.0);
+  const Vec2 la{500, 500};
+  for (double d : {10.0, 80.0, 160.0, 400.0}) {
+    for (int i = 0; i < 50; ++i) {
+      const Vec2 le = displaced_location(la, d, field, rng);
+      EXPECT_NEAR(distance(le, la), d, 1e-9);
+      EXPECT_TRUE(field.contains(le));
+    }
+  }
+}
+
+TEST(Displacement, ZeroDamageIsIdentity) {
+  Rng rng(2);
+  const Vec2 la{123, 456};
+  EXPECT_EQ(displaced_location(la, 0.0, Aabb::square(1000.0), rng), la);
+}
+
+TEST(Displacement, CornerVictimStillGetsExactDistanceUsually) {
+  Rng rng(3);
+  const Aabb field = Aabb::square(1000.0);
+  const Vec2 corner{5, 5};
+  int exact = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Vec2 le = displaced_location(corner, 160.0, field, rng);
+    EXPECT_TRUE(field.contains(le));
+    if (std::abs(distance(le, corner) - 160.0) < 1e-9) ++exact;
+  }
+  // About a quarter of directions stay in-field from a corner; with 64
+  // retries essentially every trial should find one.
+  EXPECT_EQ(exact, 100);
+}
+
+TEST(Displacement, InfeasibleDistanceClampsTowardCenter) {
+  Rng rng(4);
+  const Aabb field = Aabb::square(100.0);
+  // d = 200 cannot fit inside a 100-square from the center.
+  const Vec2 le = displaced_location({50, 50}, 200.0, field, rng);
+  EXPECT_TRUE(field.contains(le));
+}
+
+TEST(Displacement, DirectionsCoverTheCircle) {
+  Rng rng(5);
+  const Aabb field = Aabb::square(1000.0);
+  const Vec2 la{500, 500};
+  int quadrant_hits[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 400; ++i) {
+    const Vec2 le = displaced_location(la, 100.0, field, rng);
+    const int q = (le.x >= la.x ? 0 : 1) + (le.y >= la.y ? 0 : 2);
+    ++quadrant_hits[q];
+  }
+  for (int q = 0; q < 4; ++q) EXPECT_GT(quadrant_hits[q], 50);
+}
+
+TEST(Displacement, NegativeDistanceThrows) {
+  Rng rng(6);
+  EXPECT_THROW(displaced_location({0, 0}, -1.0, Aabb::square(10.0), rng),
+               AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

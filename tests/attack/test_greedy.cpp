@@ -1,0 +1,237 @@
+#include "attack/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+#include <cmath>
+
+#include "rng/rng.h"
+
+namespace lad {
+namespace {
+
+double score_of(MetricKind kind, const Observation& o,
+                const ExpectedObservation& mu, int m) {
+  return make_metric(kind)->score(o, mu, m);
+}
+
+TEST(GreedyDiffDecBounded, PaperProcedureExactly) {
+  // Section 7.1's worked procedure: increases are free to mu_i, decreases
+  // consume budget one unit at a time.
+  const Observation a(std::vector<int>{10, 0, 4});
+  const ExpectedObservation mu = {2.0, 6.0, 4.0};
+  const int m = 50;
+  // Budget 3: group 0 can only come down to 7; group 1 rises to 6 free.
+  const TaintResult r =
+      greedy_taint(a, mu, m, MetricKind::kDiff, AttackClass::kDecBounded, 3);
+  EXPECT_EQ(r.tainted.counts, (std::vector<int>{7, 6, 4}));
+  EXPECT_EQ(r.budget_spent, 3);
+  // Unlimited budget: o == round(mu) everywhere.
+  const TaintResult full =
+      greedy_taint(a, mu, m, MetricKind::kDiff, AttackClass::kDecBounded, 100);
+  EXPECT_EQ(full.tainted.counts, (std::vector<int>{2, 6, 4}));
+  EXPECT_EQ(full.budget_spent, 8);
+}
+
+TEST(GreedyDiffDecBounded, RoundsFractionalTargets) {
+  const Observation a(std::vector<int>{0, 0});
+  const ExpectedObservation mu = {2.4, 2.6};
+  const TaintResult r =
+      greedy_taint(a, mu, 50, MetricKind::kDiff, AttackClass::kDecBounded, 0);
+  EXPECT_EQ(r.tainted.counts, (std::vector<int>{2, 3}));
+  EXPECT_EQ(r.budget_spent, 0);
+}
+
+TEST(GreedyDiffDecOnly, NeverIncreasesAndRespectsBudget) {
+  const Observation a(std::vector<int>{10, 0, 4});
+  const ExpectedObservation mu = {2.0, 6.0, 4.0};
+  const TaintResult r =
+      greedy_taint(a, mu, 50, MetricKind::kDiff, AttackClass::kDecOnly, 5);
+  EXPECT_TRUE(is_feasible_dec_only(a, r.tainted, 5));
+  // Group 1 stays at 0 (cannot rise); group 0 eats the whole budget.
+  EXPECT_EQ(r.tainted.counts, (std::vector<int>{5, 0, 4}));
+  EXPECT_EQ(r.budget_spent, 5);
+}
+
+TEST(GreedyAddAll, DecrementsOnlyWhereAboveMu) {
+  const Observation a(std::vector<int>{8, 1});
+  const ExpectedObservation mu = {3.0, 5.0};
+  const TaintResult r =
+      greedy_taint(a, mu, 50, MetricKind::kAddAll, AttackClass::kDecBounded, 4);
+  // AM = max(o0, 3) + max(o1, 5).  Only group 0 decrements help (until 4
+  // is spent or o0 hits 3); group 1 sits below mu already.
+  EXPECT_EQ(r.tainted.counts, (std::vector<int>{4, 1}));
+  EXPECT_EQ(r.budget_spent, 4);
+  EXPECT_DOUBLE_EQ(score_of(MetricKind::kAddAll, r.tainted, mu, 50), 9.0);
+}
+
+TEST(GreedyAddAll, StopsWhenNoDecrementHelps) {
+  const Observation a(std::vector<int>{2, 3});
+  const ExpectedObservation mu = {5.0, 5.0};
+  const TaintResult r =
+      greedy_taint(a, mu, 50, MetricKind::kAddAll, AttackClass::kDecBounded, 10);
+  EXPECT_EQ(r.budget_spent, 0);
+  EXPECT_EQ(r.tainted.counts, a.counts);
+}
+
+TEST(GreedyProb, FreeIncreaseHitsTheMode) {
+  const Observation a(std::vector<int>{0, 5});
+  const ExpectedObservation mu = {30.0, 5.0};  // p0 = 0.3, m = 100
+  const TaintResult r =
+      greedy_taint(a, mu, 100, MetricKind::kProb, AttackClass::kDecBounded, 0);
+  // Mode of Binom(100, 0.3) = floor(101 * 0.3) = 30.
+  EXPECT_EQ(r.tainted.counts[0], 30);
+  EXPECT_EQ(r.tainted.counts[1], 5);
+}
+
+TEST(GreedyProb, DecrementsTheArgmaxGroup) {
+  const Observation a(std::vector<int>{20, 2});
+  const ExpectedObservation mu = {5.0, 2.0};  // group 0 is wildly over
+  const TaintResult r =
+      greedy_taint(a, mu, 100, MetricKind::kProb, AttackClass::kDecOnly, 10);
+  EXPECT_TRUE(is_feasible_dec_only(a, r.tainted, 10));
+  EXPECT_LT(score_of(MetricKind::kProb, r.tainted, mu, 100),
+            score_of(MetricKind::kProb, a, mu, 100));
+  EXPECT_LT(r.tainted.counts[0], 20);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps: feasibility always holds; greedy never loses to the
+// untainted observation; greedy dominates random feasible taints; budget
+// monotonicity.
+// ---------------------------------------------------------------------------
+
+struct GreedyCase {
+  MetricKind metric;
+  AttackClass cls;
+};
+
+class GreedyPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  MetricKind metric() const {
+    return static_cast<MetricKind>(std::get<0>(GetParam()));
+  }
+  AttackClass cls() const {
+    return static_cast<AttackClass>(std::get<1>(GetParam()));
+  }
+};
+
+Observation random_observation(std::size_t n, int max_count, Rng& rng) {
+  Observation o(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    o.counts[i] = static_cast<int>(rng.uniform_int(0ll, max_count));
+  }
+  return o;
+}
+
+ExpectedObservation random_mu(std::size_t n, double max_mu, Rng& rng) {
+  ExpectedObservation mu(n);
+  for (std::size_t i = 0; i < n; ++i) mu[i] = rng.uniform(0.0, max_mu);
+  return mu;
+}
+
+TEST_P(GreedyPropertyTest, TaintIsAlwaysFeasibleAndNeverWorseThanHonest) {
+  Rng rng(100 + std::get<0>(GetParam()) * 10 + std::get<1>(GetParam()));
+  const int m = 60;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(std::uint64_t{12});
+    const Observation a = random_observation(n, 30, rng);
+    const ExpectedObservation mu = random_mu(n, 30.0, rng);
+    const int x = static_cast<int>(rng.uniform_int(std::uint64_t{25}));
+    const TaintResult r = greedy_taint(a, mu, m, metric(), cls(), x);
+
+    ASSERT_TRUE(is_feasible(cls(), a, r.tainted, x))
+        << "trial " << trial << " budget " << x;
+    EXPECT_LE(r.budget_spent, x);
+    EXPECT_LE(score_of(metric(), r.tainted, mu, m) -
+                  score_of(metric(), a, mu, m),
+              1e-9)
+        << "greedy made the attacker worse off";
+  }
+}
+
+TEST_P(GreedyPropertyTest, GreedyDominatesRandomFeasibleTaints) {
+  Rng rng(500 + std::get<0>(GetParam()) * 10 + std::get<1>(GetParam()));
+  const int m = 60;
+  int greedy_wins = 0, ties = 0, losses = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 2 + rng.uniform_int(std::uint64_t{8});
+    const Observation a = random_observation(n, 20, rng);
+    const ExpectedObservation mu = random_mu(n, 20.0, rng);
+    const int x = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{15}));
+    const TaintResult greedy = greedy_taint(a, mu, m, metric(), cls(), x);
+    const double greedy_score = score_of(metric(), greedy.tainted, mu, m);
+
+    // Random feasible taint: random decrements within budget; random
+    // increases if Dec-Bounded.
+    Observation o = a;
+    int budget = x;
+    for (std::size_t i = 0; i < n && budget > 0; ++i) {
+      const int dec = static_cast<int>(rng.uniform_int(
+          0ll, std::min(o.counts[i], budget)));
+      o.counts[i] -= dec;
+      budget -= dec;
+    }
+    if (cls() == AttackClass::kDecBounded) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.3)) {
+          o.counts[i] += static_cast<int>(rng.uniform_int(std::uint64_t{10}));
+        }
+      }
+    }
+    ASSERT_TRUE(is_feasible(cls(), a, o, x));
+    const double random_score = score_of(metric(), o, mu, m);
+    if (greedy_score < random_score - 1e-9) ++greedy_wins;
+    else if (greedy_score > random_score + 1e-9) ++losses;
+    else ++ties;
+  }
+  EXPECT_EQ(losses, 0) << "a random taint beat the greedy minimizer "
+                       << losses << " times (wins=" << greedy_wins
+                       << ", ties=" << ties << ")";
+}
+
+TEST_P(GreedyPropertyTest, MoreBudgetNeverHurts) {
+  Rng rng(900 + std::get<0>(GetParam()) * 10 + std::get<1>(GetParam()));
+  const int m = 60;
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 2 + rng.uniform_int(std::uint64_t{8});
+    const Observation a = random_observation(n, 25, rng);
+    const ExpectedObservation mu = random_mu(n, 25.0, rng);
+    double prev = std::numeric_limits<double>::infinity();
+    for (int x : {0, 2, 5, 10, 20, 40}) {
+      const TaintResult r = greedy_taint(a, mu, m, metric(), cls(), x);
+      const double s = score_of(metric(), r.tainted, mu, m);
+      EXPECT_LE(s, prev + 1e-9) << "budget " << x;
+      prev = s;
+    }
+  }
+}
+
+std::string greedy_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  static const char* metric_names[] = {"Diff", "AddAll", "Prob"};
+  static const char* class_names[] = {"DecBounded", "DecOnly"};
+  return std::string(metric_names[std::get<0>(info.param)]) +
+         class_names[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetricAttackCombos, GreedyPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),   // Diff, AddAll, Prob
+                       ::testing::Values(0, 1)),     // DecBounded, DecOnly
+    greedy_case_name);
+
+TEST(Greedy, RejectsNegativeBudgetAndSizeMismatch) {
+  const Observation a(std::vector<int>{1});
+  EXPECT_THROW(greedy_taint(a, {1.0}, 10, MetricKind::kDiff,
+                            AttackClass::kDecBounded, -1),
+               AssertionError);
+  EXPECT_THROW(greedy_taint(a, {1.0, 2.0}, 10, MetricKind::kDiff,
+                            AttackClass::kDecBounded, 1),
+               AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,131 @@
+#include "attack/realize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/greedy.h"
+
+namespace lad {
+namespace {
+
+DeploymentConfig tiny_config() {
+  DeploymentConfig cfg;
+  cfg.field_side = 400.0;
+  cfg.grid_nx = 2;
+  cfg.grid_ny = 2;
+  cfg.nodes_per_group = 60;
+  cfg.sigma = 35.0;
+  cfg.radio_range = 70.0;
+  return cfg;
+}
+
+class RealizeTest : public ::testing::Test {
+ protected:
+  RealizeTest() : model_(tiny_config()), rng_(77), net_(model_, rng_) {}
+
+  /// Picks a victim with a reasonably populated neighborhood.
+  std::size_t pick_victim() const {
+    for (std::size_t i = 0; i < net_.num_nodes(); ++i) {
+      if (net_.neighbors_of(i).size() >= 12) return i;
+    }
+    return 0;
+  }
+
+  DeploymentModel model_;
+  Rng rng_;
+  Network net_;
+};
+
+TEST_F(RealizeTest, PureIncreaseTaintIsExactWithOneCompromisedNode) {
+  BroadcastSim sim(net_);
+  const std::size_t victim = pick_victim();
+  const auto neighbors = net_.neighbors_of(victim);
+  Observation target = sim.observe(victim);
+  target.counts[0] += 9;
+  target.counts[3] += 2;
+  const RealizationPlan plan =
+      realize_taint(sim, net_, victim, {neighbors.front()}, target);
+  EXPECT_TRUE(plan.exact);
+  EXPECT_EQ(plan.achieved, target);
+  EXPECT_TRUE(plan.silenced.empty());
+}
+
+TEST_F(RealizeTest, PureSilenceTaintIsExactWithEnoughCompromisedNeighbors) {
+  BroadcastSim sim(net_);
+  const std::size_t victim = pick_victim();
+  const auto neighbors = net_.neighbors_of(victim);
+  // Compromise three neighbors of the same group and silence two of them.
+  std::vector<std::size_t> same_group;
+  const int g = net_.group_of(neighbors.front());
+  for (std::size_t n : neighbors) {
+    if (net_.group_of(n) == g) same_group.push_back(n);
+  }
+  if (same_group.size() < 3) GTEST_SKIP() << "unlucky topology";
+  Observation target = sim.observe(victim);
+  target.counts[static_cast<std::size_t>(g)] -= 2;
+  const RealizationPlan plan =
+      realize_taint(sim, net_, victim,
+                    {same_group[0], same_group[1], same_group[2]}, target);
+  EXPECT_TRUE(plan.exact);
+  EXPECT_EQ(plan.silenced.size(), 2u);
+}
+
+TEST_F(RealizeTest, MixedTaintUsesImpersonationWhenSpeakerGroupShrinks) {
+  BroadcastSim sim(net_);
+  const std::size_t victim = pick_victim();
+  const auto neighbors = net_.neighbors_of(victim);
+  const std::size_t speaker = neighbors.front();
+  const std::size_t sg = static_cast<std::size_t>(net_.group_of(speaker));
+  Observation target = sim.observe(victim);
+  if (target.counts[sg] < 1) GTEST_SKIP() << "unlucky topology";
+  target.counts[sg] -= 1;                 // speaker's own group must shrink
+  target.counts[(sg + 1) % 4] += 5;       // another group must grow
+  const RealizationPlan plan =
+      realize_taint(sim, net_, victim, {speaker}, target);
+  EXPECT_TRUE(plan.exact) << "achieved != target";
+}
+
+TEST_F(RealizeTest, GreedyDiffTaintIsRealizableWithSufficientCompromise) {
+  // End-to-end: formal greedy taint -> message-level realization.
+  BroadcastSim sim(net_);
+  const std::size_t victim = pick_victim();
+  const Observation a = sim.observe(victim);
+  const GzTable gz({model_.config().radio_range, model_.config().sigma});
+  // Fake location: one cell away.
+  const Vec2 le = model_.config().field().clamp(net_.position(victim) +
+                                                Vec2{180.0, 0.0});
+  const ExpectedObservation mu = model_.expected_observation(le, gz);
+
+  // Compromise ALL neighbors: the formal global budget then never exceeds
+  // the per-group physical supply.
+  const auto neighbors = net_.neighbors_of(victim);
+  const TaintResult taint =
+      greedy_taint(a, mu, model_.config().nodes_per_group, MetricKind::kDiff,
+                   AttackClass::kDecBounded,
+                   static_cast<int>(neighbors.size()));
+
+  // The formal model allows decrementing any group; physically only groups
+  // with compromised members can shrink.  With all neighbors compromised,
+  // every decrement the greedy chose is realizable.
+  const RealizationPlan plan =
+      realize_taint(sim, net_, victim, neighbors, taint.tainted);
+  EXPECT_TRUE(plan.exact);
+}
+
+TEST_F(RealizeTest, InsufficientCompromiseIsReportedNotSilent) {
+  BroadcastSim sim(net_);
+  const std::size_t victim = pick_victim();
+  Observation target = sim.observe(victim);
+  // Ask for a decrement with zero compromised nodes: unrealizable.
+  std::size_t g = 0;
+  while (g < 4 && target.counts[g] == 0) ++g;
+  if (g == 4) GTEST_SKIP() << "victim heard nobody";
+  target.counts[g] -= 1;
+  const RealizationPlan plan = realize_taint(sim, net_, victim, {}, target);
+  EXPECT_FALSE(plan.exact);
+  EXPECT_EQ(plan.achieved, sim.observe(victim));
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,148 @@
+#include "core/corrector.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/displacement.h"
+#include "attack/greedy.h"
+#include "deploy/network.h"
+#include "stats/running_stats.h"
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+DeploymentConfig cfg8() {
+  DeploymentConfig cfg;
+  cfg.field_side = 800.0;
+  cfg.grid_nx = 8;
+  cfg.grid_ny = 8;
+  cfg.nodes_per_group = 60;
+  cfg.sigma = 40.0;
+  cfg.radio_range = 50.0;
+  return cfg;
+}
+
+class CorrectorTest : public ::testing::Test {
+ protected:
+  CorrectorTest()
+      : cfg_(cfg8()), model_(cfg_), gz_({cfg_.radio_range, cfg_.sigma}),
+        rng_(88), net_(model_, rng_), corrector_(model_, gz_) {}
+
+  std::size_t in_field_victim() {
+    std::size_t node;
+    do {
+      node = static_cast<std::size_t>(rng_.uniform_int(net_.num_nodes()));
+    } while (!cfg_.field().contains(net_.position(node)));
+    return node;
+  }
+
+  DeploymentConfig cfg_;
+  DeploymentModel model_;
+  GzTable gz_;
+  Rng rng_;
+  Network net_;
+  LocationCorrector corrector_;
+};
+
+TEST_F(CorrectorTest, BenignObservationsCorrectToTruth) {
+  RunningStats err;
+  for (int t = 0; t < 30; ++t) {
+    const std::size_t node = in_field_victim();
+    const CorrectionResult r = corrector_.correct(net_.observe(node));
+    err.add(distance(r.corrected, net_.position(node)));
+  }
+  EXPECT_LT(err.mean(), 25.0);
+}
+
+TEST_F(CorrectorTest, DecOnlyTaintIsCorrectedNearBenignFloor) {
+  RunningStats err;
+  for (int t = 0; t < 30; ++t) {
+    const std::size_t node = in_field_victim();
+    const Observation a = net_.observe(node);
+    const Vec2 la = net_.position(node);
+    const Vec2 le = displaced_location(la, 160.0, cfg_.field(), rng_);
+    const TaintResult taint = greedy_taint(
+        a, model_.expected_observation(le, gz_), cfg_.nodes_per_group,
+        MetricKind::kDiff, AttackClass::kDecOnly,
+        static_cast<int>(0.15 * a.total()));
+    err.add(distance(corrector_.correct(taint.tainted).corrected, la));
+  }
+  // Silences only remove evidence; the surviving bump pins the estimate.
+  EXPECT_LT(err.mean(), 40.0);
+}
+
+TEST_F(CorrectorTest, DecBoundedCorrectionBeatsAcceptingTheFake) {
+  RunningStats corrected_err;
+  const double kDamage = 200.0;
+  for (int t = 0; t < 30; ++t) {
+    const std::size_t node = in_field_victim();
+    const Observation a = net_.observe(node);
+    const Vec2 la = net_.position(node);
+    const Vec2 le = displaced_location(la, kDamage, cfg_.field(), rng_);
+    const TaintResult taint = greedy_taint(
+        a, model_.expected_observation(le, gz_), cfg_.nodes_per_group,
+        MetricKind::kDiff, AttackClass::kDecBounded,
+        static_cast<int>(0.10 * a.total()));
+    corrected_err.add(distance(corrector_.correct(taint.tainted).corrected, la));
+  }
+  // Not necessarily near-perfect (correction under Dec-Bounded is open),
+  // but on average it must beat blindly accepting the planted location.
+  EXPECT_LT(corrected_err.mean(), kDamage);
+}
+
+TEST_F(CorrectorTest, RobustLikelihoodCapsWorstGroups) {
+  const std::size_t node = in_field_victim();
+  Observation obs = net_.observe(node);
+  const Vec2 truth = net_.position(node);
+  const double before = corrector_.robust_log_likelihood(obs, truth);
+  // Inject an absurd count into a far group: the plain likelihood would
+  // crater to ~-1e12; the capped one drops by at most the cap (25).
+  int far_group = 0;
+  double far_d = 0;
+  for (int g = 0; g < model_.num_groups(); ++g) {
+    const double d = distance(model_.deployment_point(g), truth);
+    if (d > far_d) {
+      far_d = d;
+      far_group = g;
+    }
+  }
+  obs.counts[static_cast<std::size_t>(far_group)] += 40;
+  const double after = corrector_.robust_log_likelihood(obs, truth);
+  EXPECT_GE(after, before - 25.0 - 1e-9);
+  EXPECT_LT(after, before);  // the forged group still costs something
+}
+
+TEST_F(CorrectorTest, CappedGroupsReportTheForgedOnes) {
+  const std::size_t node = in_field_victim();
+  Observation obs = net_.observe(node);
+  const Vec2 truth = net_.position(node);
+  int far_group = 0;
+  double far_d = 0;
+  for (int g = 0; g < model_.num_groups(); ++g) {
+    const double d = distance(model_.deployment_point(g), truth);
+    if (d > far_d) {
+      far_d = d;
+      far_group = g;
+    }
+  }
+  obs.counts[static_cast<std::size_t>(far_group)] += 40;
+  const CorrectionResult r = corrector_.correct(obs);
+  EXPECT_NE(std::find(r.capped_groups.begin(), r.capped_groups.end(),
+                      far_group),
+            r.capped_groups.end())
+      << "the forged group should be among the capped ones";
+}
+
+TEST_F(CorrectorTest, InvalidConstructionRejected) {
+  EXPECT_THROW(LocationCorrector(model_, gz_, 0.0), AssertionError);
+  EXPECT_THROW(LocationCorrector(model_, gz_, -5.0), AssertionError);
+  EXPECT_THROW(LocationCorrector(model_, gz_, 25.0, 0), AssertionError);
+  EXPECT_THROW(LocationCorrector(model_, gz_, 25.0, 3, 0.0), AssertionError);
+}
+
+TEST_F(CorrectorTest, SizeMismatchThrows) {
+  EXPECT_THROW(corrector_.correct(Observation(3)), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

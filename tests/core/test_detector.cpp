@@ -1,0 +1,82 @@
+#include "core/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "deploy/network.h"
+
+namespace lad {
+namespace {
+
+DeploymentConfig tiny_config() {
+  DeploymentConfig cfg;
+  cfg.field_side = 400.0;
+  cfg.grid_nx = 2;
+  cfg.grid_ny = 2;
+  cfg.nodes_per_group = 50;
+  cfg.sigma = 30.0;
+  cfg.radio_range = 60.0;
+  return cfg;
+}
+
+class DetectorTest : public ::testing::Test {
+ protected:
+  DetectorTest()
+      : cfg_(tiny_config()), model_(cfg_), gz_({cfg_.radio_range, cfg_.sigma}),
+        rng_(3), net_(model_, rng_) {}
+  DeploymentConfig cfg_;
+  DeploymentModel model_;
+  GzTable gz_;
+  Rng rng_;
+  Network net_;
+};
+
+TEST_F(DetectorTest, ScoreEqualsMetricOnExpectedObservation) {
+  const Detector det(model_, gz_, MetricKind::kDiff, 10.0);
+  const std::size_t node = 7;
+  const Observation obs = net_.observe(node);
+  const Vec2 le = net_.position(node);
+  const ExpectedObservation mu = model_.expected_observation(le, gz_);
+  const DiffMetric dm;
+  EXPECT_DOUBLE_EQ(det.score(obs, le), dm.score(obs, mu, cfg_.nodes_per_group));
+}
+
+TEST_F(DetectorTest, TruthfulLocationScoresLowerThanDistantLie) {
+  const Detector det(model_, gz_, MetricKind::kDiff, 0.0);
+  const std::size_t node = 11;
+  const Observation obs = net_.observe(node);
+  const Vec2 truth = net_.position(node);
+  const Vec2 lie = cfg_.field().clamp(truth + Vec2{250, 0});
+  EXPECT_LT(det.score(obs, truth), det.score(obs, lie));
+}
+
+TEST_F(DetectorTest, VerdictComparesAgainstThreshold) {
+  Detector det(model_, gz_, MetricKind::kDiff, 1e9);
+  const std::size_t node = 13;
+  const Observation obs = net_.observe(node);
+  const Vec2 le = net_.position(node);
+  const Verdict ok = det.check(obs, le);
+  EXPECT_FALSE(ok.anomaly);
+  EXPECT_DOUBLE_EQ(ok.threshold, 1e9);
+
+  det.set_threshold(-1.0);  // everything is anomalous now
+  const Verdict bad = det.check(obs, le);
+  EXPECT_TRUE(bad.anomaly);
+  EXPECT_DOUBLE_EQ(bad.score, ok.score);
+}
+
+TEST_F(DetectorTest, WorksWithAllThreeMetrics) {
+  const std::size_t node = 17;
+  const Observation obs = net_.observe(node);
+  const Vec2 truth = net_.position(node);
+  const Vec2 lie = cfg_.field().clamp(truth + Vec2{0, 250});
+  for (MetricKind kind :
+       {MetricKind::kDiff, MetricKind::kAddAll, MetricKind::kProb}) {
+    const Detector det(model_, gz_, kind, 0.0);
+    EXPECT_LT(det.score(obs, truth), det.score(obs, lie))
+        << metric_name(kind);
+    EXPECT_EQ(det.metric(), kind);
+  }
+}
+
+}  // namespace
+}  // namespace lad

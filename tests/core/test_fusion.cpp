@@ -1,0 +1,109 @@
+#include "core/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "deploy/network.h"
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+DeploymentConfig cfg6() {
+  DeploymentConfig cfg;
+  cfg.field_side = 600.0;
+  cfg.grid_nx = 6;
+  cfg.grid_ny = 6;
+  cfg.nodes_per_group = 50;
+  cfg.sigma = 35.0;
+  cfg.radio_range = 55.0;
+  return cfg;
+}
+
+class FusionTest : public ::testing::Test {
+ protected:
+  FusionTest()
+      : cfg_(cfg6()), model_(cfg_), gz_({cfg_.radio_range, cfg_.sigma}),
+        rng_(17), net_(model_, rng_) {}
+  DeploymentConfig cfg_;
+  DeploymentModel model_;
+  GzTable gz_;
+  Rng rng_;
+  Network net_;
+};
+
+TEST_F(FusionTest, FusedScoreIsMaxOfNormalizedScores) {
+  const FusionDetector fusion(model_, gz_, 10.0, 100.0, 20.0);
+  const std::size_t node = 7;
+  const Observation obs = net_.observe(node);
+  const Vec2 le = net_.position(node);
+  const Detector d_diff(model_, gz_, MetricKind::kDiff, 0);
+  const Detector d_add(model_, gz_, MetricKind::kAddAll, 0);
+  const Detector d_prob(model_, gz_, MetricKind::kProb, 0);
+  const double expected = std::max(
+      {d_diff.score(obs, le) / 10.0, d_add.score(obs, le) / 100.0,
+       d_prob.score(obs, le) / 20.0});
+  EXPECT_DOUBLE_EQ(fusion.fused_score(obs, le), expected);
+}
+
+TEST_F(FusionTest, AlarmsWhenAnyMetricExceedsItsThreshold) {
+  // Thresholds set so only the Diff ratio can cross 1 on a far-off claim.
+  const FusionDetector fusion(model_, gz_, 1.0, 1e9, 1e9);
+  const std::size_t node = 11;
+  const Observation obs = net_.observe(node);
+  const Vec2 lie = cfg_.field().clamp(net_.position(node) + Vec2{250, 0});
+  const Verdict v = fusion.check(obs, lie);
+  EXPECT_TRUE(v.anomaly);
+  EXPECT_EQ(fusion.dominant_metric(obs, lie), MetricKind::kDiff);
+}
+
+TEST_F(FusionTest, QuietOnTruthfulLocationWithSaneThresholds) {
+  // Generous thresholds: an honest (obs, truth) pair must not alarm.
+  const FusionDetector fusion(model_, gz_, 1e6, 1e6, 1e6);
+  const std::size_t node = 23;
+  const Observation obs = net_.observe(node);
+  EXPECT_FALSE(fusion.check(obs, net_.position(node)).anomaly);
+}
+
+TEST_F(FusionTest, DominantMetricTracksTheLargestRatio) {
+  const FusionDetector fusion(model_, gz_, 1e9, 1.0, 1e9);
+  const std::size_t node = 31;
+  const Observation obs = net_.observe(node);
+  // Add-all score is ~|obs| > 1, so with threshold 1 it dominates.
+  EXPECT_EQ(fusion.dominant_metric(obs, net_.position(node)),
+            MetricKind::kAddAll);
+}
+
+TEST_F(FusionTest, RejectsNonPositiveThresholds) {
+  EXPECT_THROW(FusionDetector(model_, gz_, 0.0, 1.0, 1.0), AssertionError);
+  EXPECT_THROW(FusionDetector(model_, gz_, 1.0, -2.0, 1.0), AssertionError);
+}
+
+TEST_F(FusionTest, CatchesAttackerOptimizedAgainstSingleMetric) {
+  // The motivating case: an attacker that minimizes the Diff metric may
+  // still trip the Prob metric.  Craft an observation that keeps the total
+  // |o - mu| small but concentrates the discrepancy in one group.
+  const std::size_t node = 41;
+  const Vec2 le = net_.position(node);
+  const ExpectedObservation mu = model_.expected_observation(le, gz_);
+  Observation crafted(static_cast<std::size_t>(model_.num_groups()));
+  for (std::size_t g = 0; g < mu.size(); ++g) {
+    crafted.counts[g] = static_cast<int>(std::lround(mu[g]));
+  }
+  // One impossible group: +6 nodes where mu ~ 0 (diff cost just 6).
+  std::size_t far_group = 0;
+  for (std::size_t g = 0; g < mu.size(); ++g) {
+    if (mu[g] < mu[far_group]) far_group = g;
+  }
+  crafted.counts[far_group] += 6;
+
+  const Detector diff_only(model_, gz_, MetricKind::kDiff, 12.0);
+  EXPECT_FALSE(diff_only.check(crafted, le).anomaly)
+      << "the crafted observation should slip past a Diff-only detector";
+  const FusionDetector fusion(model_, gz_, 12.0, 1e9, 25.0);
+  EXPECT_TRUE(fusion.check(crafted, le).anomaly)
+      << "the Prob component should catch the impossible group";
+  EXPECT_EQ(fusion.dominant_metric(crafted, le), MetricKind::kProb);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,123 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "deploy/network.h"
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+DeploymentConfig cfg4() {
+  DeploymentConfig cfg;
+  cfg.field_side = 400.0;
+  cfg.grid_nx = 4;
+  cfg.grid_ny = 4;
+  cfg.nodes_per_group = 30;
+  cfg.sigma = 25.0;
+  cfg.radio_range = 45.0;
+  return cfg;
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const DeploymentModel model(cfg4());
+  const DetectorBundle original =
+      make_bundle(model, 128, MetricKind::kProb, 17.25);
+  std::stringstream ss;
+  save_bundle(ss, original);
+  const DetectorBundle loaded = load_bundle(ss);
+  EXPECT_EQ(loaded, original);
+}
+
+TEST(Serialize, RoundTripPreservesExactDoubles) {
+  const DeploymentModel model(cfg4());
+  DetectorBundle b = make_bundle(model, 64, MetricKind::kDiff, 0.0);
+  b.threshold = 0.1 + 0.2;  // a value with no short decimal representation
+  b.config.sigma = 1.0 / 3.0;
+  std::stringstream ss;
+  save_bundle(ss, b);
+  const DetectorBundle loaded = load_bundle(ss);
+  EXPECT_EQ(loaded.threshold, b.threshold);      // bit-exact
+  EXPECT_EQ(loaded.config.sigma, b.config.sigma);
+}
+
+TEST(Serialize, RoundTripWithCustomDeploymentPoints) {
+  const DeploymentModel model(cfg4(), {{10.5, 20.25}, {399.9, 0.1}, {7, 7}});
+  const DetectorBundle original =
+      make_bundle(model, 256, MetricKind::kAddAll, 42.0);
+  std::stringstream ss;
+  save_bundle(ss, original);
+  const DetectorBundle loaded = load_bundle(ss);
+  EXPECT_EQ(loaded.deployment_points, original.deployment_points);
+}
+
+TEST(Serialize, MaterializedDetectorMatchesLiveDetector) {
+  const DeploymentConfig cfg = cfg4();
+  const DeploymentModel model(cfg);
+  const GzTable gz({cfg.radio_range, cfg.sigma}, 128);
+  const Detector live(model, gz, MetricKind::kDiff, 12.0);
+
+  std::stringstream ss;
+  save_bundle(ss, make_bundle(model, 128, MetricKind::kDiff, 12.0));
+  const RuntimeDetector shipped(load_bundle(ss));
+
+  Rng rng(3);
+  const Network net(model, rng);
+  for (std::size_t node = 0; node < net.num_nodes(); node += 113) {
+    const Observation obs = net.observe(node);
+    const Vec2 le = net.position(node);
+    const Verdict a = live.check(obs, le);
+    const Verdict b = shipped.check(obs, le);
+    EXPECT_EQ(a.anomaly, b.anomaly);
+    EXPECT_DOUBLE_EQ(a.score, b.score);
+  }
+}
+
+TEST(Serialize, RejectsWrongHeader) {
+  std::stringstream ss("not-a-bundle v9\n");
+  EXPECT_THROW(load_bundle(ss), AssertionError);
+}
+
+TEST(Serialize, RejectsTruncatedInput) {
+  const DeploymentModel model(cfg4());
+  std::stringstream ss;
+  save_bundle(ss, make_bundle(model, 64, MetricKind::kDiff, 1.0));
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream cut(text);
+  EXPECT_THROW(load_bundle(cut), AssertionError);
+}
+
+TEST(Serialize, RejectsKeyOutOfOrder) {
+  std::stringstream ss("lad-detector v1\nsigma 50\n");
+  EXPECT_THROW(load_bundle(ss), AssertionError);
+}
+
+TEST(Serialize, RejectsGarbageNumbers) {
+  const DeploymentModel model(cfg4());
+  std::stringstream ss;
+  save_bundle(ss, make_bundle(model, 64, MetricKind::kDiff, 1.0));
+  std::string text = ss.str();
+  const auto pos = text.find("threshold 1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 11, "threshold x");
+  std::stringstream bad(text);
+  EXPECT_THROW(load_bundle(bad), AssertionError);
+}
+
+TEST(Serialize, RejectsInvalidConfigAfterParse) {
+  const DeploymentModel model(cfg4());
+  std::stringstream ss;
+  save_bundle(ss, make_bundle(model, 64, MetricKind::kDiff, 1.0));
+  std::string text = ss.str();
+  const auto pos = text.find("sigma 25");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 8, "sigma -5");
+  std::stringstream bad(text);
+  EXPECT_THROW(load_bundle(bad), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

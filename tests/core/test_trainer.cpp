@@ -1,0 +1,68 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+#include "stats/quantile.h"
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+TEST(Trainer, ThresholdIsTheTauPercentile) {
+  std::vector<double> scores;
+  for (int i = 1; i <= 100; ++i) scores.push_back(static_cast<double>(i));
+  const TrainingResult r =
+      train_threshold(MetricKind::kDiff, scores, 0.99);
+  EXPECT_DOUBLE_EQ(r.threshold, quantile(scores, 0.99));
+  EXPECT_EQ(r.metric, MetricKind::kDiff);
+  EXPECT_EQ(r.num_samples, 100u);
+  EXPECT_DOUBLE_EQ(r.tau, 0.99);
+}
+
+TEST(Trainer, TrainingFalsePositiveRateIsOneMinusTau) {
+  Rng rng(8);
+  std::vector<double> scores;
+  for (int i = 0; i < 20000; ++i) scores.push_back(rng.normal(50, 10));
+  for (double tau : {0.9, 0.99, 0.999}) {
+    const TrainingResult r = train_threshold(MetricKind::kDiff, scores, tau);
+    const double fp = fraction_above(scores, r.threshold);
+    EXPECT_NEAR(fp, 1.0 - tau, 0.002) << "tau = " << tau;
+  }
+}
+
+TEST(Trainer, StatsSummarizeTheSample) {
+  const TrainingResult r =
+      train_threshold(MetricKind::kAddAll, {1.0, 2.0, 3.0}, 1.0);
+  EXPECT_DOUBLE_EQ(r.score_stats.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(r.score_stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(r.score_stats.max(), 3.0);
+  EXPECT_DOUBLE_EQ(r.threshold, 3.0);  // tau = 1 takes the max
+}
+
+TEST(Trainer, MultiTauMatchesIndividualTraining) {
+  Rng rng(9);
+  std::vector<double> scores;
+  for (int i = 0; i < 5000; ++i) scores.push_back(rng.uniform(0, 100));
+  const std::vector<double> taus = {0.9, 0.95, 0.99};
+  const auto batch = train_thresholds(MetricKind::kProb, scores, taus);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < taus.size(); ++i) {
+    const TrainingResult single =
+        train_threshold(MetricKind::kProb, scores, taus[i]);
+    EXPECT_DOUBLE_EQ(batch[i].threshold, single.threshold);
+    EXPECT_EQ(batch[i].num_samples, single.num_samples);
+  }
+  // Thresholds grow with tau.
+  EXPECT_LE(batch[0].threshold, batch[1].threshold);
+  EXPECT_LE(batch[1].threshold, batch[2].threshold);
+}
+
+TEST(Trainer, RejectsBadInputs) {
+  EXPECT_THROW(train_threshold(MetricKind::kDiff, {}, 0.9), AssertionError);
+  EXPECT_THROW(train_threshold(MetricKind::kDiff, {1.0}, 0.0), AssertionError);
+  EXPECT_THROW(train_threshold(MetricKind::kDiff, {1.0}, 1.5), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,47 @@
+#include "deploy/config.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+TEST(DeploymentConfig, PaperDefaults) {
+  const DeploymentConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.field_side, 1000.0);
+  EXPECT_EQ(cfg.grid_nx, 10);
+  EXPECT_EQ(cfg.grid_ny, 10);
+  EXPECT_EQ(cfg.nodes_per_group, 300);
+  EXPECT_DOUBLE_EQ(cfg.sigma, 50.0);
+  EXPECT_EQ(cfg.num_groups(), 100);
+  EXPECT_EQ(cfg.total_nodes(), 30000);
+}
+
+TEST(DeploymentConfig, FieldBox) {
+  const DeploymentConfig cfg;
+  const Aabb f = cfg.field();
+  EXPECT_EQ(f.lo, (Vec2{0, 0}));
+  EXPECT_EQ(f.hi, (Vec2{1000, 1000}));
+}
+
+TEST(DeploymentConfig, ValidationCatchesBadValues) {
+  DeploymentConfig cfg;
+  cfg.sigma = 0.0;
+  EXPECT_THROW(cfg.validate(), AssertionError);
+  cfg = DeploymentConfig{};
+  cfg.grid_nx = 0;
+  EXPECT_THROW(cfg.validate(), AssertionError);
+  cfg = DeploymentConfig{};
+  cfg.nodes_per_group = -1;
+  EXPECT_THROW(cfg.validate(), AssertionError);
+  cfg = DeploymentConfig{};
+  cfg.radio_range = 0.0;
+  EXPECT_THROW(cfg.validate(), AssertionError);
+  cfg = DeploymentConfig{};
+  cfg.field_side = -5.0;
+  EXPECT_THROW(cfg.validate(), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "deploy/network.h"
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+DeploymentConfig cfg6() {
+  DeploymentConfig cfg;
+  cfg.field_side = 600.0;
+  cfg.grid_nx = 6;
+  cfg.grid_ny = 6;
+  cfg.nodes_per_group = 20;
+  cfg.sigma = 30.0;
+  cfg.radio_range = 50.0;
+  return cfg;
+}
+
+TEST(CustomDeployment, UsesProvidedPoints) {
+  const std::vector<Vec2> pts = {{10, 10}, {50, 50}, {90, 10}};
+  DeploymentConfig cfg = cfg6();
+  const DeploymentModel model(cfg, pts);
+  EXPECT_EQ(model.num_groups(), 3);
+  EXPECT_EQ(model.total_nodes(), 60);
+  EXPECT_EQ(model.deployment_point(1), (Vec2{50, 50}));
+  EXPECT_THROW(model.deployment_point(3), AssertionError);
+}
+
+TEST(CustomDeployment, RejectsEmptyPointSet) {
+  EXPECT_THROW(DeploymentModel(cfg6(), {}), AssertionError);
+}
+
+TEST(HexDeployment, PointsInsideFieldWithHexNeighborDistances) {
+  const DeploymentModel model = DeploymentModel::hex(cfg6());
+  EXPECT_GT(model.num_groups(), 10);
+  const Aabb field = cfg6().field();
+  for (const Vec2& p : model.deployment_points()) {
+    EXPECT_TRUE(field.contains(p));
+  }
+  // Nearest-neighbor distance in a hex packing is the pitch (100 m here);
+  // every point's nearest other point must be at pitch +- epsilon.
+  for (int g = 0; g < model.num_groups(); ++g) {
+    double nearest = 1e18;
+    for (int h = 0; h < model.num_groups(); ++h) {
+      if (h == g) continue;
+      nearest = std::min(nearest, distance(model.deployment_point(g),
+                                           model.deployment_point(h)));
+    }
+    EXPECT_NEAR(nearest, 100.0, 1.0) << "group " << g;
+  }
+}
+
+TEST(HexDeployment, AlternatingRowsAreOffset) {
+  const DeploymentModel model = DeploymentModel::hex(cfg6());
+  // Collect distinct x-coordinates of the two lowest rows; they must not
+  // coincide (half-pitch offset).
+  std::set<double> row0_x, row1_x;
+  double y0 = 1e18, y1 = 1e18;
+  for (const Vec2& p : model.deployment_points()) y0 = std::min(y0, p.y);
+  for (const Vec2& p : model.deployment_points()) {
+    if (p.y > y0 + 1e-9) y1 = std::min(y1, p.y);
+  }
+  for (const Vec2& p : model.deployment_points()) {
+    if (std::abs(p.y - y0) < 1e-9) row0_x.insert(p.x);
+    if (std::abs(p.y - y1) < 1e-9) row1_x.insert(p.x);
+  }
+  ASSERT_FALSE(row0_x.empty());
+  ASSERT_FALSE(row1_x.empty());
+  EXPECT_DOUBLE_EQ(std::abs(*row0_x.begin() - *row1_x.begin()), 50.0);
+}
+
+TEST(RandomDeployment, DeterministicInSeedAndInField) {
+  DeploymentConfig cfg = cfg6();
+  Rng rng1(9), rng2(9), rng3(10);
+  const DeploymentModel a = DeploymentModel::random(cfg, rng1);
+  const DeploymentModel b = DeploymentModel::random(cfg, rng2);
+  const DeploymentModel c = DeploymentModel::random(cfg, rng3);
+  ASSERT_EQ(a.num_groups(), cfg.num_groups());
+  EXPECT_EQ(a.deployment_points(), b.deployment_points());
+  EXPECT_NE(a.deployment_points(), c.deployment_points());
+  for (const Vec2& p : a.deployment_points()) {
+    EXPECT_TRUE(cfg.field().contains(p));
+  }
+}
+
+TEST(DeploymentShapeFactory, ProducesEachLayout) {
+  const DeploymentConfig cfg = cfg6();
+  const DeploymentModel grid =
+      DeploymentModel::make(DeploymentShape::kGrid, cfg);
+  EXPECT_EQ(grid.num_groups(), 36);
+  const DeploymentModel hex = DeploymentModel::make(DeploymentShape::kHex, cfg);
+  EXPECT_NE(hex.num_groups(), 0);
+  const DeploymentModel rnd =
+      DeploymentModel::make(DeploymentShape::kRandom, cfg, 42);
+  EXPECT_EQ(rnd.num_groups(), 36);
+  // Same seed, same layout.
+  const DeploymentModel rnd2 =
+      DeploymentModel::make(DeploymentShape::kRandom, cfg, 42);
+  EXPECT_EQ(rnd.deployment_points(), rnd2.deployment_points());
+}
+
+TEST(CustomDeployment, NetworkAndObservationsWork) {
+  // End-to-end sanity on a non-grid layout: network generation, neighbor
+  // queries, and expected observations all use model.num_groups().
+  DeploymentConfig cfg = cfg6();
+  const DeploymentModel model = DeploymentModel::hex(cfg);
+  Rng rng(5);
+  const Network net(model, rng);
+  EXPECT_EQ(net.num_nodes(),
+            static_cast<std::size_t>(model.total_nodes()));
+  const Observation obs = net.observe(0);
+  EXPECT_EQ(obs.num_groups(), static_cast<std::size_t>(model.num_groups()));
+  const GzTable gz({cfg.radio_range, cfg.sigma}, 64);
+  const ExpectedObservation mu =
+      model.expected_observation(net.position(0), gz);
+  EXPECT_EQ(mu.size(), static_cast<std::size_t>(model.num_groups()));
+}
+
+}  // namespace
+}  // namespace lad

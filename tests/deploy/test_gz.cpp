@@ -1,0 +1,123 @@
+#include "deploy/gz.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+#include <cmath>
+
+#include "geom/vec2.h"
+#include "rng/rng.h"
+#include "stats/special.h"
+
+namespace lad {
+namespace {
+
+/// Brute-force estimate of g(z): scatter nodes around a deployment point at
+/// the origin and count how many land within R of the probe at (z, 0).
+double gz_monte_carlo(double z, const GzParams& params, int samples,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  const Vec2 probe{z, 0.0};
+  int hits = 0;
+  for (int i = 0; i < samples; ++i) {
+    const Vec2 p{rng.normal(0.0, params.sigma), rng.normal(0.0, params.sigma)};
+    if (distance(p, probe) <= params.radio_range) ++hits;
+  }
+  return static_cast<double>(hits) / samples;
+}
+
+TEST(Gz, ZeroDistanceClosedForm) {
+  const GzParams params{50.0, 50.0};
+  // g(0) = P(|N(0, sigma^2 I)| <= R) = 1 - exp(-R^2 / 2 sigma^2).
+  EXPECT_NEAR(gz_exact(0.0, params), 1.0 - std::exp(-0.5), 1e-9);
+  EXPECT_DOUBLE_EQ(gz_exact(0.0, params), gz_at_zero(params));
+}
+
+TEST(Gz, MatchesMonteCarloAcrossTheRange) {
+  const GzParams params{50.0, 50.0};
+  constexpr int kSamples = 400000;
+  for (double z : {0.0, 10.0, 25.0, 50.0, 75.0, 100.0, 150.0, 200.0}) {
+    const double exact = gz_exact(z, params);
+    const double mc = gz_monte_carlo(z, params, kSamples, 1000 + static_cast<std::uint64_t>(z));
+    // MC std-err <= 0.5 / sqrt(N) ~= 8e-4; allow 4 sigma.
+    EXPECT_NEAR(exact, mc, 3.2e-3) << "z = " << z;
+  }
+}
+
+TEST(Gz, MatchesMonteCarloForAsymmetricParameters) {
+  // R != sigma exercises both regimes of the integral.
+  const GzParams small_r{20.0, 60.0};
+  const GzParams large_r{120.0, 30.0};
+  constexpr int kSamples = 300000;
+  for (double z : {0.0, 30.0, 90.0, 140.0}) {
+    EXPECT_NEAR(gz_exact(z, small_r), gz_monte_carlo(z, small_r, kSamples, 77),
+                4e-3)
+        << "small R, z = " << z;
+    EXPECT_NEAR(gz_exact(z, large_r), gz_monte_carlo(z, large_r, kSamples, 99),
+                4e-3)
+        << "large R, z = " << z;
+  }
+}
+
+TEST(Gz, MonotonicallyDecreasingInZ) {
+  const GzParams params{50.0, 50.0};
+  double prev = gz_exact(0.0, params);
+  for (double z = 5.0; z <= 500.0; z += 5.0) {
+    const double g = gz_exact(z, params);
+    EXPECT_LE(g, prev + 1e-12) << "z = " << z;
+    prev = g;
+  }
+}
+
+TEST(Gz, ProbabilityBounds) {
+  const GzParams params{50.0, 50.0};
+  for (double z = 0.0; z <= 600.0; z += 13.0) {
+    const double g = gz_exact(z, params);
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 1.0);
+  }
+}
+
+TEST(Gz, VanishesBeyondSupportRadius) {
+  const GzParams params{50.0, 50.0};
+  const double support = gz_support_radius(params);
+  EXPECT_DOUBLE_EQ(support, 50.0 + 8.0 * 50.0);
+  EXPECT_LT(gz_exact(support, params), 1e-10);
+  EXPECT_LT(gz_exact(support + 100.0, params), 1e-12);
+}
+
+TEST(Gz, ContinuousAtZEqualsR) {
+  // The indicator term vanishes at z = R; the total must be continuous.
+  const GzParams params{50.0, 50.0};
+  const double eps = 1e-6;
+  const double below = gz_exact(50.0 - eps, params);
+  const double at = gz_exact(50.0, params);
+  const double above = gz_exact(50.0 + eps, params);
+  EXPECT_NEAR(below, at, 1e-5);
+  EXPECT_NEAR(above, at, 1e-5);
+}
+
+TEST(Gz, ContinuousNearZero) {
+  // The closed-form branch at z < 1e-9 must agree with the integral branch.
+  const GzParams params{50.0, 50.0};
+  EXPECT_NEAR(gz_exact(0.0, params), gz_exact(1e-6, params), 1e-6);
+  EXPECT_NEAR(gz_exact(0.0, params), gz_exact(0.01, params), 1e-5);
+}
+
+TEST(Gz, LargeRangeCapturesEverything) {
+  // R >> sigma: nearly every node is a neighbor for small z.
+  const GzParams params{500.0, 20.0};
+  EXPECT_NEAR(gz_exact(0.0, params), 1.0, 1e-9);
+  EXPECT_NEAR(gz_exact(100.0, params), 1.0, 1e-6);
+}
+
+TEST(Gz, RejectsInvalidArguments) {
+  const GzParams params{50.0, 50.0};
+  EXPECT_THROW(gz_exact(-1.0, params), AssertionError);
+  EXPECT_THROW(gz_exact(1.0, GzParams{0.0, 50.0}), AssertionError);
+  EXPECT_THROW(gz_exact(1.0, GzParams{50.0, 0.0}), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,92 @@
+// Parameterized property sweep for Theorem 1's g(z) across the (R, sigma)
+// plane: probability bounds, monotonicity, continuity at the branch
+// points, and table/exact agreement must hold for every parameterization,
+// not just the paper's R = sigma = 50.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "deploy/gz.h"
+#include "deploy/gz_table.h"
+
+namespace lad {
+namespace {
+
+class GzPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {
+ protected:
+  GzParams params() const {
+    return {std::get<0>(GetParam()), std::get<1>(GetParam())};
+  }
+};
+
+TEST_P(GzPropertyTest, BoundedInUnitInterval) {
+  const GzParams p = params();
+  const double support = gz_support_radius(p);
+  for (int i = 0; i <= 50; ++i) {
+    const double z = support * i / 50.0 * 1.2;  // beyond support too
+    const double g = gz_exact(z, p);
+    ASSERT_GE(g, 0.0) << "z=" << z;
+    ASSERT_LE(g, 1.0) << "z=" << z;
+  }
+}
+
+TEST_P(GzPropertyTest, MonotoneNonIncreasing) {
+  const GzParams p = params();
+  const double support = gz_support_radius(p);
+  double prev = gz_exact(0.0, p);
+  for (int i = 1; i <= 60; ++i) {
+    const double z = support * i / 60.0;
+    const double g = gz_exact(z, p);
+    ASSERT_LE(g, prev + 1e-10) << "z=" << z;
+    prev = g;
+  }
+}
+
+TEST_P(GzPropertyTest, ZeroDistanceIsRayleighCdf) {
+  const GzParams p = params();
+  const double want =
+      1.0 - std::exp(-p.radio_range * p.radio_range /
+                     (2.0 * p.sigma * p.sigma));
+  EXPECT_NEAR(gz_exact(0.0, p), want, 1e-10);
+}
+
+TEST_P(GzPropertyTest, ContinuousAtBranchPoints) {
+  const GzParams p = params();
+  // Branches: z ~ 0 (closed form) and z = R (indicator term vanishes).
+  EXPECT_NEAR(gz_exact(1e-7, p), gz_exact(0.0, p), 1e-6);
+  // g is genuinely sloped at z = R (|g'| <~ 0.5/sigma), so allow the slope
+  // contribution across the 2*eps probe plus quadrature noise.
+  const double eps = 1e-6 * p.radio_range;
+  const double slope_budget = 2.0 * eps * 0.5 / p.sigma;
+  EXPECT_NEAR(gz_exact(p.radio_range - eps, p),
+              gz_exact(p.radio_range + eps, p), slope_budget + 1e-6);
+}
+
+TEST_P(GzPropertyTest, TableTracksExactEverywhere) {
+  const GzParams p = params();
+  const GzTable table(p, 256);
+  // Linear-interpolation error is O(h^2 |g''|) with h = support/omega and
+  // |g''| ~ 1/sigma^2; bound with that scaling (floor for tiny cases).
+  const double h = gz_support_radius(p) / 256.0;
+  const double bound = std::max(5e-5, 0.5 * h * h / (p.sigma * p.sigma));
+  EXPECT_LT(table.max_abs_error(500), bound);
+}
+
+TEST_P(GzPropertyTest, NegligibleBeyondSupportRadius) {
+  const GzParams p = params();
+  EXPECT_LT(gz_exact(gz_support_radius(p), p), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterPlane, GzPropertyTest,
+    ::testing::Combine(::testing::Values(10.0, 50.0, 120.0, 300.0),  // R
+                       ::testing::Values(15.0, 50.0, 90.0)),         // sigma
+    [](const ::testing::TestParamInfo<std::tuple<double, double>>& info) {
+      return "R" + std::to_string(static_cast<int>(std::get<0>(info.param))) +
+             "Sigma" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,60 @@
+#include "deploy/gz_table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+TEST(GzTable, AgreesWithExactAtTablePoints) {
+  const GzParams params{50.0, 50.0};
+  const GzTable table(params, 64);
+  const double hi = table.support_radius();
+  for (int i = 0; i <= 64; ++i) {
+    const double z = hi * i / 64.0;
+    EXPECT_NEAR(table(z), gz_exact(z, params), 1e-12) << "z = " << z;
+  }
+}
+
+TEST(GzTable, InterpolationErrorSmallAtDefaultResolution) {
+  const GzParams params{50.0, 50.0};
+  const GzTable table(params);
+  // Section 3.3: "omega does not need to be very large" - the default 256
+  // already interpolates to ~1e-5 absolute error.
+  EXPECT_LT(table.max_abs_error(), 5e-5);
+}
+
+TEST(GzTable, ErrorDecreasesWithOmega) {
+  const GzParams params{50.0, 50.0};
+  const GzTable coarse(params, 16);
+  const GzTable fine(params, 512);
+  EXPECT_LT(fine.max_abs_error(500), coarse.max_abs_error(500) / 50.0);
+}
+
+TEST(GzTable, ZeroBeyondSupport) {
+  const GzTable table(GzParams{50.0, 50.0}, 64);
+  EXPECT_DOUBLE_EQ(table(table.support_radius()), 0.0);
+  EXPECT_DOUBLE_EQ(table(1e9), 0.0);
+}
+
+TEST(GzTable, NegativeInputClampsToZeroDistance) {
+  const GzParams params{50.0, 50.0};
+  const GzTable table(params, 64);
+  EXPECT_DOUBLE_EQ(table(-5.0), table(0.0));
+}
+
+TEST(GzTable, AtComputesPointDistances) {
+  const GzParams params{50.0, 50.0};
+  const GzTable table(params, 256);
+  const Vec2 dp{100, 100};
+  EXPECT_DOUBLE_EQ(table.at({100, 100}, dp), table(0.0));
+  EXPECT_NEAR(table.at({130, 140}, dp), table(50.0), 1e-12);
+}
+
+TEST(GzTable, RejectsUselessOmega) {
+  EXPECT_THROW(GzTable(GzParams{50.0, 50.0}, 4), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

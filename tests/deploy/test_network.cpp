@@ -1,0 +1,142 @@
+#include "deploy/network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lad {
+namespace {
+
+DeploymentConfig tiny_config() {
+  DeploymentConfig cfg;
+  cfg.field_side = 400.0;
+  cfg.grid_nx = 2;
+  cfg.grid_ny = 2;
+  cfg.nodes_per_group = 40;
+  cfg.sigma = 30.0;
+  cfg.radio_range = 60.0;
+  return cfg;
+}
+
+TEST(Network, HasAllNodesWithCorrectGroups) {
+  const DeploymentModel model(tiny_config());
+  Rng rng(1);
+  const Network net(model, rng);
+  EXPECT_EQ(net.num_nodes(), 160u);
+  std::vector<int> per_group(4, 0);
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    ++per_group[static_cast<std::size_t>(net.group_of(i))];
+  }
+  for (int g = 0; g < 4; ++g) EXPECT_EQ(per_group[static_cast<std::size_t>(g)], 40);
+}
+
+TEST(Network, DeterministicForSameSeed) {
+  const DeploymentModel model(tiny_config());
+  Rng rng1(9), rng2(9);
+  const Network a(model, rng1), b(model, rng2);
+  for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_EQ(a.position(i), b.position(i));
+  }
+}
+
+TEST(Network, ObservationMatchesBruteForce) {
+  const DeploymentModel model(tiny_config());
+  Rng rng(2);
+  const Network net(model, rng);
+  const double R = net.radio_range();
+  for (std::size_t node : {std::size_t{0}, std::size_t{55}, std::size_t{159}}) {
+    Observation want(4);
+    for (std::size_t j = 0; j < net.num_nodes(); ++j) {
+      if (j == node) continue;
+      if (distance(net.position(j), net.position(node)) <= R) {
+        ++want.counts[static_cast<std::size_t>(net.group_of(j))];
+      }
+    }
+    EXPECT_EQ(net.observe(node), want) << "node " << node;
+  }
+}
+
+TEST(Network, ObserveAtIncludesAllNodesInRange) {
+  const DeploymentModel model(tiny_config());
+  Rng rng(3);
+  const Network net(model, rng);
+  const Vec2 p{200, 200};
+  Observation want(4);
+  for (std::size_t j = 0; j < net.num_nodes(); ++j) {
+    if (distance(net.position(j), p) <= net.radio_range()) {
+      ++want.counts[static_cast<std::size_t>(net.group_of(j))];
+    }
+  }
+  EXPECT_EQ(net.observe_at(p), want);
+}
+
+TEST(Network, NeighborRelationSymmetricWithUniformRange) {
+  const DeploymentModel model(tiny_config());
+  Rng rng(4);
+  const Network net(model, rng);
+  for (std::size_t u : {std::size_t{3}, std::size_t{77}}) {
+    for (std::size_t v : net.neighbors_of(u)) {
+      const auto back = net.neighbors_of(v);
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end())
+          << u << " <-> " << v;
+    }
+  }
+}
+
+TEST(Network, RangeChangeAttackExtendsReach) {
+  const DeploymentModel model(tiny_config());
+  Rng rng(5);
+  Network net(model, rng);
+  // Find two nodes out of radio range of each other.
+  std::size_t far_a = 0, far_b = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < net.num_nodes() && !found; ++i) {
+    for (std::size_t j = i + 1; j < net.num_nodes(); ++j) {
+      const double d = distance(net.position(i), net.position(j));
+      if (d > net.radio_range() * 2 && d < net.radio_range() * 4) {
+        far_a = i;
+        far_b = j;
+        found = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  const Observation before = net.observe(far_b);
+  // Compromise far_a: quadruple its transmit power.
+  net.set_tx_range(far_a, net.radio_range() * 4);
+  const Observation after = net.observe(far_b);
+  const std::size_t g = static_cast<std::size_t>(net.group_of(far_a));
+  EXPECT_EQ(after.counts[g], before.counts[g] + 1);
+  EXPECT_EQ(after.total(), before.total() + 1);
+
+  net.reset_tx_ranges();
+  EXPECT_EQ(net.observe(far_b), before);
+}
+
+TEST(Network, ReducedRangeSilencesNode) {
+  const DeploymentModel model(tiny_config());
+  Rng rng(6);
+  Network net(model, rng);
+  const auto neighbors = net.neighbors_of(0);
+  ASSERT_FALSE(neighbors.empty());
+  const std::size_t muted = neighbors.front();
+  const Observation before = net.observe(0);
+  net.set_tx_range(muted, 0.0);
+  const Observation after = net.observe(0);
+  const std::size_t g = static_cast<std::size_t>(net.group_of(muted));
+  EXPECT_EQ(after.counts[g] + 1, before.counts[g]);
+}
+
+TEST(Network, TotalObservationEqualsNeighborCount) {
+  const DeploymentModel model(tiny_config());
+  Rng rng(7);
+  const Network net(model, rng);
+  for (std::size_t node = 0; node < net.num_nodes(); node += 17) {
+    EXPECT_EQ(static_cast<std::size_t>(net.observe(node).total()),
+              net.neighbors_of(node).size());
+  }
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,46 @@
+#include "geom/aabb.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+TEST(Aabb, BasicProperties) {
+  const Aabb box({0, 0}, {10, 20});
+  EXPECT_DOUBLE_EQ(box.width(), 10.0);
+  EXPECT_DOUBLE_EQ(box.height(), 20.0);
+  EXPECT_DOUBLE_EQ(box.area(), 200.0);
+  EXPECT_EQ(box.center(), (Vec2{5, 10}));
+}
+
+TEST(Aabb, SquareFactory) {
+  const Aabb sq = Aabb::square(1000.0);
+  EXPECT_EQ(sq.lo, (Vec2{0, 0}));
+  EXPECT_EQ(sq.hi, (Vec2{1000, 1000}));
+}
+
+TEST(Aabb, ContainsIncludesBoundary) {
+  const Aabb box({0, 0}, {10, 10});
+  EXPECT_TRUE(box.contains({5, 5}));
+  EXPECT_TRUE(box.contains({0, 0}));
+  EXPECT_TRUE(box.contains({10, 10}));
+  EXPECT_FALSE(box.contains({10.001, 5}));
+  EXPECT_FALSE(box.contains({5, -0.001}));
+}
+
+TEST(Aabb, ClampProjectsToNearestPoint) {
+  const Aabb box({0, 0}, {10, 10});
+  EXPECT_EQ(box.clamp({-5, 5}), (Vec2{0, 5}));
+  EXPECT_EQ(box.clamp({12, 15}), (Vec2{10, 10}));
+  EXPECT_EQ(box.clamp({3, 4}), (Vec2{3, 4}));
+}
+
+TEST(Aabb, RejectsInvertedBox) {
+  EXPECT_THROW(Aabb({5, 0}, {0, 5}), AssertionError);
+  EXPECT_THROW(Aabb({0, 5}, {5, 0}), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

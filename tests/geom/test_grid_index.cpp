@@ -1,0 +1,102 @@
+#include "geom/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+#include <algorithm>
+
+#include "rng/rng.h"
+
+namespace lad {
+namespace {
+
+std::vector<Vec2> random_points(std::size_t n, const Aabb& box, Rng& rng) {
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(box.lo.x, box.hi.x), rng.uniform(box.lo.y, box.hi.y)});
+  }
+  return pts;
+}
+
+std::vector<std::size_t> brute_force_query(const std::vector<Vec2>& pts, Vec2 q,
+                                           double r) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (distance(pts[i], q) <= r) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(GridIndex, MatchesBruteForceOnRandomQueries) {
+  Rng rng(42);
+  const Aabb box = Aabb::square(100.0);
+  const auto pts = random_points(500, box, rng);
+  const GridIndex index(pts, box, 10.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec2 q{rng.uniform(0, 100), rng.uniform(0, 100)};
+    const double r = rng.uniform(0.0, 30.0);
+    auto got = index.query(q, r);
+    auto want = brute_force_query(pts, q, r);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "query at (" << q.x << "," << q.y << ") r=" << r;
+  }
+}
+
+TEST(GridIndex, FindsPointsOutsideTheNominalBounds) {
+  // Points outside the bounds are clamped into border cells but must still
+  // be discoverable (deployment scatter can leave the field).
+  const std::vector<Vec2> pts = {{-5, -5}, {105, 50}, {50, 50}};
+  const GridIndex index(pts, Aabb::square(100.0), 10.0);
+  const auto got = index.query({-5, -5}, 1.0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 0u);
+  const auto got2 = index.query({105, 50}, 1.0);
+  ASSERT_EQ(got2.size(), 1u);
+  EXPECT_EQ(got2[0], 1u);
+}
+
+TEST(GridIndex, QueryRadiusLargerThanCellSize) {
+  Rng rng(7);
+  const Aabb box = Aabb::square(100.0);
+  const auto pts = random_points(300, box, rng);
+  const GridIndex index(pts, box, 5.0);
+  const Vec2 q{50, 50};
+  auto got = index.query(q, 40.0);  // spans many cells
+  auto want = brute_force_query(pts, q, 40.0);
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(GridIndex, CountInRadiusExcludesRequestedIndex) {
+  const std::vector<Vec2> pts = {{0, 0}, {1, 0}, {2, 0}};
+  const GridIndex index(pts, Aabb::square(10.0), 5.0);
+  EXPECT_EQ(index.count_in_radius({0, 0}, 1.5), 2u);
+  EXPECT_EQ(index.count_in_radius({0, 0}, 1.5, 0), 1u);
+}
+
+TEST(GridIndex, EmptyPointSet) {
+  const GridIndex index({}, Aabb::square(10.0), 1.0);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.query({5, 5}, 100.0).empty());
+}
+
+TEST(GridIndex, ZeroRadiusFindsCoincidentPointOnly) {
+  const std::vector<Vec2> pts = {{5, 5}, {5.0001, 5}};
+  const GridIndex index(pts, Aabb::square(10.0), 1.0);
+  const auto got = index.query({5, 5}, 0.0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 0u);
+}
+
+TEST(GridIndex, RejectsBadCellSizeAndNegativeRadius) {
+  EXPECT_THROW(GridIndex({}, Aabb::square(1.0), 0.0), AssertionError);
+  const GridIndex index({{0, 0}}, Aabb::square(1.0), 1.0);
+  EXPECT_THROW(index.query({0, 0}, -1.0), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,58 @@
+#include "geom/vec2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lad {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, -4};
+  EXPECT_EQ(a + b, (Vec2{4, -2}));
+  EXPECT_EQ(a - b, (Vec2{-2, 6}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+  EXPECT_EQ(2.0 * a, (Vec2{2, 4}));
+  EXPECT_EQ(b / 2.0, (Vec2{1.5, -2}));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1, 1};
+  v += {2, 3};
+  EXPECT_EQ(v, (Vec2{3, 4}));
+  v -= {1, 1};
+  EXPECT_EQ(v, (Vec2{2, 3}));
+  v *= 2.0;
+  EXPECT_EQ(v, (Vec2{4, 6}));
+}
+
+TEST(Vec2, DotAndCross) {
+  EXPECT_DOUBLE_EQ((Vec2{1, 2}.dot({3, 4})), 11.0);
+  EXPECT_DOUBLE_EQ((Vec2{1, 0}.cross({0, 1})), 1.0);
+  EXPECT_DOUBLE_EQ((Vec2{0, 1}.cross({1, 0})), -1.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}.norm()), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}.norm2()), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({1, 1}, {2, 2}), 2.0);
+}
+
+TEST(Vec2, Normalized) {
+  const Vec2 n = Vec2{3, 4}.normalized();
+  EXPECT_DOUBLE_EQ(n.x, 0.6);
+  EXPECT_DOUBLE_EQ(n.y, 0.8);
+  EXPECT_EQ((Vec2{0, 0}.normalized()), (Vec2{0, 0}));
+}
+
+TEST(Vec2, PolarOffset) {
+  const Vec2 p = polar_offset({1, 1}, 2.0, M_PI / 2.0);
+  EXPECT_NEAR(p.x, 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 3.0, 1e-12);
+  // The offset point is at exactly the requested distance.
+  EXPECT_NEAR(distance({1, 1}, polar_offset({1, 1}, 7.3, 1.234)), 7.3, 1e-12);
+}
+
+}  // namespace
+}  // namespace lad

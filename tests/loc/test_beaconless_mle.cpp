@@ -1,0 +1,100 @@
+#include "loc/beaconless_mle.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+#include "stats/running_stats.h"
+
+namespace lad {
+namespace {
+
+DeploymentConfig paper_config_small_m() {
+  DeploymentConfig cfg;  // paper geometry
+  cfg.nodes_per_group = 100;  // lighter than 300 for test speed
+  return cfg;
+}
+
+class MleTest : public ::testing::Test {
+ protected:
+  MleTest()
+      : cfg_(paper_config_small_m()), model_(cfg_),
+        gz_({cfg_.radio_range, cfg_.sigma}), rng_(31), net_(model_, rng_),
+        mle_(model_, gz_) {}
+  DeploymentConfig cfg_;
+  DeploymentModel model_;
+  GzTable gz_;
+  Rng rng_;
+  Network net_;
+  BeaconlessMleLocalizer mle_;
+};
+
+TEST_F(MleTest, LogLikelihoodPeaksNearTruth) {
+  const std::size_t node = 1234;
+  const Observation obs = net_.observe(node);
+  const Vec2 truth = net_.position(node);
+  const double ll_truth = mle_.log_likelihood(obs, truth);
+  // A location 200 m away explains the observation much worse.
+  const Vec2 far = cfg_.field().clamp(truth + Vec2{200, 0});
+  EXPECT_GT(ll_truth, mle_.log_likelihood(obs, far));
+  const Vec2 far2 = cfg_.field().clamp(truth + Vec2{0, -300});
+  EXPECT_GT(ll_truth, mle_.log_likelihood(obs, far2));
+}
+
+TEST_F(MleTest, EstimateBeatsCoarseBaselineOnAverage) {
+  RunningStats err;
+  for (std::size_t node = 100; node < 3100; node += 250) {
+    const Vec2 le = mle_.estimate(net_.observe(node));
+    err.add(distance(le, net_.position(node)));
+  }
+  // With m = 100, sigma = 50, R = 50 the MLE lands within a few tens of
+  // meters on average - far better than the ~45 m cell-radius baseline.
+  EXPECT_LT(err.mean(), 40.0);
+}
+
+TEST_F(MleTest, EstimateImprovesWithDensity) {
+  DeploymentConfig dense = cfg_;
+  dense.nodes_per_group = 400;
+  const DeploymentModel dense_model(dense);
+  Rng rng(77);
+  const Network dense_net(dense_model, rng);
+  const BeaconlessMleLocalizer dense_mle(dense_model, gz_);
+
+  RunningStats sparse_err, dense_err;
+  for (int k = 0; k < 60; ++k) {
+    const std::size_t a = static_cast<std::size_t>(rng.uniform_int(
+        std::uint64_t(net_.num_nodes())));
+    sparse_err.add(distance(mle_.estimate(net_.observe(a)), net_.position(a)));
+    const std::size_t b = static_cast<std::size_t>(rng.uniform_int(
+        std::uint64_t(dense_net.num_nodes())));
+    dense_err.add(distance(dense_mle.estimate(dense_net.observe(b)),
+                           dense_net.position(b)));
+  }
+  // The paper's Fig. 9 premise: localization accuracy improves with m.
+  EXPECT_LT(dense_err.mean(), sparse_err.mean());
+}
+
+TEST_F(MleTest, EstimateStaysInsideField) {
+  for (std::size_t node = 0; node < net_.num_nodes(); node += 977) {
+    EXPECT_TRUE(cfg_.field().contains(mle_.estimate(net_.observe(node))));
+  }
+}
+
+TEST_F(MleTest, EmptyObservationFallsBackGracefully) {
+  const Observation empty(static_cast<std::size_t>(model_.num_groups()));
+  const Vec2 le = mle_.estimate(empty);
+  EXPECT_TRUE(cfg_.field().contains(le));
+}
+
+TEST_F(MleTest, SizeMismatchThrows) {
+  EXPECT_THROW(mle_.estimate(Observation(5)), AssertionError);
+}
+
+TEST_F(MleTest, LocalizerInterfaceMatchesDirectEstimate) {
+  const std::size_t node = 42;
+  EXPECT_EQ(mle_.localize(net_, node), mle_.estimate(net_.observe(node)));
+  EXPECT_EQ(mle_.name(), "beaconless-mle");
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,67 @@
+#include "loc/beacons.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+TEST(BeaconField, GridPlacement) {
+  const BeaconField f = BeaconField::grid(Aabb::square(400.0), 2, 2, 150.0);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0].true_position, (Vec2{100, 100}));
+  EXPECT_EQ(f[3].true_position, (Vec2{300, 300}));
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_EQ(f[i].true_position, f[i].declared_position);
+    EXPECT_FALSE(f[i].compromised);
+  }
+}
+
+TEST(BeaconField, RandomPlacementInsideField) {
+  Rng rng(4);
+  const BeaconField f = BeaconField::random(Aabb::square(100.0), 20, 50.0, rng);
+  ASSERT_EQ(f.size(), 20u);
+  for (const Beacon& b : f.beacons()) {
+    EXPECT_TRUE(Aabb::square(100.0).contains(b.true_position));
+  }
+}
+
+TEST(BeaconField, HeardAtUsesTruePositionsAndRange) {
+  const BeaconField f = BeaconField::grid(Aabb::square(400.0), 2, 2, 150.0);
+  const auto heard = f.heard_at({100, 100});
+  // Beacon 0 at distance 0; beacons 1 and 2 at distance 200 > 150.
+  ASSERT_EQ(heard.size(), 1u);
+  EXPECT_EQ(heard[0], 0u);
+  const auto center = f.heard_at({200, 200});
+  EXPECT_EQ(center.size(), 4u);  // all at sqrt(2)*100 ~ 141 < 150
+}
+
+TEST(BeaconField, CompromiseChangesDeclarationOnly) {
+  BeaconField f = BeaconField::grid(Aabb::square(400.0), 2, 2, 150.0);
+  f.compromise(1, {9999, 9999});
+  EXPECT_TRUE(f[1].compromised);
+  EXPECT_EQ(f[1].declared_position, (Vec2{9999, 9999}));
+  EXPECT_EQ(f[1].true_position, (Vec2{300, 100}));
+  // Radio reach is unchanged.
+  const auto heard = f.heard_at({300, 100});
+  EXPECT_NE(std::find(heard.begin(), heard.end(), 1u), heard.end());
+  f.reset_compromises();
+  EXPECT_FALSE(f[1].compromised);
+  EXPECT_EQ(f[1].declared_position, f[1].true_position);
+}
+
+TEST(BeaconField, InvalidConstruction) {
+  Rng rng(1);
+  EXPECT_THROW(BeaconField::grid(Aabb::square(1.0), 0, 1, 1.0), AssertionError);
+  EXPECT_THROW(BeaconField::grid(Aabb::square(1.0), 1, 1, 0.0), AssertionError);
+  EXPECT_THROW(BeaconField::random(Aabb::square(1.0), 0, 1.0, rng),
+               AssertionError);
+  BeaconField f = BeaconField::grid(Aabb::square(1.0), 1, 1, 1.0);
+  EXPECT_THROW(f.compromise(5, {0, 0}), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,76 @@
+#include "loc/echo.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+EchoProtocol single_verifier() {
+  return EchoProtocol({{{500, 500}, 300.0}}, 1e-4);
+}
+
+TEST(Echo, HonestProverAtClaimedLocationAccepted) {
+  const EchoProtocol echo = single_verifier();
+  EXPECT_EQ(echo.verify({600, 500}, {600, 500}), +1);
+}
+
+TEST(Echo, ClaimingCloserThanActualIsRejected) {
+  // The prover is 250 m from the verifier but claims 100 m: its echo is
+  // ~0.44 s too slow, far beyond the processing slack.
+  const EchoProtocol echo = single_verifier();
+  EXPECT_EQ(echo.verify(/*claimed=*/{600, 500}, /*actual=*/{750, 500}), -1);
+}
+
+TEST(Echo, ClaimingFartherThanActualIsAcceptedTheKnownLimitation) {
+  // The asymmetry Section 2.2 alludes to: the prover is 100 m away but
+  // claims 250 m; its early echo still meets the (longer) deadline, so
+  // Echo accepts.  LAD's observation-consistency check has no such
+  // directional blind spot.
+  const EchoProtocol echo = single_verifier();
+  EXPECT_EQ(echo.verify(/*claimed=*/{750, 500}, /*actual=*/{600, 500}), +1);
+}
+
+TEST(Echo, DelayingTheEchoFakesDistanceButOnlyOutward) {
+  const EchoProtocol echo = single_verifier();
+  // Prover at 100 m delays its reply to look like 250 m: accepted (the
+  // deadline for 250 m is long enough).
+  const double fake_extra = 150.0 / kUltrasoundSpeed;
+  EXPECT_EQ(echo.verify({750, 500}, {600, 500}, fake_extra), +1);
+  // No (non-negative) delay lets a far prover look close.
+  EXPECT_EQ(echo.verify({600, 500}, {750, 500}, 0.0), -1);
+}
+
+TEST(Echo, OutOfRangeClaimIsUnverifiable) {
+  const EchoProtocol echo = single_verifier();
+  EXPECT_EQ(echo.verify({990, 990}, {990, 990}), 0);
+}
+
+TEST(Echo, GridCoverage) {
+  const Aabb field = Aabb::square(1000.0);
+  const EchoProtocol dense = EchoProtocol::grid(field, 4, 4, 200.0);
+  const EchoProtocol sparse = EchoProtocol::grid(field, 2, 2, 200.0);
+  EXPECT_GT(dense.coverage(field), sparse.coverage(field));
+  EXPECT_GT(dense.coverage(field), 0.8);
+  // Full coverage with generous range.
+  const EchoProtocol full = EchoProtocol::grid(field, 4, 4, 400.0);
+  EXPECT_DOUBLE_EQ(full.coverage(field), 1.0);
+}
+
+TEST(Echo, AnyCoveringVerifierSuffices) {
+  // Two verifiers; the prover is honest and in range of only one.
+  const EchoProtocol echo({{{100, 100}, 150.0}, {{900, 900}, 150.0}}, 1e-4);
+  EXPECT_EQ(echo.verify({150, 100}, {150, 100}), +1);
+}
+
+TEST(Echo, InvalidConstructionAndArguments) {
+  EXPECT_THROW(EchoProtocol({}, 1e-4), AssertionError);
+  EXPECT_THROW(EchoProtocol({{{0, 0}, 0.0}}, 1e-4), AssertionError);
+  EXPECT_THROW(EchoProtocol({{{0, 0}, 10.0}}, -1.0), AssertionError);
+  const EchoProtocol echo = single_verifier();
+  EXPECT_THROW(echo.verify({0, 0}, {0, 0}, -1.0), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

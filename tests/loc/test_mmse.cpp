@@ -1,0 +1,83 @@
+#include "loc/mmse.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+#include "rng/rng.h"
+
+namespace lad {
+namespace {
+
+TEST(Mmse, ExactOnNoiselessRanges) {
+  const Vec2 truth{37.0, 81.0};
+  const std::vector<Vec2> refs = {{0, 0}, {100, 0}, {0, 100}, {100, 100}};
+  std::vector<double> dists;
+  for (const Vec2& r : refs) dists.push_back(distance(truth, r));
+  const auto res = mmse_multilaterate(refs, dists);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_NEAR(res->position.x, truth.x, 1e-6);
+  EXPECT_NEAR(res->position.y, truth.y, 1e-6);
+  EXPECT_NEAR(res->residual_rms, 0.0, 1e-6);
+}
+
+TEST(Mmse, RobustToModerateNoise) {
+  Rng rng(3);
+  const Vec2 truth{420.0, 333.0};
+  std::vector<Vec2> refs;
+  std::vector<double> dists;
+  for (int i = 0; i < 8; ++i) {
+    const Vec2 r{rng.uniform(0, 1000), rng.uniform(0, 1000)};
+    refs.push_back(r);
+    dists.push_back(distance(truth, r) + rng.normal(0.0, 5.0));
+  }
+  const auto res = mmse_multilaterate(refs, dists);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_LT(distance(res->position, truth), 15.0);
+}
+
+TEST(Mmse, SingleLyingReferenceSkewsTheEstimate) {
+  // Section 6.3's vulnerability: one compromised anchor with a large lie
+  // drags the MMSE estimate far from the truth.
+  const Vec2 truth{500.0, 500.0};
+  std::vector<Vec2> refs = {{0, 0}, {1000, 0}, {0, 1000}, {1000, 1000}};
+  std::vector<double> dists;
+  for (const Vec2& r : refs) dists.push_back(distance(truth, r));
+  // The last anchor lies about its position by 800 m.
+  refs[3] = {1800.0, 1000.0};
+  const auto res = mmse_multilaterate(refs, dists);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_GT(distance(res->position, truth), 50.0);
+}
+
+TEST(Mmse, RejectsDegenerateInputs) {
+  EXPECT_FALSE(mmse_multilaterate({{0, 0}, {1, 1}}, {1.0, 1.0}).has_value());
+  // Collinear references cannot fix a 2-D position.
+  const std::vector<Vec2> collinear = {{0, 0}, {10, 0}, {20, 0}};
+  const auto res = mmse_multilaterate(collinear, {5.0, 5.0, 15.0});
+  EXPECT_FALSE(res.has_value());
+}
+
+TEST(Mmse, MismatchedSizesThrow) {
+  EXPECT_THROW(mmse_multilaterate({{0, 0}}, {1.0, 2.0}), AssertionError);
+}
+
+TEST(Mmse, GaussNewtonImprovesOverLinearizationWithNoise) {
+  Rng rng(9);
+  const Vec2 truth{100.0, 700.0};
+  std::vector<Vec2> refs;
+  std::vector<double> dists;
+  for (int i = 0; i < 6; ++i) {
+    const Vec2 r{rng.uniform(0, 1000), rng.uniform(0, 1000)};
+    refs.push_back(r);
+    dists.push_back(distance(truth, r) * rng.uniform(0.95, 1.05));
+  }
+  const auto raw = mmse_multilaterate(refs, dists, 0);
+  const auto refined = mmse_multilaterate(refs, dists, 10);
+  ASSERT_TRUE(raw.has_value());
+  ASSERT_TRUE(refined.has_value());
+  EXPECT_LE(refined->residual_rms, raw->residual_rms + 1e-9);
+}
+
+}  // namespace
+}  // namespace lad

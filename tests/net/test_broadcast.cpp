@@ -1,0 +1,174 @@
+#include "net/broadcast.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lad {
+namespace {
+
+DeploymentConfig tiny_config() {
+  DeploymentConfig cfg;
+  cfg.field_side = 400.0;
+  cfg.grid_nx = 2;
+  cfg.grid_ny = 2;
+  cfg.nodes_per_group = 40;
+  cfg.sigma = 30.0;
+  cfg.radio_range = 60.0;
+  return cfg;
+}
+
+class BroadcastTest : public ::testing::Test {
+ protected:
+  BroadcastTest() : model_(tiny_config()), rng_(11), net_(model_, rng_) {}
+  DeploymentModel model_;
+  Rng rng_;
+  Network net_;
+};
+
+TEST_F(BroadcastTest, HonestRoundEqualsDirectObservation) {
+  const BroadcastSim sim(net_);
+  for (std::size_t node = 0; node < net_.num_nodes(); node += 23) {
+    EXPECT_EQ(sim.observe(node), net_.observe(node));
+  }
+}
+
+TEST_F(BroadcastTest, SilenceAttackRemovesOneCount) {
+  BroadcastSim sim(net_);
+  const auto neighbors = net_.neighbors_of(5);
+  ASSERT_FALSE(neighbors.empty());
+  const std::size_t quiet = neighbors.front();
+  NodeBehavior b;
+  b.silent = true;
+  sim.set_behavior(quiet, b);
+  const Observation base = net_.observe(5);
+  const Observation got = sim.observe(5);
+  const std::size_t g = static_cast<std::size_t>(net_.group_of(quiet));
+  EXPECT_EQ(got.counts[g] + 1, base.counts[g]);
+  EXPECT_EQ(got.total() + 1, base.total());
+}
+
+TEST_F(BroadcastTest, ImpersonationMovesOneCount) {
+  BroadcastSim sim(net_);
+  const auto neighbors = net_.neighbors_of(5);
+  ASSERT_FALSE(neighbors.empty());
+  const std::size_t liar = neighbors.front();
+  const int true_g = net_.group_of(liar);
+  const int fake_g = (true_g + 1) % net_.num_groups();
+  NodeBehavior b;
+  b.impersonate_group = fake_g;
+  sim.set_behavior(liar, b);
+  const Observation base = net_.observe(5);
+  const Observation got = sim.observe(5);
+  EXPECT_EQ(got.counts[static_cast<std::size_t>(true_g)] + 1,
+            base.counts[static_cast<std::size_t>(true_g)]);
+  EXPECT_EQ(got.counts[static_cast<std::size_t>(fake_g)],
+            base.counts[static_cast<std::size_t>(fake_g)] + 1);
+  EXPECT_EQ(got.total(), base.total());
+}
+
+TEST_F(BroadcastTest, MultiImpersonationInflatesArbitrarily) {
+  BroadcastSim sim(net_);
+  const auto neighbors = net_.neighbors_of(5);
+  ASSERT_FALSE(neighbors.empty());
+  NodeBehavior b;
+  b.extra_claims = {{0, 17}, {3, 4}};
+  sim.set_behavior(neighbors.front(), b);
+  const Observation base = net_.observe(5);
+  const Observation got = sim.observe(5);
+  EXPECT_EQ(got.counts[0], base.counts[0] + 17);
+  EXPECT_EQ(got.counts[3], base.counts[3] + 4);
+}
+
+TEST_F(BroadcastTest, AuthenticationBlocksForgedClaims) {
+  BroadcastSim sim(net_);
+  sim.set_defenses({.authentication = true, .wormhole_detection = false});
+  const auto neighbors = net_.neighbors_of(5);
+  ASSERT_FALSE(neighbors.empty());
+  const std::size_t liar = neighbors.front();
+  const int true_g = net_.group_of(liar);
+  const int fake_g = (true_g + 1) % net_.num_groups();
+  const int claim_g = (true_g + 2) % net_.num_groups();
+  NodeBehavior b;
+  b.impersonate_group = fake_g;
+  b.extra_claims = {{claim_g, 50}};
+  sim.set_behavior(liar, b);
+  const Observation base = net_.observe(5);
+  const Observation got = sim.observe(5);
+  // The forged primary claim and the extra claims are all dropped; the
+  // liar's true announcement is suppressed too (it claimed a false group),
+  // so the net effect equals a silence attack.
+  EXPECT_EQ(got.counts[static_cast<std::size_t>(true_g)] + 1,
+            base.counts[static_cast<std::size_t>(true_g)]);
+  EXPECT_EQ(got.counts[static_cast<std::size_t>(fake_g)],
+            base.counts[static_cast<std::size_t>(fake_g)]);
+  EXPECT_EQ(got.counts[static_cast<std::size_t>(claim_g)],
+            base.counts[static_cast<std::size_t>(claim_g)]);
+}
+
+TEST_F(BroadcastTest, AuthenticationStillAllowsSilence) {
+  // Dec-Only world: silence is the only attack that works.
+  BroadcastSim sim(net_);
+  sim.set_defenses({.authentication = true, .wormhole_detection = true});
+  const auto neighbors = net_.neighbors_of(9);
+  ASSERT_FALSE(neighbors.empty());
+  NodeBehavior b;
+  b.silent = true;
+  sim.set_behavior(neighbors.front(), b);
+  EXPECT_EQ(sim.observe(9).total() + 1, net_.observe(9).total());
+}
+
+TEST_F(BroadcastTest, BehaviorsCanBeOverwrittenAndCleared) {
+  BroadcastSim sim(net_);
+  const auto neighbors = net_.neighbors_of(5);
+  ASSERT_FALSE(neighbors.empty());
+  NodeBehavior b;
+  b.silent = true;
+  sim.set_behavior(neighbors.front(), b);
+  b.silent = false;
+  sim.set_behavior(neighbors.front(), b);  // overwrite with honest
+  EXPECT_EQ(sim.observe(5), net_.observe(5));
+  b.silent = true;
+  sim.set_behavior(neighbors.front(), b);
+  sim.clear_behaviors();
+  EXPECT_EQ(sim.observe(5), net_.observe(5));
+}
+
+TEST_F(BroadcastTest, WormholeReplaysRemoteSenders) {
+  BroadcastSim sim(net_);
+  const std::size_t victim = 0;
+  const Vec2 vp = net_.position(victim);
+  const Vec2 remote{350, 350};
+  sim.add_wormhole({remote, vp, 30.0, true});
+  const Observation base = net_.observe(victim);
+  const Observation got = sim.observe(victim);
+  // Count distinct non-neighbor nodes in the capture zone.
+  std::size_t expect_extra = 0;
+  const auto direct = net_.neighbors_of(victim);
+  for (std::size_t i : net_.nodes_within(remote, 30.0, victim)) {
+    if (std::find(direct.begin(), direct.end(), i) == direct.end()) ++expect_extra;
+  }
+  EXPECT_GT(expect_extra, 0u);  // sanity: the zone is populated
+  EXPECT_EQ(static_cast<std::size_t>(got.total()),
+            static_cast<std::size_t>(base.total()) + expect_extra);
+}
+
+TEST_F(BroadcastTest, WormholeDetectionDropsReplays) {
+  BroadcastSim sim(net_);
+  sim.set_defenses({.authentication = false, .wormhole_detection = true});
+  sim.add_wormhole({{350, 350}, net_.position(0), 30.0, true});
+  EXPECT_EQ(sim.observe(0), net_.observe(0));
+}
+
+TEST_F(BroadcastTest, HeardCountCountsTransmittersNotMessages) {
+  BroadcastSim sim(net_);
+  const auto neighbors = net_.neighbors_of(5);
+  ASSERT_FALSE(neighbors.empty());
+  NodeBehavior b;
+  b.extra_claims = {{0, 100}};
+  sim.set_behavior(neighbors.front(), b);
+  EXPECT_EQ(sim.heard_count(5), neighbors.size());
+}
+
+}  // namespace
+}  // namespace lad

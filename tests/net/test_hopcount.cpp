@@ -1,0 +1,112 @@
+#include "net/hopcount.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lad {
+namespace {
+
+DeploymentConfig line_config() {
+  // Narrow strip so the network is effectively a 1-D chain of clusters.
+  DeploymentConfig cfg;
+  cfg.field_side = 500.0;
+  cfg.grid_nx = 5;
+  cfg.grid_ny = 1;
+  cfg.nodes_per_group = 30;
+  cfg.sigma = 20.0;
+  cfg.radio_range = 60.0;
+  return cfg;
+}
+
+class HopCountTest : public ::testing::Test {
+ protected:
+  HopCountTest() : model_(line_config()), rng_(21), net_(model_, rng_) {}
+  DeploymentModel model_;
+  Rng rng_;
+  Network net_;
+};
+
+TEST_F(HopCountTest, SourceIsZeroHops) {
+  const auto hops = hop_counts_from(net_, 0);
+  EXPECT_EQ(hops[0], 0);
+}
+
+TEST_F(HopCountTest, DirectNeighborsAreOneHop) {
+  const auto hops = hop_counts_from(net_, 0);
+  for (std::size_t nb : net_.neighbors_of(0)) {
+    EXPECT_EQ(hops[nb], 1) << "neighbor " << nb;
+  }
+}
+
+TEST_F(HopCountTest, TriangleInequalityOnHops) {
+  // hops(u) <= hops(neighbor of u) + 1 for every edge.
+  const auto hops = hop_counts_from(net_, 0);
+  for (std::size_t u = 0; u < net_.num_nodes(); ++u) {
+    if (hops[u] == kUnreachableHops) continue;
+    for (std::size_t v : net_.neighbors_of(u)) {
+      if (hops[v] == kUnreachableHops) continue;
+      EXPECT_LE(hops[u], hops[v] + 1);
+    }
+  }
+}
+
+TEST_F(HopCountTest, HopsGrowWithDistanceAcrossTheStrip) {
+  // A node near x=0 needs strictly more hops to x=450 clusters than to
+  // nearby ones, and at least ceil(distance / R).
+  std::size_t left = 0, right = 0;
+  for (std::size_t i = 0; i < net_.num_nodes(); ++i) {
+    if (net_.position(i).x < net_.position(left).x) left = i;
+    if (net_.position(i).x > net_.position(right).x) right = i;
+  }
+  const auto hops = hop_counts_from(net_, left);
+  if (hops[right] != kUnreachableHops) {
+    const double d = distance(net_.position(left), net_.position(right));
+    EXPECT_GE(hops[right],
+              static_cast<std::uint16_t>(std::ceil(d / net_.radio_range())));
+  }
+}
+
+TEST_F(HopCountTest, MultiSourceMatchesSingleSource) {
+  const std::vector<std::size_t> sources = {0, 50, 100};
+  const auto all = hop_counts_from_all(net_, sources);
+  ASSERT_EQ(all.size(), 3u);
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    EXPECT_EQ(all[s], hop_counts_from(net_, sources[s]));
+  }
+}
+
+TEST_F(HopCountTest, AverageHopDistanceIsPlausible) {
+  const std::vector<std::size_t> sources = {0, 40, 80, 120};
+  const auto hops = hop_counts_from_all(net_, sources);
+  const double ahd = average_hop_distance(net_, sources, hops);
+  if (ahd > 0) {
+    // A hop can never cover more than R, and in a connected strip it
+    // should cover a decent fraction of R.
+    EXPECT_LE(ahd, net_.radio_range());
+    EXPECT_GT(ahd, net_.radio_range() * 0.2);
+  }
+}
+
+TEST(HopCountIsolated, DisconnectedNodesAreUnreachable) {
+  DeploymentConfig cfg;
+  cfg.field_side = 1000.0;
+  cfg.grid_nx = 2;
+  cfg.grid_ny = 1;
+  cfg.nodes_per_group = 10;
+  cfg.sigma = 5.0;      // two tight clusters 500 m apart
+  cfg.radio_range = 30.0;
+  const DeploymentModel model(cfg);
+  Rng rng(5);
+  const Network net(model, rng);
+  const auto hops = hop_counts_from(net, 0);
+  // Some node of the far cluster must be unreachable.
+  bool any_unreachable = false;
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    if (hops[i] == kUnreachableHops) any_unreachable = true;
+  }
+  EXPECT_TRUE(any_unreachable);
+}
+
+}  // namespace
+}  // namespace lad

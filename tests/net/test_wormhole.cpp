@@ -1,0 +1,33 @@
+#include "net/wormhole.h"
+
+#include <gtest/gtest.h>
+
+namespace lad {
+namespace {
+
+TEST(Wormhole, ForwardDelivery) {
+  const Wormhole w{{0, 0}, {100, 100}, 10.0, false};
+  EXPECT_TRUE(wormhole_delivers(w, {5, 0}, {100, 105}));
+  EXPECT_FALSE(wormhole_delivers(w, {5, 0}, {50, 50}));   // receiver far
+  EXPECT_FALSE(wormhole_delivers(w, {20, 0}, {100, 100})); // sender far
+}
+
+TEST(Wormhole, UnidirectionalRejectsReverse) {
+  const Wormhole w{{0, 0}, {100, 100}, 10.0, false};
+  EXPECT_FALSE(wormhole_delivers(w, {100, 100}, {0, 0}));
+}
+
+TEST(Wormhole, BidirectionalAllowsBothWays) {
+  const Wormhole w{{0, 0}, {100, 100}, 10.0, true};
+  EXPECT_TRUE(wormhole_delivers(w, {0, 5}, {95, 100}));
+  EXPECT_TRUE(wormhole_delivers(w, {95, 100}, {0, 5}));
+}
+
+TEST(Wormhole, RadiusBoundaryIsInclusive) {
+  const Wormhole w{{0, 0}, {100, 0}, 10.0, true};
+  EXPECT_TRUE(wormhole_delivers(w, {10, 0}, {110, 0}));
+  EXPECT_FALSE(wormhole_delivers(w, {10.001, 0}, {110, 0}));
+}
+
+}  // namespace
+}  // namespace lad

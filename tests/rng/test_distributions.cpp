@@ -1,0 +1,201 @@
+#include "rng/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+TEST(RngUniform01, InUnitIntervalAndRoughlyUniform) {
+  Rng rng(1);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngUniformRange, RespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 7.0);
+  }
+}
+
+TEST(RngUniformInt, CoversAllValuesWithoutBias) {
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_int(std::uint64_t{10})];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.1, 0.01);
+  }
+}
+
+TEST(RngUniformInt, InclusiveRange) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const long long v = rng.uniform_int(-2ll, 2ll);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    if (v == -2) saw_lo = true;
+    if (v == 2) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngUniformInt, ZeroRangeThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(std::uint64_t{0}), AssertionError);
+}
+
+TEST(RngNormal, MomentsMatch) {
+  Rng rng(6);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(RngNormal, ScaledMomentsMatch) {
+  Rng rng(7);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(RngExponential, MeanMatchesRate) {
+  Rng rng(8);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.exponential(2.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngBinomial, EdgeCases) {
+  Rng rng(9);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.binomial(10, 0.0), 0);
+  EXPECT_EQ(rng.binomial(10, 1.0), 10);
+}
+
+TEST(RngBinomial, MomentsMatch) {
+  Rng rng(10);
+  const int n = 300;
+  const double p = 0.13;
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const int v = rng.binomial(n, p);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, n);
+    sum += v;
+    sum2 += static_cast<double>(v) * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, n * p, 0.2);
+  EXPECT_NEAR(var, n * p * (1 - p), 1.5);
+}
+
+TEST(RngBinomial, SymmetryBranch) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.binomial(100, 0.9);
+  EXPECT_NEAR(sum / kN, 90.0, 0.5);
+}
+
+TEST(RngPoisson, MeanMatches) {
+  Rng rng(12);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.poisson(4.2);
+  EXPECT_NEAR(sum / kN, 4.2, 0.1);
+}
+
+TEST(RngDiscrete, FollowsWeights) {
+  Rng rng(13);
+  const std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.discrete(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kN), 0.6, 0.01);
+}
+
+TEST(RngDiscrete, InvalidWeightsThrow) {
+  Rng rng(14);
+  EXPECT_THROW(rng.discrete({}), AssertionError);
+  EXPECT_THROW(rng.discrete({0.0, 0.0}), AssertionError);
+  EXPECT_THROW(rng.discrete({1.0, -1.0}), AssertionError);
+}
+
+TEST(RngShuffle, IsAPermutation) {
+  Rng rng(15);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RngSampleWithoutReplacement, DistinctAndInRange) {
+  Rng rng(16);
+  const auto s = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(s.size(), 20u);
+  std::vector<std::size_t> sorted = s;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  for (std::size_t i : s) EXPECT_LT(i, 50u);
+}
+
+TEST(RngSampleWithoutReplacement, FullAndEmpty) {
+  Rng rng(17);
+  EXPECT_EQ(rng.sample_without_replacement(5, 5).size(), 5u);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), AssertionError);
+}
+
+TEST(RngStream, IndependentAndDeterministic) {
+  Rng a = Rng::stream(99, 0);
+  Rng b = Rng::stream(99, 0);
+  Rng c = Rng::stream(99, 1);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.bits();
+    EXPECT_EQ(va, b.bits());
+    if (va != c.bits()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace lad

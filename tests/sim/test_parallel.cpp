@@ -1,0 +1,54 @@
+#include "sim/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lad {
+namespace {
+
+TEST(ParallelForItems, RunsEachItemOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for_items(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForItems, EmptyIsNoop) {
+  bool called = false;
+  parallel_for_items(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForItems, SerialModeMatchesParallelResults) {
+  // Items write into independent slots; the final state must be identical
+  // regardless of thread count (this is the determinism contract).
+  auto run = [](int threads) {
+    std::vector<double> out(200);
+    parallel_for_items(
+        out.size(),
+        [&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5; },
+        threads);
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+  EXPECT_EQ(run(2), run(0));
+}
+
+TEST(ParallelForItems, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for_items(64,
+                         [](std::size_t i) {
+                           if (i == 13) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+}
+
+TEST(ParallelForItems, DefaultParallelismPositive) {
+  EXPECT_GE(default_parallelism(), 1);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,161 @@
+#include "sim/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+#include <cmath>
+
+#include "loc/truth_noise.h"
+#include "stats/quantile.h"
+
+namespace lad {
+namespace {
+
+PipelineConfig small_pipeline_config() {
+  PipelineConfig cfg;
+  cfg.deploy.field_side = 600.0;
+  cfg.deploy.grid_nx = 6;
+  cfg.deploy.grid_ny = 6;
+  cfg.deploy.nodes_per_group = 40;
+  cfg.deploy.sigma = 30.0;
+  cfg.deploy.radio_range = 50.0;
+  cfg.networks = 4;
+  cfg.victims_per_network = 50;
+  cfg.seed = 2024;
+  return cfg;
+}
+
+LocalizerFactory truth_noise_factory(double sigma_err) {
+  return [sigma_err](std::uint64_t seed) {
+    return std::make_unique<TruthNoiseLocalizer>(sigma_err, seed);
+  };
+}
+
+TEST(Pipeline, GeneratesRequestedNetworks) {
+  const Pipeline p(small_pipeline_config());
+  EXPECT_EQ(p.networks().size(), 4u);
+  for (const auto& net : p.networks()) {
+    EXPECT_EQ(net->num_nodes(), 36u * 40u);
+  }
+}
+
+TEST(Pipeline, NetworksAreDeterministicInSeed) {
+  const Pipeline a(small_pipeline_config());
+  const Pipeline b(small_pipeline_config());
+  for (std::size_t n = 0; n < a.networks().size(); ++n) {
+    for (std::size_t i = 0; i < a.networks()[n]->num_nodes(); i += 97) {
+      EXPECT_EQ(a.networks()[n]->position(i), b.networks()[n]->position(i));
+    }
+  }
+}
+
+TEST(Pipeline, DifferentSeedsGiveDifferentNetworks) {
+  PipelineConfig cfg = small_pipeline_config();
+  const Pipeline a(cfg);
+  cfg.seed = 999;
+  const Pipeline b(cfg);
+  EXPECT_NE(a.networks()[0]->position(0), b.networks()[0]->position(0));
+}
+
+TEST(Pipeline, BenignScoresDeterministicAcrossThreadCounts) {
+  PipelineConfig cfg = small_pipeline_config();
+  cfg.threads = 1;
+  Pipeline serial(cfg);
+  cfg.threads = 4;
+  Pipeline parallel(cfg);
+  const auto factory = truth_noise_factory(5.0);
+  const auto s1 = serial.benign_scores(factory, {MetricKind::kDiff});
+  const auto s4 = parallel.benign_scores(factory, {MetricKind::kDiff});
+  EXPECT_EQ(s1.at(MetricKind::kDiff), s4.at(MetricKind::kDiff));
+}
+
+TEST(Pipeline, BenignScoresSaneForAllMetrics) {
+  Pipeline p(small_pipeline_config());
+  const auto scores = p.benign_scores(
+      truth_noise_factory(5.0),
+      {MetricKind::kDiff, MetricKind::kAddAll, MetricKind::kProb});
+  ASSERT_EQ(scores.size(), 3u);
+  for (const auto& [kind, vec] : scores) {
+    ASSERT_EQ(vec.size(), 200u) << metric_name(kind);
+    for (double s : vec) {
+      EXPECT_TRUE(std::isfinite(s)) << metric_name(kind);
+      EXPECT_GE(s, 0.0) << metric_name(kind);
+    }
+  }
+}
+
+TEST(Pipeline, AttackScoresShiftUpWithDamage) {
+  Pipeline p(small_pipeline_config());
+  AttackSpec weak;
+  weak.damage = 30.0;
+  weak.compromised_frac = 0.1;
+  AttackSpec strong = weak;
+  strong.damage = 250.0;
+  const auto weak_scores = p.attack_scores(weak);
+  const auto strong_scores = p.attack_scores(strong);
+  EXPECT_GT(quantile(strong_scores, 0.5), quantile(weak_scores, 0.5));
+}
+
+TEST(Pipeline, MoreCompromiseLowersAttackScores) {
+  Pipeline p(small_pipeline_config());
+  AttackSpec clean;
+  clean.damage = 120.0;
+  clean.compromised_frac = 0.0;
+  AttackSpec dirty = clean;
+  dirty.compromised_frac = 0.4;
+  EXPECT_GT(quantile(p.attack_scores(clean), 0.5),
+            quantile(p.attack_scores(dirty), 0.5));
+}
+
+TEST(Pipeline, DecOnlyAttackScoresAtLeastDecBounded) {
+  // Dec-Bounded is the stronger adversary: its minimized scores are <=
+  // Dec-Only's, pointwise (same victims via shared streams).
+  Pipeline p(small_pipeline_config());
+  AttackSpec bounded;
+  bounded.damage = 100.0;
+  bounded.compromised_frac = 0.1;
+  bounded.attack_class = AttackClass::kDecBounded;
+  AttackSpec only = bounded;
+  only.attack_class = AttackClass::kDecOnly;
+  const auto sb = p.attack_scores(bounded);
+  const auto so = p.attack_scores(only);
+  ASSERT_EQ(sb.size(), so.size());
+  for (std::size_t i = 0; i < sb.size(); ++i) {
+    EXPECT_LE(sb[i], so[i] + 1e-9) << "victim " << i;
+  }
+}
+
+TEST(Pipeline, MeanLocalizationErrorTracksConfiguredNoise) {
+  Pipeline p(small_pipeline_config());
+  const double small_err = p.mean_localization_error(truth_noise_factory(2.0));
+  const double large_err = p.mean_localization_error(truth_noise_factory(30.0));
+  EXPECT_LT(small_err, large_err);
+  EXPECT_NEAR(small_err, 2.0 * std::sqrt(M_PI / 2), 1.0);
+}
+
+TEST(Pipeline, MleFactoryProducesWorkingLocalizer) {
+  Pipeline p(small_pipeline_config());
+  const auto factory = beaconless_mle_factory(p.model(), p.gz());
+  const double err = p.mean_localization_error(factory);
+  EXPECT_GT(err, 0.0);
+  EXPECT_LT(err, 60.0);
+}
+
+TEST(Pipeline, RejectsBadConfigs) {
+  PipelineConfig cfg = small_pipeline_config();
+  cfg.networks = 0;
+  EXPECT_THROW(Pipeline{cfg}, AssertionError);
+  cfg = small_pipeline_config();
+  cfg.victims_per_network = 0;
+  EXPECT_THROW(Pipeline{cfg}, AssertionError);
+  Pipeline ok(small_pipeline_config());
+  AttackSpec bad;
+  bad.compromised_frac = 1.5;
+  EXPECT_THROW(ok.attack_scores(bad), AssertionError);
+  bad.compromised_frac = 0.1;
+  bad.damage = -5.0;
+  EXPECT_THROW(ok.attack_scores(bad), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,76 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeSaturatesEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  h.add(10.0);  // hi boundary goes to the top bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 15.0);
+}
+
+TEST(Histogram, CdfInterpolates) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);  // one per bin
+  EXPECT_DOUBLE_EQ(h.cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(10.0), 1.0);
+  EXPECT_NEAR(h.cdf(5.0), 0.5, 1e-12);
+  EXPECT_NEAR(h.cdf(2.5), 0.25, 1e-12);
+}
+
+TEST(Histogram, CdfOfEmptyIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.cdf(0.5), 0.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  a.add(1.0);
+  b.add(1.0);
+  b.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.count(2), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(Histogram, MergeRejectsLayoutMismatch) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(b), AssertionError);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), AssertionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), AssertionError);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.count(2), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

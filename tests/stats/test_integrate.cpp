@@ -1,0 +1,98 @@
+#include "stats/integrate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+TEST(AdaptiveSimpson, PolynomialIsExact) {
+  // Simpson is exact for cubics.
+  const double got = integrate_adaptive_simpson(
+      [](double x) { return x * x * x - 2 * x + 1; }, -1.0, 3.0);
+  // Antiderivative: x^4/4 - x^2 + x evaluated on [-1, 3]: (81/4-9+3)-(1/4-1-1)
+  EXPECT_NEAR(got, 16.0, 1e-10);
+}
+
+TEST(AdaptiveSimpson, TranscendentalFunctions) {
+  EXPECT_NEAR(integrate_adaptive_simpson([](double x) { return std::sin(x); },
+                                         0.0, M_PI),
+              2.0, 1e-9);
+  EXPECT_NEAR(integrate_adaptive_simpson([](double x) { return std::exp(-x); },
+                                         0.0, 20.0),
+              1.0, 1e-8);
+}
+
+TEST(AdaptiveSimpson, GaussianIntegral) {
+  // int_{-8}^{8} exp(-x^2/2)/sqrt(2 pi) dx ~= 1.
+  const double got = integrate_adaptive_simpson(
+      [](double x) { return std::exp(-x * x / 2) / std::sqrt(2 * M_PI); },
+      -8.0, 8.0, 1e-12);
+  EXPECT_NEAR(got, 1.0, 1e-9);
+}
+
+TEST(AdaptiveSimpson, HandlesEndpointKink) {
+  // sqrt has unbounded derivative at 0; the adaptive rule must still hit
+  // the analytic value 2/3.
+  const double got = integrate_adaptive_simpson(
+      [](double x) { return std::sqrt(x); }, 0.0, 1.0, 1e-10);
+  EXPECT_NEAR(got, 2.0 / 3.0, 1e-7);
+}
+
+TEST(AdaptiveSimpson, EmptyAndReversedIntervals) {
+  auto f = [](double x) { return x; };
+  EXPECT_DOUBLE_EQ(integrate_adaptive_simpson(f, 2.0, 2.0), 0.0);
+  EXPECT_NEAR(integrate_adaptive_simpson(f, 1.0, 0.0), -0.5, 1e-12);
+}
+
+TEST(AdaptiveSimpson, RejectsNonPositiveTolerance) {
+  EXPECT_THROW(
+      integrate_adaptive_simpson([](double x) { return x; }, 0, 1, 0.0),
+      AssertionError);
+}
+
+TEST(GaussLegendre, PolynomialExactness) {
+  // Order-2n GL is exact for polynomials of degree 2n-1; order 4 handles x^7.
+  const double got = integrate_gauss_legendre(
+      [](double x) { return std::pow(x, 7.0); }, 0.0, 1.0, 4, 1);
+  EXPECT_NEAR(got, 1.0 / 8.0, 1e-12);
+}
+
+TEST(GaussLegendre, AllOrdersAgreeOnSmoothIntegrand) {
+  auto f = [](double x) { return std::cos(x); };
+  const double want = std::sin(2.0) - std::sin(-1.0);
+  for (int order : {4, 8, 16, 32, 64}) {
+    EXPECT_NEAR(integrate_gauss_legendre(f, -1.0, 2.0, order, 4), want, 1e-9)
+        << "order " << order;
+  }
+}
+
+TEST(GaussLegendre, PanelsImproveRoughIntegrands) {
+  auto f = [](double x) { return std::abs(x); };  // kink at 0
+  const double one_panel = integrate_gauss_legendre(f, -1.0, 1.0, 8, 1);
+  const double many_panels = integrate_gauss_legendre(f, -1.0, 1.0, 8, 64);
+  EXPECT_LT(std::abs(many_panels - 1.0), std::abs(one_panel - 1.0) + 1e-15);
+  EXPECT_NEAR(many_panels, 1.0, 1e-4);
+}
+
+TEST(GaussLegendre, RejectsUnsupportedOrder) {
+  EXPECT_THROW(
+      integrate_gauss_legendre([](double x) { return x; }, 0, 1, 5, 1),
+      AssertionError);
+  EXPECT_THROW(
+      integrate_gauss_legendre([](double x) { return x; }, 0, 1, 8, 0),
+      AssertionError);
+}
+
+TEST(Quadrature, SimpsonAndGaussLegendreAgree) {
+  auto f = [](double x) { return std::log1p(x * x) * std::sin(3 * x); };
+  const double a = integrate_adaptive_simpson(f, 0.0, 4.0, 1e-11);
+  const double b = integrate_gauss_legendre(f, 0.0, 4.0, 64, 16);
+  EXPECT_NEAR(a, b, 1e-8);
+}
+
+}  // namespace
+}  // namespace lad

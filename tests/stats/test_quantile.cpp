@@ -1,0 +1,73 @@
+#include "stats/quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rng/rng.h"
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+TEST(Quantile, MedianOfOddAndEven) {
+  EXPECT_DOUBLE_EQ(quantile({3, 1, 2}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({4, 1, 2, 3}, 0.5), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> v = {5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, LinearInterpolationType7) {
+  // v sorted: {10, 20, 30, 40}; q=0.25 -> h = 0.75 -> 10 + 0.75*10 = 17.5.
+  EXPECT_DOUBLE_EQ(quantile({40, 10, 30, 20}, 0.25), 17.5);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(Quantile, ErrorsOnBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), AssertionError);
+  EXPECT_THROW(quantile({1.0}, -0.1), AssertionError);
+  EXPECT_THROW(quantile({1.0}, 1.1), AssertionError);
+}
+
+TEST(Quantiles, MatchesSingleQuantileCalls) {
+  Rng rng(11);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng.normal());
+  const std::vector<double> qs = {0.0, 0.25, 0.5, 0.9, 0.99, 1.0};
+  const std::vector<double> batch = quantiles(v, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], quantile(v, qs[i])) << "q=" << qs[i];
+  }
+}
+
+TEST(QuantileInplace, AgreesWithSortBasedAnswer) {
+  Rng rng(12);
+  std::vector<double> v;
+  for (int i = 0; i < 999; ++i) v.push_back(rng.uniform(0, 100));
+  std::vector<double> copy = v;
+  const double got = quantile_inplace(copy, 0.99);
+  std::sort(v.begin(), v.end());
+  const double h = 0.99 * 998;
+  const std::size_t lo = static_cast<std::size_t>(h);
+  const double want = v[lo] + (h - lo) * (v[lo + 1] - v[lo]);
+  EXPECT_DOUBLE_EQ(got, want);
+}
+
+TEST(FractionAbove, CountsStrictlyGreater) {
+  const std::vector<double> v = {1, 2, 2, 3};
+  EXPECT_DOUBLE_EQ(fraction_above(v, 2.0), 0.25);
+  EXPECT_DOUBLE_EQ(fraction_above(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_above(v, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_above({}, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,85 @@
+#include "stats/roc.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+TEST(Roc, PerfectSeparationHasAucOne) {
+  const RocCurve roc({1, 2, 3}, {10, 11, 12});
+  EXPECT_NEAR(roc.auc(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(roc.detection_rate_at_fp(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(roc.fp_at_detection_rate(1.0), 0.0);
+}
+
+TEST(Roc, IdenticalDistributionsNearChance) {
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 4000; ++i) {
+    a.push_back(rng.normal());
+    b.push_back(rng.normal());
+  }
+  const RocCurve roc(a, b);
+  EXPECT_NEAR(roc.auc(), 0.5, 0.03);
+}
+
+TEST(Roc, CurveIsMonotoneInFp) {
+  Rng rng(4);
+  std::vector<double> benign, attack;
+  for (int i = 0; i < 500; ++i) {
+    benign.push_back(rng.normal(0, 1));
+    attack.push_back(rng.normal(1.5, 1));
+  }
+  const RocCurve roc(benign, attack);
+  const auto& pts = roc.points();
+  ASSERT_GE(pts.size(), 2u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].false_positive_rate, pts[i].false_positive_rate);
+  }
+  // Endpoints span the square.
+  EXPECT_DOUBLE_EQ(pts.front().false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().false_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().detection_rate, 1.0);
+}
+
+TEST(Roc, DetectionRateAtFpBudget) {
+  // benign: {1, 2, 3, 4}; attack: {2.5, 3.5, 4.5, 5.5}.
+  const RocCurve roc({1, 2, 3, 4}, {2.5, 3.5, 4.5, 5.5});
+  // Threshold 4: FP = 0, DR = 0.5 (4.5 and 5.5 above).
+  EXPECT_DOUBLE_EQ(roc.detection_rate_at_fp(0.0), 0.5);
+  // Allowing FP 0.25 admits threshold 3: DR = 0.75.
+  EXPECT_DOUBLE_EQ(roc.detection_rate_at_fp(0.25), 0.75);
+  // FP 1.0 admits any threshold: DR = 1.
+  EXPECT_DOUBLE_EQ(roc.detection_rate_at_fp(1.0), 1.0);
+}
+
+TEST(Roc, FpAtDetectionRateFloor) {
+  const RocCurve roc({1, 2, 3, 4}, {2.5, 3.5, 4.5, 5.5});
+  EXPECT_DOUBLE_EQ(roc.fp_at_detection_rate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(roc.fp_at_detection_rate(1.0), 0.5);
+}
+
+TEST(Roc, AucBetterWhenSeparationGrows) {
+  Rng rng(5);
+  std::vector<double> benign, weak, strong;
+  for (int i = 0; i < 2000; ++i) {
+    benign.push_back(rng.normal(0, 1));
+    weak.push_back(rng.normal(0.5, 1));
+    strong.push_back(rng.normal(3.0, 1));
+  }
+  EXPECT_LT(RocCurve(benign, weak).auc(), RocCurve(benign, strong).auc());
+  EXPECT_GT(RocCurve(benign, strong).auc(), 0.97);
+}
+
+TEST(Roc, RejectsEmptyInputs) {
+  EXPECT_THROW(RocCurve({}, {1.0}), AssertionError);
+  EXPECT_THROW(RocCurve({1.0}, {}), AssertionError);
+  const RocCurve roc({1.0}, {2.0});
+  EXPECT_THROW(roc.detection_rate_at_fp(-0.1), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,74 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+TEST(Table, BuildsAndReadsCells) {
+  Table t({"a", "b"});
+  t.new_row().add(1).add(2.5, 1);
+  t.new_row().add("x").add(3ll);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.cell(0, 0), "1");
+  EXPECT_EQ(t.cell(0, 1), "2.5");
+  EXPECT_EQ(t.cell(1, 0), "x");
+  EXPECT_EQ(t.cell(1, 1), "3");
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.new_row().add(1).add("a");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,a\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"v"});
+  t.new_row().add("a,b");
+  t.new_row().add("q\"q");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "v\n\"a,b\"\n\"q\"\"q\"\n");
+}
+
+TEST(Table, AlignedPrintContainsHeaderRuleAndData) {
+  Table t({"col"});
+  t.new_row().add(12345);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("col"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+}
+
+TEST(Table, RejectsAddWithoutRow) {
+  Table t({"a"});
+  EXPECT_THROW(t.add(1), AssertionError);
+}
+
+TEST(Table, RejectsIncompleteRowOnNewRow) {
+  Table t({"a", "b"});
+  t.new_row().add(1);
+  EXPECT_THROW(t.new_row(), AssertionError);
+}
+
+TEST(Table, RejectsEmptyColumnSet) {
+  EXPECT_THROW(Table({}), AssertionError);
+}
+
+TEST(Table, CellBoundsChecked) {
+  Table t({"a"});
+  t.new_row().add(1);
+  EXPECT_THROW(t.cell(1, 0), AssertionError);
+  EXPECT_THROW(t.cell(0, 1), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,83 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  const Flags f = make({"--d=120", "--metric=diff"});
+  EXPECT_EQ(f.get_int("d", 0), 120);
+  EXPECT_EQ(f.get_string("metric", ""), "diff");
+}
+
+TEST(Flags, SpaceSyntax) {
+  const Flags f = make({"--d", "120"});
+  EXPECT_EQ(f.get_int("d", 0), 120);
+}
+
+TEST(Flags, BareBoolean) {
+  const Flags f = make({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(make({"--x=YES"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=on"}).get_bool("x", false));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=Off"}).get_bool("x", true));
+  EXPECT_THROW(make({"--x=maybe"}).get_bool("x", true), AssertionError);
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags f = make({});
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(f.get_string("missing", "dflt"), "dflt");
+  EXPECT_FALSE(f.has("missing2"));
+}
+
+TEST(Flags, ListParsing) {
+  const Flags f = make({"--d=80,120,160", "--m=100,300"});
+  EXPECT_EQ(f.get_double_list("d", {}), (std::vector<double>{80, 120, 160}));
+  EXPECT_EQ(f.get_int_list("m", {}), (std::vector<long long>{100, 300}));
+}
+
+TEST(Flags, ListDefault) {
+  const Flags f = make({});
+  EXPECT_EQ(f.get_double_list("d", {1.5}), (std::vector<double>{1.5}));
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags f = make({"pos1", "--k=1", "pos2"});
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+TEST(Flags, NextFlagIsNotConsumedAsValue) {
+  const Flags f = make({"--a", "--b=2"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_EQ(f.get_int("b", 0), 2);
+}
+
+TEST(Flags, UnusedDetection) {
+  const Flags f = make({"--used=1", "--typo=2"});
+  EXPECT_EQ(f.get_int("used", 0), 1);
+  EXPECT_EQ(f.unused(), (std::vector<std::string>{"typo"}));
+}
+
+TEST(Flags, TypeErrorsThrow) {
+  const Flags f = make({"--d=abc"});
+  EXPECT_THROW(f.get_int("d", 0), AssertionError);
+  EXPECT_THROW(f.get_double("d", 0), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,62 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lad {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_sink(&sink_);
+    Logger::instance().set_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::kInfo);
+  }
+  std::ostringstream sink_;
+};
+
+TEST_F(LoggingTest, WritesTaggedMessage) {
+  LAD_INFO << "hello " << 42;
+  EXPECT_EQ(sink_.str(), "[info] hello 42\n");
+}
+
+TEST_F(LoggingTest, RespectsLevelFilter) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  LAD_DEBUG << "too quiet";
+  LAD_INFO << "still too quiet";
+  LAD_WARN << "audible";
+  EXPECT_EQ(sink_.str(), "[warn] audible\n");
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  LAD_ERROR << "nope";
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LoggingTest, FilteredLineDoesNotEvaluateArguments) {
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 7;
+  };
+  LAD_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(LogLevelName, AllLevelsNamed) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "info");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "error");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "off");
+}
+
+}  // namespace
+}  // namespace lad

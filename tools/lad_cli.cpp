@@ -1,0 +1,190 @@
+// lad_cli - command-line front end for the library.
+//
+//   lad_cli train   --out detector.lad [--metric diff] [--tau 0.99]
+//                   [--m 300] [--r 50] [--sigma 50] [--networks 6]
+//       Trains a threshold on simulated benign deployments and writes a
+//       self-contained detector bundle.
+//
+//   lad_cli inspect --detector detector.lad
+//       Prints a bundle's configuration.
+//
+//   lad_cli check   --detector detector.lad --le-x <x> --le-y <y>
+//                   --obs g0:c0,g1:c1,...
+//       Verdict for one (observation, estimated location) pair.
+//
+//   lad_cli simulate --detector detector.lad [--d 120] [--x 0.1]
+//                    [--trials 200] [--attack dec-bounded]
+//       Deploys a fresh network, attacks `trials` sensors, and reports the
+//       detection rate of the shipped detector (plus benign FP).
+#include <fstream>
+#include <iostream>
+
+#include "attack/displacement.h"
+#include "attack/greedy.h"
+#include "core/lad.h"
+#include "loc/beaconless_mle.h"
+#include "sim/pipeline.h"
+#include "stats/quantile.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+using namespace lad;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: lad_cli <train|inspect|check|simulate> [--flags]\n"
+               "       see the header of tools/lad_cli.cpp for details\n";
+  return 2;
+}
+
+PipelineConfig pipeline_from_flags(const Flags& flags) {
+  PipelineConfig cfg;
+  cfg.deploy.nodes_per_group = static_cast<int>(flags.get_int("m", 300));
+  cfg.deploy.radio_range = flags.get_double("r", 50.0);
+  cfg.deploy.sigma = flags.get_double("sigma", 50.0);
+  cfg.networks = static_cast<int>(flags.get_int("networks", 6));
+  cfg.victims_per_network = static_cast<int>(flags.get_int("victims", 150));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  return cfg;
+}
+
+int cmd_train(const Flags& flags) {
+  const std::string out = flags.get_string("out", "");
+  if (out.empty()) {
+    std::cerr << "train: --out <file> is required\n";
+    return 2;
+  }
+  const MetricKind metric =
+      metric_from_name(flags.get_string("metric", "diff"));
+  const double tau = flags.get_double("tau", 0.99);
+  const PipelineConfig cfg = pipeline_from_flags(flags);
+
+  Pipeline pipeline(cfg);
+  const LocalizerFactory factory =
+      beaconless_mle_factory(pipeline.model(), pipeline.gz());
+  auto benign = pipeline.benign_scores(factory, {metric});
+  const TrainingResult trained =
+      train_threshold(metric, benign.at(metric), tau);
+  std::cout << "trained " << metric_name(metric) << " threshold "
+            << trained.threshold << " at tau " << tau << " over "
+            << trained.num_samples << " samples (benign mean "
+            << trained.score_stats.mean() << ")\n";
+
+  std::ofstream os(out);
+  if (!os) {
+    std::cerr << "train: cannot open '" << out << "' for writing\n";
+    return 1;
+  }
+  save_bundle(os, make_bundle(pipeline.model(), cfg.gz_omega, metric,
+                              trained.threshold));
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
+DetectorBundle load_from_flag(const Flags& flags) {
+  const std::string path = flags.get_string("detector", "");
+  LAD_REQUIRE_MSG(!path.empty(), "--detector <file> is required");
+  std::ifstream is(path);
+  LAD_REQUIRE_MSG(static_cast<bool>(is), "cannot open '" << path << "'");
+  return load_bundle(is);
+}
+
+int cmd_inspect(const Flags& flags) {
+  const DetectorBundle b = load_from_flag(flags);
+  std::cout << "metric:       " << metric_name(b.metric) << "\n"
+            << "threshold:    " << b.threshold << "\n"
+            << "field:        " << b.config.field_side << " x "
+            << b.config.field_side << " m\n"
+            << "groups:       " << b.deployment_points.size() << " (m = "
+            << b.config.nodes_per_group << " nodes each)\n"
+            << "sigma:        " << b.config.sigma << " m\n"
+            << "radio range:  " << b.config.radio_range << " m\n"
+            << "g(z) omega:   " << b.gz_omega << "\n";
+  return 0;
+}
+
+int cmd_check(const Flags& flags) {
+  const DetectorBundle bundle = load_from_flag(flags);
+  const RuntimeDetector rt(bundle);
+  const Vec2 le{flags.get_double("le-x", 0.0), flags.get_double("le-y", 0.0)};
+  Observation obs(bundle.deployment_points.size());
+  for (const std::string& tok :
+       split(flags.get_string("obs", ""), ',')) {
+    if (trim(tok).empty()) continue;
+    const auto kv = split(tok, ':');
+    LAD_REQUIRE_MSG(kv.size() == 2, "bad --obs token '" << tok << "'");
+    const long long g = parse_int(kv[0]);
+    LAD_REQUIRE_MSG(g >= 0 && g < static_cast<long long>(obs.num_groups()),
+                    "group out of range in --obs: " << g);
+    obs.counts[static_cast<std::size_t>(g)] =
+        static_cast<int>(parse_int(kv[1]));
+  }
+  const Verdict v = rt.check(obs, le);
+  std::cout << "score " << v.score << " vs threshold " << v.threshold
+            << " -> " << (v.anomaly ? "ANOMALY" : "ok") << "\n";
+  return v.anomaly ? 3 : 0;
+}
+
+int cmd_simulate(const Flags& flags) {
+  const DetectorBundle bundle = load_from_flag(flags);
+  const RuntimeDetector rt(bundle);
+  const double d = flags.get_double("d", 120.0);
+  const double x = flags.get_double("x", 0.10);
+  const int trials = static_cast<int>(flags.get_int("trials", 200));
+  const AttackClass cls =
+      attack_class_from_name(flags.get_string("attack", "dec-bounded"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+  const GzTable gz({bundle.config.radio_range, bundle.config.sigma},
+                   bundle.gz_omega);
+  Rng rng(seed);
+  const Network net(rt.model(), rng);
+  const BeaconlessMleLocalizer localizer(rt.model(), gz);
+
+  int benign_alarms = 0, detected = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::size_t node;
+    do {
+      node = static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
+    } while (!bundle.config.field().contains(net.position(node)));
+    const Observation a = net.observe(node);
+    // Benign check.
+    if (rt.check(a, localizer.estimate(a)).anomaly) ++benign_alarms;
+    // Attacked check.
+    const Vec2 la = net.position(node);
+    const Vec2 le = displaced_location(la, d, bundle.config.field(), rng);
+    const ExpectedObservation mu = rt.model().expected_observation(le, gz);
+    const TaintResult taint =
+        greedy_taint(a, mu, bundle.config.nodes_per_group, bundle.metric, cls,
+                     static_cast<int>(x * a.total()));
+    if (rt.check(taint.tainted, le).anomaly) ++detected;
+  }
+  std::cout << "benign false positives: " << benign_alarms << "/" << trials
+            << " (" << format_double(100.0 * benign_alarms / trials, 2)
+            << "%)\n";
+  std::cout << "attacks detected (D=" << d << ", x=" << x * 100
+            << "%, " << attack_class_name(cls) << "): " << detected << "/"
+            << trials << " ("
+            << format_double(100.0 * detected / trials, 2) << "%)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Flags flags = Flags::parse(argc - 1, argv + 1);
+  try {
+    if (cmd == "train") return cmd_train(flags);
+    if (cmd == "inspect") return cmd_inspect(flags);
+    if (cmd == "check") return cmd_check(flags);
+    if (cmd == "simulate") return cmd_simulate(flags);
+    return usage();
+  } catch (const AssertionError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
