@@ -1,0 +1,21 @@
+# Resolves GoogleTest: prefer an installed copy (config or find-module),
+# fall back to FetchContent for networked environments without one.
+find_package(GTest QUIET)
+
+if(NOT TARGET GTest::gtest_main)
+  message(STATUS "lad: no system GoogleTest; fetching v1.14.0 via FetchContent")
+  include(FetchContent)
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+  # Match the parent project's runtime on MSVC; never install gtest with us.
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()
+
+include(GoogleTest)

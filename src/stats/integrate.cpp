@@ -8,8 +8,8 @@
 namespace lad {
 namespace {
 
-double simpson(const std::function<double(double)>& f, double a, double fa,
-               double b, double fb, double m, double fm) {
+double simpson(const std::function<double(double)>& /*f*/, double a, double fa,
+               double b, double fb, double /*m*/, double fm) {
   return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
 }
 

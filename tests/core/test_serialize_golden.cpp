@@ -1,0 +1,50 @@
+// Pins the on-disk detector-bundle format to a checked-in golden file so
+// accidental format changes fail loudly.  Intentional changes: bump the
+// version header, regenerate with LAD_REGOLD=1, and review the diff.
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "deploy/deployment_model.h"
+#include "support/golden.h"
+#include "support/tiny_network.h"
+
+namespace lad {
+namespace {
+
+constexpr char kGoldenName[] = "detector_bundle_v1.lad";
+
+DetectorBundle reference_bundle() {
+  DeploymentConfig cfg = test::tiny_config();
+  cfg.sigma = 1.0 / 3.0;  // exercises round-trippable double formatting
+  const DeploymentModel model(cfg, {{10.5, 20.25}, {399.875, 0.125}, {7, 7}});
+  DetectorBundle b = make_bundle(model, 128, MetricKind::kProb, 17.25);
+  b.threshold = 0.1 + 0.2;  // no short decimal representation
+  return b;
+}
+
+TEST(SerializeGolden, SavedBytesMatchGoldenFile) {
+  std::ostringstream os;
+  save_bundle(os, reference_bundle());
+  test::expect_matches_golden(os.str(), kGoldenName);
+}
+
+TEST(SerializeGolden, GoldenFileLoadsToReferenceBundle) {
+  std::istringstream is(test::read_golden(kGoldenName));
+  const DetectorBundle loaded = load_bundle(is);
+  EXPECT_EQ(loaded, reference_bundle());
+}
+
+TEST(SerializeGolden, GoldenFileMaterializesWorkingDetector) {
+  std::istringstream is(test::read_golden(kGoldenName));
+  const RuntimeDetector rt(load_bundle(is));
+  const Observation o(rt.model().num_groups());
+  const Verdict v = rt.check(o, {200.0, 200.0});
+  EXPECT_TRUE(std::isfinite(v.score));
+}
+
+}  // namespace
+}  // namespace lad

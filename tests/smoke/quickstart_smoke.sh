@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Smoke test for examples/quickstart: must exit 0 and print the trained
+# threshold plus a verdict line for the benign and the attacked sensor.
+set -u
+
+bin="$1"
+output="$("$bin" 2>&1)"
+rc=$?
+echo "$output"
+
+fail() {
+  echo "quickstart_smoke FAIL: $*" >&2
+  exit 1
+}
+
+[ "$rc" -eq 0 ] || fail "exited $rc, expected 0"
+grep -q "trained Diff threshold (tau = 99%):" <<<"$output" || fail "missing training line"
+grep -q "benign sensor:" <<<"$output" || fail "missing benign verdict line"
+grep -q "attacked sensor (D = 150 m, 10% compromised):" <<<"$output" || fail "missing attacked verdict line"
+
+echo "quickstart_smoke OK"

@@ -1,0 +1,26 @@
+// Relative-tolerance comparison for EXPECT_PRED_FORMAT3, complementing
+// gtest's absolute EXPECT_NEAR:
+//
+//   EXPECT_PRED_FORMAT3(lad::test::ApproxRel, got, want, 1e-6);
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace lad::test {
+
+inline testing::AssertionResult ApproxRel(const char* a_expr,
+                                          const char* b_expr,
+                                          const char* rel_expr, double a,
+                                          double b, double rel) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1.0});
+  if (std::abs(a - b) <= rel * scale) return testing::AssertionSuccess();
+  return testing::AssertionFailure()
+         << a_expr << " = " << a << " and " << b_expr << " = " << b
+         << " differ by " << std::abs(a - b) << ", more than " << rel_expr
+         << " (" << rel << ") relative to scale " << scale;
+}
+
+}  // namespace lad::test

@@ -1,0 +1,110 @@
+#include "support/golden.h"
+
+#include <gtest/gtest.h>
+
+#include "support/approx.h"
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace lad::test {
+namespace {
+
+#ifndef LAD_TEST_DATA_DIR
+#error "LAD_TEST_DATA_DIR must be defined by the build"
+#endif
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+bool parse_number(const std::string& cell, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(cell.c_str(), &end);
+  return end != cell.c_str() && *end == '\0';
+}
+
+}  // namespace
+
+std::string golden_path(const std::string& name) {
+  return std::string(LAD_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_golden(const std::string& name) {
+  std::ifstream is(golden_path(name), std::ios::binary);
+  if (!is) {
+    ADD_FAILURE() << "golden file missing: " << golden_path(name)
+                  << " (run with LAD_REGOLD=1 to create it)";
+    return {};
+  }
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void expect_matches_golden(const std::string& actual,
+                           const std::string& name) {
+  if (std::getenv("LAD_REGOLD") != nullptr) {
+    std::ofstream os(golden_path(name), std::ios::binary);
+    ASSERT_TRUE(os) << "cannot write golden file " << golden_path(name);
+    os << actual;
+    GTEST_LOG_(INFO) << "regenerated golden file " << golden_path(name);
+    return;
+  }
+  const std::string expected = read_golden(name);
+  if (actual == expected) return;
+  const auto got = split_lines(actual);
+  const auto want = split_lines(expected);
+  const std::size_t n = std::min(got.size(), want.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (got[i] != want[i]) {
+      ADD_FAILURE() << name << ": first difference at line " << (i + 1)
+                    << "\n  golden: " << want[i] << "\n  actual: " << got[i];
+      return;
+    }
+  }
+  if (got.size() != want.size()) {
+    ADD_FAILURE() << name << ": line count differs (golden " << want.size()
+                  << ", actual " << got.size() << ")";
+    return;
+  }
+  // Same lines but unequal bytes: only trailing newlines/whitespace differ.
+  ADD_FAILURE() << name << ": contents differ only in trailing newlines"
+                << " (golden " << expected.size() << " bytes, actual "
+                << actual.size() << " bytes)";
+}
+
+void expect_csv_near(const std::string& actual, const std::string& expected,
+                     double rel) {
+  const auto got = split_lines(actual);
+  const auto want = split_lines(expected);
+  ASSERT_EQ(got.size(), want.size()) << "CSV line counts differ";
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const auto got_cells = split(got[i], ',');
+    const auto want_cells = split(want[i], ',');
+    ASSERT_EQ(got_cells.size(), want_cells.size())
+        << "cell counts differ at line " << (i + 1);
+    for (std::size_t j = 0; j < got_cells.size(); ++j) {
+      if (got_cells[j] == want_cells[j]) continue;  // also covers nan/inf
+      double a = 0.0, b = 0.0;
+      if (parse_number(got_cells[j], &a) && parse_number(want_cells[j], &b)) {
+        EXPECT_PRED_FORMAT3(ApproxRel, a, b, rel)
+            << "numeric cell (" << (i + 1) << "," << (j + 1) << ")";
+      } else {
+        EXPECT_EQ(got_cells[j], want_cells[j])
+            << "text cell (" << (i + 1) << "," << (j + 1) << ")";
+      }
+    }
+  }
+}
+
+}  // namespace lad::test

@@ -1,0 +1,30 @@
+// Golden-file helpers.  Golden files live in tests/data/ (the build
+// injects the absolute path as LAD_TEST_DATA_DIR).  To regenerate after an
+// intentional format change:
+//
+//   LAD_REGOLD=1 ctest --test-dir build -R <test>
+//
+// then review the diff like any other code change.
+#pragma once
+
+#include <string>
+
+namespace lad::test {
+
+/// Absolute path of a file under tests/data/.
+std::string golden_path(const std::string& name);
+
+/// Whole-file read; fails the current test (ADD_FAILURE) if missing.
+std::string read_golden(const std::string& name);
+
+/// Compares `actual` against golden file `name` line by line with a
+/// readable first-difference report.  With LAD_REGOLD=1 in the
+/// environment, rewrites the golden file instead and reports success.
+void expect_matches_golden(const std::string& actual, const std::string& name);
+
+/// Compares two CSV bodies cell by cell; numeric cells compare with
+/// relative tolerance `rel`, everything else exactly.
+void expect_csv_near(const std::string& actual, const std::string& expected,
+                     double rel);
+
+}  // namespace lad::test

@@ -1,0 +1,45 @@
+// Seeded-RNG scoping for tests.
+//
+// A bare `Rng rng(42)` in two suites silently couples them: both consume
+// the same stream, and adding a draw to a shared helper reshuffles every
+// downstream expectation.  ScopedTestRng derives a stable seed from the
+// *current test's* full name instead, so each test gets its own
+// reproducible stream and never aliases another test's.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "rng/rng.h"
+
+namespace lad::test {
+
+/// FNV-1a, fixed here (not std::hash) so seeds are stable across platforms.
+inline std::uint64_t stable_seed(const std::string& tag) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : tag) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// An Rng seeded from "SuiteName.TestName" (plus an optional salt for
+/// tests that need several independent streams).
+class ScopedTestRng : public Rng {
+ public:
+  explicit ScopedTestRng(std::uint64_t salt = 0)
+      : Rng(stable_seed(current_test_tag()) ^ salt) {}
+
+ private:
+  static std::string current_test_tag() {
+    const testing::TestInfo* info =
+        testing::UnitTest::GetInstance()->current_test_info();
+    if (info == nullptr) return "no-test";
+    return std::string(info->test_suite_name()) + "." + info->name();
+  }
+};
+
+}  // namespace lad::test

@@ -1,0 +1,30 @@
+#include "support/tiny_network.h"
+
+namespace lad::test {
+
+DeploymentConfig tiny_config() {
+  DeploymentConfig cfg;
+  cfg.field_side = 400.0;
+  cfg.grid_nx = 4;
+  cfg.grid_ny = 4;
+  cfg.nodes_per_group = 30;
+  cfg.sigma = 25.0;
+  cfg.radio_range = 45.0;
+  return cfg;
+}
+
+DeploymentConfig micro_config() {
+  DeploymentConfig cfg = tiny_config();
+  cfg.field_side = 200.0;
+  cfg.grid_nx = 2;
+  cfg.grid_ny = 2;
+  cfg.nodes_per_group = 12;
+  return cfg;
+}
+
+Network make_network(const DeploymentModel& model, std::uint64_t seed) {
+  Rng rng(seed);
+  return Network(model, rng);
+}
+
+}  // namespace lad::test

@@ -1,0 +1,25 @@
+// Shared tiny-network fixtures: every suite that needs "a small but real
+// deployment" builds it from here instead of re-declaring an ad-hoc config,
+// so test networks stay consistent (and cheap) across layers.
+#pragma once
+
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/network.h"
+#include "rng/rng.h"
+
+namespace lad::test {
+
+/// A 400m x 400m field with a 4x4 grid of deployment points, m = 30 nodes
+/// per group, sigma = 25 m, R = 45 m.  Small enough that a Network deploys
+/// in microseconds, dense enough that every node has neighbors.
+DeploymentConfig tiny_config();
+
+/// tiny_config() scaled down further: 2x2 grid, m = 12.  For tests that
+/// iterate over every node pair.
+DeploymentConfig micro_config();
+
+/// Deploys a Network from `cfg` with a deterministic seed.
+Network make_network(const DeploymentModel& model, std::uint64_t seed = 2005);
+
+}  // namespace lad::test

@@ -133,6 +133,7 @@ int cmd_simulate(const Flags& flags) {
   const double d = flags.get_double("d", 120.0);
   const double x = flags.get_double("x", 0.10);
   const int trials = static_cast<int>(flags.get_int("trials", 200));
+  LAD_REQUIRE_MSG(trials > 0, "--trials must be positive");
   const AttackClass cls =
       attack_class_from_name(flags.get_string("attack", "dec-bounded"));
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
