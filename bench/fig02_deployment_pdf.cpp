@@ -1,60 +1,8 @@
-// Figure 2: the deployment distribution for one group - the 2-D Gaussian
-// pdf centered at deployment point (150, 150) with sigma = 50.
-//
-// Emits the pdf surface sampled on a grid over [0, 300]^2 (the figure's
-// axes) plus radial cross-section values, and checks the normalization.
-#include <iostream>
-
-#include "common.h"
-#include "util/string_util.h"
-#include "deploy/deployment_model.h"
-#include "stats/special.h"
-
-using namespace lad;
+// Thin wrapper over the checked-in spec bench/scenarios/fig02_deployment_pdf.scn -
+// the sweep's axes, sample counts, and paper context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  const bench::BenchOptions opts = bench::parse_common_flags(flags);
-  const int grid = static_cast<int>(flags.get_int("grid", 13));
-  bench::check_unused(flags);
-
-  bench::banner("Figure 2 - deployment distribution for one group",
-                "pdf f(x - 150, y - 150), sigma = " +
-                    format_double(opts.pipeline.deploy.sigma, 0));
-
-  const double sigma = opts.pipeline.deploy.sigma;
-  const Vec2 dp{150.0, 150.0};
-
-  // Surface samples (the figure's 3-D plot data).
-  Table surface({"x", "y", "pdf"});
-  for (int i = 0; i < grid; ++i) {
-    for (int j = 0; j < grid; ++j) {
-      const Vec2 p{300.0 * i / (grid - 1), 300.0 * j / (grid - 1)};
-      surface.new_row()
-          .add(p.x, 1)
-          .add(p.y, 1)
-          .add(gaussian2d_pdf_radial(distance(p, dp), sigma), 9);
-    }
-  }
-  bench::emit(opts, "pdf surface over [0,300]^2", surface);
-
-  // Radial cross-section: the quantity the paper's colorbar encodes.
-  Table radial({"distance_from_deployment_point", "pdf",
-                "fraction_within_distance"});
-  for (double r = 0.0; r <= 250.0; r += 25.0) {
-    radial.new_row()
-        .add(r, 0)
-        .add(gaussian2d_pdf_radial(r, sigma), 9)
-        .add(rayleigh_cdf(r, sigma), 6);
-  }
-  bench::emit(opts, "radial cross-section", radial);
-
-  // Qualitative checks against the published figure.
-  const double peak = gaussian2d_pdf_radial(0.0, sigma);
-  std::cout << "\npeak pdf value: " << format_double(peak * 1e5, 3)
-            << "e-5 (paper's Figure 2 peaks between 6e-5 and 7e-5)\n";
-  std::cout << "mass within 2 sigma: "
-            << format_double(rayleigh_cdf(2 * sigma, sigma), 4)
-            << " (expected 1 - e^{-2} = 0.8647)\n";
-  return 0;
+  return lad::bench::scenario_main(argc, argv, "fig02_deployment_pdf.scn");
 }

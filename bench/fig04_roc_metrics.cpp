@@ -1,79 +1,8 @@
-// Figure 4 (DR-FP-M-D): ROC curves for the three detection metrics at
-// damage D in {80, 120, 160}, with x = 10% compromised neighbors, m = 300,
-// Dec-Bounded attacks, beaconless-MLE localization.
-//
-// Paper's qualitative findings this bench must reproduce:
-//   * higher D => better ROC for every metric;
-//   * at D = 120 the Diff metric reaches ~100% DR below 5% FP;
-//   * at D = 160 the Diff metric reaches 100% DR at ~0 FP;
-//   * "in general, the Diff metric performs the best".
-#include <iostream>
-
-#include "common.h"
-#include "sim/experiment.h"
-
-using namespace lad;
+// Thin wrapper over the checked-in spec bench/scenarios/fig04_roc_metrics.scn -
+// the sweep's axes, sample counts, and paper context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  bench::BenchOptions opts = bench::parse_common_flags(flags);
-  const std::vector<double> damages = flags.get_double_list("d", {80, 120, 160});
-  const double x = flags.get_double("x", 0.10);
-  bench::check_unused(flags);
-
-  bench::banner("Figure 4 - ROC curves per metric (DR-FP-M-D)",
-                "x = 10%, m = " +
-                    std::to_string(opts.pipeline.deploy.nodes_per_group) +
-                    ", T = Dec-Bounded, localization = beaconless MLE");
-
-  Pipeline pipeline(opts.pipeline);
-  const LocalizerFactory factory =
-      beaconless_mle_factory(pipeline.model(), pipeline.gz());
-
-  const auto results = run_roc_experiment(
-      pipeline, factory,
-      {MetricKind::kDiff, MetricKind::kAddAll, MetricKind::kProb},
-      {AttackClass::kDecBounded}, damages, x);
-
-  // The paper plots full curves; we emit DR at a grid of FP budgets plus
-  // the AUC, which captures the same ordering information.
-  const std::vector<double> fp_grid = {0.0,  0.01, 0.02, 0.05, 0.1,
-                                       0.2,  0.3,  0.5};
-  Table table({"metric", "D", "AUC", "DR@FP=0", "DR@1%", "DR@2%", "DR@5%",
-               "DR@10%", "DR@20%", "DR@30%", "DR@50%"});
-  for (const auto& r : results) {
-    table.new_row()
-        .add(metric_name(r.metric))
-        .add(r.damage, 0)
-        .add(r.curve.auc(), 4);
-    for (double fp : fp_grid) table.add(r.curve.detection_rate_at_fp(fp), 4);
-  }
-  bench::emit(opts, "ROC summary (DR at FP budgets)", table);
-
-  // Full curve points for plotting.
-  Table curves({"metric", "D", "FP", "DR"});
-  for (const auto& r : results) {
-    // Thin the curve to <= 60 points for readability.
-    const auto& pts = r.curve.points();
-    const std::size_t stride = std::max<std::size_t>(1, pts.size() / 60);
-    for (std::size_t i = 0; i < pts.size(); i += stride) {
-      curves.new_row()
-          .add(metric_name(r.metric))
-          .add(r.damage, 0)
-          .add(pts[i].false_positive_rate, 5)
-          .add(pts[i].detection_rate, 5);
-    }
-  }
-  bench::emit(opts, "ROC curve points", curves);
-
-  // Qualitative assertions the paper states.
-  std::cout << "\nchecks:\n";
-  for (const auto& r : results) {
-    if (r.metric == MetricKind::kDiff && r.damage >= 120.0) {
-      std::cout << "  diff @ D=" << r.damage
-                << ": DR at 5% FP = " << r.curve.detection_rate_at_fp(0.05)
-                << " (paper: ~1.0)\n";
-    }
-  }
-  return 0;
+  return lad::bench::scenario_main(argc, argv, "fig04_roc_metrics.scn");
 }

@@ -1,68 +1,8 @@
-// Figure 5 (DR-FP-T-D): ROC curves for Dec-Bounded vs Dec-Only attacks at
-// small damage D in {40, 80}, x = 10%, m = 300, Diff metric.
-//
-// Paper's qualitative finding: "the Dec-Bounded attack is the most
-// powerful ... especially when D is small.  For instance, when D = 40, the
-// detection rates for the Dec-Only attack are high with small false alarm
-// rates, but the detection rate for the Dec-Bounded attack is still very
-// low."
-#include <iostream>
-
-#include "common.h"
-#include "sim/experiment.h"
-
-using namespace lad;
+// Thin wrapper over the checked-in spec bench/scenarios/fig05_roc_attacks_small_d.scn -
+// the sweep's axes, sample counts, and paper context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  bench::BenchOptions opts = bench::parse_common_flags(flags);
-  const std::vector<double> damages = flags.get_double_list("d", {40, 80});
-  const double x = flags.get_double("x", 0.10);
-  bench::check_unused(flags);
-
-  bench::banner("Figure 5 - ROC per attack class, small D (DR-FP-T-D)",
-                "x = 10%, m = " +
-                    std::to_string(opts.pipeline.deploy.nodes_per_group) +
-                    ", M = Diff");
-
-  Pipeline pipeline(opts.pipeline);
-  const LocalizerFactory factory =
-      beaconless_mle_factory(pipeline.model(), pipeline.gz());
-  const auto results = run_roc_experiment(
-      pipeline, factory, {MetricKind::kDiff},
-      {AttackClass::kDecBounded, AttackClass::kDecOnly}, damages, x);
-
-  Table table({"attack", "D", "AUC", "DR@1%", "DR@5%", "DR@10%", "DR@20%",
-               "DR@40%", "DR@60%"});
-  for (const auto& r : results) {
-    table.new_row()
-        .add(attack_class_name(r.attack_class))
-        .add(r.damage, 0)
-        .add(r.curve.auc(), 4);
-    for (double fp : {0.01, 0.05, 0.1, 0.2, 0.4, 0.6}) {
-      table.add(r.curve.detection_rate_at_fp(fp), 4);
-    }
-  }
-  bench::emit(opts, "ROC summary", table);
-
-  Table curves({"attack", "D", "FP", "DR"});
-  for (const auto& r : results) {
-    const auto& pts = r.curve.points();
-    const std::size_t stride = std::max<std::size_t>(1, pts.size() / 60);
-    for (std::size_t i = 0; i < pts.size(); i += stride) {
-      curves.new_row()
-          .add(attack_class_name(r.attack_class))
-          .add(r.damage, 0)
-          .add(pts[i].false_positive_rate, 5)
-          .add(pts[i].detection_rate, 5);
-    }
-  }
-  bench::emit(opts, "ROC curve points", curves);
-
-  std::cout << "\nchecks (paper: Dec-Only much easier to detect at D=40):\n";
-  for (const auto& r : results) {
-    std::cout << "  " << attack_class_name(r.attack_class) << " @ D="
-              << r.damage << ": AUC = " << r.curve.auc() << "\n";
-  }
-  return 0;
+  return lad::bench::scenario_main(argc, argv, "fig05_roc_attacks_small_d.scn");
 }

@@ -1,60 +1,8 @@
-// Figure 6 (DR-FP-T-D): ROC curves for Dec-Bounded vs Dec-Only at large
-// damage D in {120, 160}, x = 10%, m = 300, Diff metric.
-//
-// Paper's qualitative finding: "when D = 120 and the false positive is
-// below 2%, the detection rate for the Dec-Bounded attacks is already over
-// 99.5%, close to the detection rates (100%) achieved by the Dec-Only
-// attacks" - i.e. expensive authentication + wormhole defenses stop paying
-// off once the attacker needs large damage.
-#include <iostream>
-
-#include "common.h"
-#include "sim/experiment.h"
-
-using namespace lad;
+// Thin wrapper over the checked-in spec bench/scenarios/fig06_roc_attacks_large_d.scn -
+// the sweep's axes, sample counts, and paper context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  bench::BenchOptions opts = bench::parse_common_flags(flags);
-  const std::vector<double> damages = flags.get_double_list("d", {120, 160});
-  const double x = flags.get_double("x", 0.10);
-  bench::check_unused(flags);
-
-  bench::banner("Figure 6 - ROC per attack class, large D (DR-FP-T-D)",
-                "x = 10%, m = " +
-                    std::to_string(opts.pipeline.deploy.nodes_per_group) +
-                    ", M = Diff");
-
-  Pipeline pipeline(opts.pipeline);
-  const LocalizerFactory factory =
-      beaconless_mle_factory(pipeline.model(), pipeline.gz());
-  const auto results = run_roc_experiment(
-      pipeline, factory, {MetricKind::kDiff},
-      {AttackClass::kDecBounded, AttackClass::kDecOnly}, damages, x);
-
-  Table table({"attack", "D", "AUC", "DR@0.5%", "DR@1%", "DR@2%", "DR@5%",
-               "DR@10%"});
-  for (const auto& r : results) {
-    table.new_row()
-        .add(attack_class_name(r.attack_class))
-        .add(r.damage, 0)
-        .add(r.curve.auc(), 5);
-    for (double fp : {0.005, 0.01, 0.02, 0.05, 0.1}) {
-      table.add(r.curve.detection_rate_at_fp(fp), 4);
-    }
-  }
-  bench::emit(opts, "ROC summary", table);
-
-  std::cout << "\nchecks (paper: at large D the attack classes converge):\n";
-  double gap = 0.0;
-  for (std::size_t d = 0; d < damages.size(); ++d) {
-    const double bounded = results[d].curve.detection_rate_at_fp(0.02);
-    const double only =
-        results[damages.size() + d].curve.detection_rate_at_fp(0.02);
-    gap = std::max(gap, only - bounded);
-    std::cout << "  D=" << damages[d] << ": DR@2%FP dec-bounded=" << bounded
-              << " dec-only=" << only << " (gap " << only - bounded << ")\n";
-  }
-  std::cout << "  max gap at large D: " << gap << " (paper: < 0.005)\n";
-  return 0;
+  return lad::bench::scenario_main(argc, argv, "fig06_roc_attacks_large_d.scn");
 }

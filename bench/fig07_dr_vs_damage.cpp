@@ -1,59 +1,8 @@
-// Figure 7 (DR-D-x): detection rate vs the degree of damage D, at trained
-// false-positive rate 1%, m = 300, Diff metric, Dec-Bounded attacks, for
-// compromise fractions x in {10%, 20%, 30%}.
-//
-// Paper's qualitative findings:
-//   * DR is low for small D (indistinguishable from localization error);
-//   * DR approaches 100% as D grows, for every x;
-//   * "a successful attack's damage is always limited to a small distance".
-#include <iostream>
-
-#include "common.h"
-#include "sim/experiment.h"
-
-using namespace lad;
+// Thin wrapper over the checked-in spec bench/scenarios/fig07_dr_vs_damage.scn -
+// the sweep's axes, sample counts, and paper context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  bench::BenchOptions opts = bench::parse_common_flags(flags);
-  const std::vector<double> damages =
-      flags.get_double_list("d", {40, 60, 80, 100, 120, 140, 160});
-  const std::vector<double> xs = flags.get_double_list("x", {0.10, 0.20, 0.30});
-  const double fp = flags.get_double("fp", 0.01);
-  bench::check_unused(flags);
-
-  bench::banner("Figure 7 - detection rate vs degree of damage (DR-D-x)",
-                "FP = 1%, m = " +
-                    std::to_string(opts.pipeline.deploy.nodes_per_group) +
-                    ", M = Diff, T = Dec-Bounded");
-
-  Pipeline pipeline(opts.pipeline);
-  const LocalizerFactory factory =
-      beaconless_mle_factory(pipeline.model(), pipeline.gz());
-  const auto points = run_dr_sweep(pipeline, factory, MetricKind::kDiff,
-                                   AttackClass::kDecBounded, damages, xs, fp);
-
-  Table table({"x", "D", "DR", "trained_FP", "threshold"});
-  for (const auto& p : points) {
-    table.new_row()
-        .add(p.compromised_frac, 2)
-        .add(p.damage, 0)
-        .add(p.detection_rate, 4)
-        .add(p.trained_fp, 4)
-        .add(p.threshold, 2);
-  }
-  bench::emit(opts, "DR vs D per compromise fraction", table);
-
-  std::cout << "\nchecks (paper: DR -> 1 as D grows; larger x lowers DR):\n";
-  for (double x : xs) {
-    double first = -1, last = -1;
-    for (const auto& p : points) {
-      if (p.compromised_frac != x) continue;
-      if (first < 0) first = p.detection_rate;
-      last = p.detection_rate;
-    }
-    std::cout << "  x=" << x << ": DR(D=" << damages.front() << ")=" << first
-              << " -> DR(D=" << damages.back() << ")=" << last << "\n";
-  }
-  return 0;
+  return lad::bench::scenario_main(argc, argv, "fig07_dr_vs_damage.scn");
 }

@@ -1,61 +1,8 @@
-// Figure 8 (DR-x-D): detection rate vs the fraction of compromised
-// neighbors x, at trained FP = 1%, m = 300, Diff metric, Dec-Bounded,
-// for damage D in {80, 120, 160}.
-//
-// Paper's qualitative findings:
-//   * higher D tolerates more compromise: at D = 160 LAD keeps its
-//     detection rate up to ~50% compromised neighbors;
-//   * at D = 80 the detection rate drops rapidly beyond ~15%.
-#include <iostream>
-
-#include "common.h"
-#include "sim/experiment.h"
-
-using namespace lad;
+// Thin wrapper over the checked-in spec bench/scenarios/fig08_dr_vs_compromise.scn -
+// the sweep's axes, sample counts, and paper context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  bench::BenchOptions opts = bench::parse_common_flags(flags);
-  const std::vector<double> damages = flags.get_double_list("d", {80, 120, 160});
-  const std::vector<double> xs =
-      flags.get_double_list("x", {0.0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40,
-                                  0.50, 0.60});
-  const double fp = flags.get_double("fp", 0.01);
-  bench::check_unused(flags);
-
-  bench::banner(
-      "Figure 8 - detection rate vs compromised fraction (DR-x-D)",
-      "FP = 1%, m = " + std::to_string(opts.pipeline.deploy.nodes_per_group) +
-          ", M = Diff, T = Dec-Bounded");
-
-  Pipeline pipeline(opts.pipeline);
-  const LocalizerFactory factory =
-      beaconless_mle_factory(pipeline.model(), pipeline.gz());
-  const auto points = run_dr_sweep(pipeline, factory, MetricKind::kDiff,
-                                   AttackClass::kDecBounded, damages, xs, fp);
-
-  Table table({"D", "x", "DR"});
-  for (double d : damages) {
-    for (const auto& p : points) {
-      if (p.damage == d) {
-        table.new_row().add(d, 0).add(p.compromised_frac, 2).add(
-            p.detection_rate, 4);
-      }
-    }
-  }
-  bench::emit(opts, "DR vs x per damage level", table);
-
-  std::cout << "\nchecks (paper: D=160 tolerates ~50% compromise):\n";
-  for (double d : damages) {
-    double dr_at_half = -1;
-    for (const auto& p : points) {
-      if (p.damage == d && p.compromised_frac == 0.50) {
-        dr_at_half = p.detection_rate;
-      }
-    }
-    if (dr_at_half >= 0) {
-      std::cout << "  D=" << d << ": DR at x=50% is " << dr_at_half << "\n";
-    }
-  }
-  return 0;
+  return lad::bench::scenario_main(argc, argv, "fig08_dr_vs_compromise.scn");
 }

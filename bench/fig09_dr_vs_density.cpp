@@ -1,65 +1,8 @@
-// Figure 9 (DR-m-x-D): detection rate vs network density m (nodes per
-// deployment group), FP = 1%, Diff metric, Dec-Bounded, for D in
-// {80, 100, 160} x compromise in {10%, 20%, 30%}.
-//
-// Paper's qualitative finding: DR increases with m, and the mechanism is
-// the localization scheme, not LAD itself - "when m increases, the
-// localization becomes more accurate ... the detection threshold can be
-// made smaller while still maintaining the same false positive rate."
-// The bench therefore also reports the MLE's mean localization error and
-// the trained threshold per density so the mechanism is visible.
-#include <iostream>
-
-#include "common.h"
-#include "sim/experiment.h"
-
-using namespace lad;
+// Thin wrapper over the checked-in spec bench/scenarios/fig09_dr_vs_density.scn -
+// the sweep's axes, sample counts, and paper context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  bench::BenchOptions opts = bench::parse_common_flags(flags);
-  std::vector<long long> densities =
-      flags.get_int_list("densities", {100, 200, 300, 500, 700, 1000});
-  if (opts.quick) densities = {100, 300};
-  const std::vector<double> damages = flags.get_double_list("d", {80, 100, 160});
-  const std::vector<double> xs = flags.get_double_list("x", {0.10, 0.20, 0.30});
-  const double fp = flags.get_double("fp", 0.01);
-  bench::check_unused(flags);
-
-  bench::banner("Figure 9 - detection rate vs network density (DR-m-x-D)",
-                "FP = 1%, M = Diff, T = Dec-Bounded, localization = MLE");
-
-  std::vector<int> ms(densities.begin(), densities.end());
-  const auto points =
-      run_density_sweep(opts.pipeline, ms, MetricKind::kDiff,
-                        AttackClass::kDecBounded, damages, xs, fp);
-
-  Table table({"D", "x", "m", "DR", "mle_loc_error", "threshold"});
-  for (double d : damages) {
-    for (double x : xs) {
-      for (const auto& p : points) {
-        if (p.damage == d && p.compromised_frac == x) {
-          table.new_row()
-              .add(d, 0)
-              .add(x, 2)
-              .add(p.nodes_per_group)
-              .add(p.detection_rate, 4)
-              .add(p.mean_loc_error, 2)
-              .add(p.threshold, 2);
-        }
-      }
-    }
-  }
-  bench::emit(opts, "DR vs density", table);
-
-  std::cout << "\nchecks (paper: localization error shrinks with m, DR "
-               "grows):\n";
-  for (const auto& p : points) {
-    if (p.damage == damages.front() && p.compromised_frac == xs.front()) {
-      std::cout << "  m=" << p.nodes_per_group
-                << ": loc_err=" << p.mean_loc_error << " DR=" << p.detection_rate
-                << "\n";
-    }
-  }
-  return 0;
+  return lad::bench::scenario_main(argc, argv, "fig09_dr_vs_density.scn");
 }

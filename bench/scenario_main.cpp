@@ -1,0 +1,47 @@
+#include "scenario_main.h"
+
+#include <iostream>
+
+#include "common.h"
+#include "sim/scenario.h"
+#include "util/assert.h"
+
+// Compile-time default location of the checked-in specs; the build points
+// this at <source>/bench/scenarios so the binaries run from anywhere.
+#ifndef LAD_SCENARIO_DIR
+#define LAD_SCENARIO_DIR "bench/scenarios"
+#endif
+
+namespace lad::bench {
+
+int scenario_main(int argc, char** argv, const std::string& scn_filename) {
+  try {
+    const Flags flags = Flags::parse(argc, argv);
+    const std::string path = flags.get_string(
+        "scenario", std::string(LAD_SCENARIO_DIR) + "/" + scn_filename);
+
+    const ScenarioOverrides overrides = overrides_from_flags(flags);
+    const bool csv = flags.get_bool("csv", false);
+    check_unused(flags);
+
+    const ScenarioSpec spec =
+        apply_overrides(ScenarioSpec::load(path), overrides);
+    banner(spec.title, "scenario: " + path);
+
+    ScenarioRunner runner(spec);
+    const ScenarioResult result = runner.run();
+
+    BenchOptions emit_opts;
+    emit_opts.csv = csv;
+    for (const ResultTable& t : result.tables) {
+      emit(emit_opts, t.id, t.table);
+    }
+    if (!spec.note.empty()) std::cout << "\n" << spec.note << "\n";
+    return 0;
+  } catch (const AssertionError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace lad::bench

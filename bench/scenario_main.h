@@ -1,0 +1,16 @@
+// Shared main() body for the thin figure/table wrappers: every bench
+// binary is now `return scenario_main(argc, argv, "<spec>.scn")` over a
+// checked-in spec in bench/scenarios/.
+#pragma once
+
+#include <string>
+
+namespace lad::bench {
+
+/// Loads the named spec from bench/scenarios (path overridable with
+/// --scenario <file>), applies the common flags (--quick, --csv, --seed,
+/// --m, --r, --sigma, --networks, --victims, --threads), runs the
+/// scenario, and prints its result tables plus the spec's note.
+int scenario_main(int argc, char** argv, const std::string& scn_filename);
+
+}  // namespace lad::bench

@@ -1,111 +1,8 @@
-// Section 8's ultimate goal: "not only to detect the anomalies, but also
-// to correct the errors caused by the anomalies."  The paper leaves
-// correction open; this bench measures how far trimmed-ML re-estimation
-// (core/corrector.h) gets.
-//
-// Per (attack class, D): the attacker plants Le at distance D and taints
-// the observation with the greedy Diff-minimizing procedure (x = 10%).
-// We report the residual error of accepting Le (= D by construction), the
-// error of the corrector's re-estimate, and the benign-MLE floor.
-//
-// Expected outcome: Dec-Only taints are corrected down to near the benign
-// floor (silences cannot move the surviving evidence), while Dec-Bounded
-// taints - which forge a convincing second bump - are only partially
-// correctable, confirming why the paper treats correction as open.
-#include <iostream>
-
-#include "attack/displacement.h"
-#include "attack/greedy.h"
-#include "common.h"
-#include "util/string_util.h"
-#include "core/corrector.h"
-#include "loc/beaconless_mle.h"
-#include "stats/running_stats.h"
-
-using namespace lad;
+// Thin wrapper over the checked-in spec bench/scenarios/tab_correction.scn -
+// the sweep's axes, sample counts, and paper context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  bench::BenchOptions opts = bench::parse_common_flags(flags);
-  const std::vector<double> damages =
-      flags.get_double_list("d", {80, 120, 160, 240});
-  const double x = flags.get_double("x", 0.10);
-  const int trials = static_cast<int>(flags.get_int("trials", opts.quick ? 60 : 300));
-  bench::check_unused(flags);
-
-  bench::banner("Table - location correction (Section 8 future work)",
-                "capped-likelihood re-estimation; M(greedy target) = Diff, x = " +
-                    format_double(x * 100, 0) + "%");
-
-  const DeploymentConfig& dcfg = opts.pipeline.deploy;
-  const DeploymentModel model(dcfg);
-  const GzTable gz({dcfg.radio_range, dcfg.sigma});
-  Rng rng(opts.seed);
-  const Network net(model, rng);
-  const BeaconlessMleLocalizer mle(model, gz);
-  const LocationCorrector corrector(model, gz);
-
-  // Benign floor: corrector error on untainted observations.
-  RunningStats benign_floor;
-  for (int t = 0; t < trials; ++t) {
-    std::size_t node;
-    do {
-      node = static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
-    } while (!dcfg.field().contains(net.position(node)));
-    benign_floor.add(distance(corrector.correct(net.observe(node)).corrected,
-                              net.position(node)));
-  }
-
-  Table table({"attack", "D", "err_accepting_Le", "err_corrected_mean",
-               "err_corrected_p90", "recovered_frac"});
-  for (AttackClass cls : {AttackClass::kDecOnly, AttackClass::kDecBounded}) {
-    for (double d : damages) {
-      RunningStats err;
-      std::vector<double> errs;
-      Rng trial_rng(opts.seed + static_cast<std::uint64_t>(d) * 7 +
-                    (cls == AttackClass::kDecOnly ? 1 : 2));
-      for (int t = 0; t < trials; ++t) {
-        std::size_t node;
-        do {
-          node = static_cast<std::size_t>(
-              trial_rng.uniform_int(net.num_nodes()));
-        } while (!dcfg.field().contains(net.position(node)));
-        const Observation a = net.observe(node);
-        const Vec2 la = net.position(node);
-        const Vec2 le = displaced_location(la, d, dcfg.field(), trial_rng);
-        const ExpectedObservation mu = model.expected_observation(le, gz);
-        const TaintResult taint =
-            greedy_taint(a, mu, dcfg.nodes_per_group, MetricKind::kDiff, cls,
-                         static_cast<int>(x * a.total()));
-        const Vec2 corrected = corrector.correct(taint.tainted).corrected;
-        const double e = distance(corrected, la);
-        err.add(e);
-        errs.push_back(e);
-      }
-      std::sort(errs.begin(), errs.end());
-      const double p90 = errs[static_cast<std::size_t>(0.9 * (errs.size() - 1))];
-      // "Recovered": corrected error below half the planted damage.
-      int recovered = 0;
-      for (double e : errs) {
-        if (e < d / 2.0) ++recovered;
-      }
-      table.new_row()
-          .add(attack_class_name(cls))
-          .add(d, 0)
-          .add(d, 0)
-          .add(err.mean(), 1)
-          .add(p90, 1)
-          .add(static_cast<double>(recovered) / trials, 3);
-    }
-  }
-  bench::emit(opts, "corrected location error", table);
-  std::cout << "\nbenign corrector floor: mean "
-            << format_double(benign_floor.mean(), 1) << " m (p-max "
-            << format_double(benign_floor.max(), 1) << " m) over " << trials
-            << " sensors\n";
-  std::cout << "\nchecks: Dec-Only errors collapse to near the benign floor; "
-               "Dec-Bounded correction\nis partial and degrades with D - "
-               "consistent with the paper leaving correction as\nan open "
-               "problem under the strongest adversary.\n";
-  return 0;
+  return lad::bench::scenario_main(argc, argv, "tab_correction.scn");
 }

@@ -1,59 +1,8 @@
-// Section 3.1 extension: "the scheme we developed for grid-based
-// deployment can be easily extended to other deployment strategies, such
-// as deployments where the deployment points form hexagon shapes, or
-// deployments where the deployment points are random (as long as their
-// locations are given to all sensors)."
-//
-// This table runs the Fig-7-style experiment under the three layouts.  The
-// claim to verify: LAD's behaviour (FP-controlled thresholds, DR rising
-// with D) carries over unchanged, because nothing in the detector depends
-// on the layout - only g(z) and the per-group deployment points do.
-#include <iostream>
-
-#include "common.h"
-#include "sim/experiment.h"
-
-using namespace lad;
+// Thin wrapper over the checked-in spec bench/scenarios/tab_deployment_shapes.scn -
+// the sweep's axes, sample counts, and paper context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  bench::BenchOptions opts = bench::parse_common_flags(flags);
-  opts.pipeline.networks = opts.quick ? 2 : 6;
-  opts.pipeline.victims_per_network = opts.quick ? 50 : 150;
-  const std::vector<double> damages = flags.get_double_list("d", {80, 120, 160});
-  bench::check_unused(flags);
-
-  bench::banner("Table - deployment-point layouts (Section 3.1 extension)",
-                "M = Diff, T = Dec-Bounded, x = 10%, FP = 1%");
-
-  Table table({"layout", "groups", "mle_loc_error", "threshold", "DR@D=80",
-               "DR@D=120", "DR@D=160"});
-  for (const auto& [label, shape] :
-       std::vector<std::pair<std::string, DeploymentShape>>{
-           {"grid (paper)", DeploymentShape::kGrid},
-           {"hexagonal", DeploymentShape::kHex},
-           {"random-known", DeploymentShape::kRandom}}) {
-    PipelineConfig cfg = opts.pipeline;
-    cfg.shape = shape;
-    Pipeline pipeline(cfg);
-    const LocalizerFactory factory =
-        beaconless_mle_factory(pipeline.model(), pipeline.gz());
-    const double loc_err = pipeline.mean_localization_error(factory);
-    const auto points =
-        run_dr_sweep(pipeline, factory, MetricKind::kDiff,
-                     AttackClass::kDecBounded, damages, {0.10}, 0.01);
-    table.new_row()
-        .add(label)
-        .add(pipeline.model().num_groups())
-        .add(loc_err, 2)
-        .add(points[0].threshold, 2);
-    for (const auto& p : points) table.add(p.detection_rate, 4);
-  }
-  bench::emit(opts, "LAD across deployment layouts", table);
-
-  std::cout << "\nchecks: detection quality is layout-independent up to the "
-               "layout's effect on\nlocalization accuracy (random layouts "
-               "have uneven coverage, hence slightly noisier\nbenign scores) "
-               "- the generality Section 3.1 asserts.\n";
-  return 0;
+  return lad::bench::scenario_main(argc, argv, "tab_deployment_shapes.scn");
 }

@@ -1,50 +1,8 @@
-// Section 3.3 ablation: g(z) lookup-table resolution.
-//
-// The paper claims "to gain satisfactory level of accuracy, omega does not
-// need to be very large."  This table quantifies that: max interpolation
-// error and the induced worst-case error on mu_i = m * g(z), per omega.
-#include <iostream>
-
-#include "common.h"
-#include "util/string_util.h"
-#include "deploy/gz_table.h"
-#include "util/timer.h"
-
-using namespace lad;
+// Thin wrapper over the checked-in spec bench/scenarios/tab_gz_accuracy.scn -
+// the sweep's axes, sample counts, and paper context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  const bench::BenchOptions opts = bench::parse_common_flags(flags);
-  bench::check_unused(flags);
-
-  bench::banner("Table - g(z) lookup-table accuracy vs omega (Section 3.3)",
-                "R = " + format_double(opts.pipeline.deploy.radio_range, 0) +
-                    ", sigma = " + format_double(opts.pipeline.deploy.sigma, 0) +
-                    ", m = " +
-                    std::to_string(opts.pipeline.deploy.nodes_per_group));
-
-  const GzParams params{opts.pipeline.deploy.radio_range,
-                        opts.pipeline.deploy.sigma};
-  const int m = opts.pipeline.deploy.nodes_per_group;
-
-  Table table({"omega", "max_abs_error", "max_mu_error(nodes)",
-               "build_time_ms", "table_bytes"});
-  for (int omega : {8, 16, 32, 64, 128, 256, 512, 1024, 4096}) {
-    Timer t;
-    const GzTable table_omega(params, omega);
-    const double build_ms = t.millis();
-    const double err = table_omega.max_abs_error(2000);
-    table.new_row()
-        .add(omega)
-        .add(err, 8)
-        .add(err * m, 5)
-        .add(build_ms, 2)
-        .add(static_cast<long long>((omega + 1) * sizeof(double)));
-  }
-  bench::emit(opts, "interpolation error vs omega", table);
-
-  std::cout << "\nchecks: at omega = 256 the worst-case expected-neighbor "
-               "error is far below one node,\nconfirming the paper's claim "
-               "that omega need not be large (a 2 KB table suffices).\n";
-  return 0;
+  return lad::bench::scenario_main(argc, argv, "tab_gz_accuracy.scn");
 }

@@ -1,82 +1,8 @@
-// Section 7.2 ablation: LAD is independent of the localization scheme.
-//
-// The paper evaluates LAD only on the beaconless scheme [8] and argues the
-// methodology carries over.  This table runs the identical Fig-7-style
-// experiment under five localization schemes and reports per-scheme
-// localization error, trained threshold, and detection rates - the
-// paper-level claim is that detection at large D stays high for all of
-// them, while the threshold tracks each scheme's error.
-#include <iostream>
-
-#include "common.h"
-#include "loc/amorphous.h"
-#include "loc/beaconless_mle.h"
-#include "loc/dvhop.h"
-#include "loc/truth_noise.h"
-#include "loc/weighted_centroid.h"
-#include "sim/experiment.h"
-
-using namespace lad;
+// Thin wrapper over the checked-in spec bench/scenarios/tab_localizer_ablation.scn -
+// the sweep's axes, sample counts, and paper context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  bench::BenchOptions opts = bench::parse_common_flags(flags);
-  // Hop-flooding schemes are expensive at m = 300; a 150-per-group network
-  // keeps this table fast while preserving the comparison.
-  opts.pipeline.deploy.nodes_per_group =
-      static_cast<int>(flags.get_int("m_ablation", opts.quick ? 60 : 150));
-  opts.pipeline.networks = opts.quick ? 2 : 4;
-  opts.pipeline.victims_per_network = opts.quick ? 40 : 120;
-  const std::vector<double> damages = flags.get_double_list("d", {80, 160});
-  const double x = flags.get_double("x", 0.10);
-  const double fp = flags.get_double("fp", 0.01);
-  bench::check_unused(flags);
-
-  bench::banner("Table - LAD x localization scheme (Section 7.2)",
-                "m = " + std::to_string(opts.pipeline.deploy.nodes_per_group) +
-                    ", M = Diff, T = Dec-Bounded, FP = 1%");
-
-  Pipeline pipeline(opts.pipeline);
-
-  struct Scheme {
-    std::string label;
-    LocalizerFactory factory;
-  };
-  std::vector<Scheme> schemes;
-  schemes.push_back(
-      {"beaconless-mle",
-       beaconless_mle_factory(pipeline.model(), pipeline.gz())});
-  schemes.push_back({"weighted-centroid", [&](std::uint64_t) {
-                       return std::make_unique<WeightedCentroidLocalizer>(
-                           pipeline.model());
-                     }});
-  schemes.push_back({"dv-hop", [](std::uint64_t) {
-                       return std::make_unique<DvHopLocalizer>(4, 4);
-                     }});
-  schemes.push_back({"amorphous", [](std::uint64_t) {
-                       return std::make_unique<AmorphousLocalizer>(4, 4);
-                     }});
-  schemes.push_back({"truth+noise(10m)", [](std::uint64_t seed) {
-                       return std::make_unique<TruthNoiseLocalizer>(10.0, seed);
-                     }});
-
-  Table table({"scheme", "mean_loc_error", "threshold", "DR@D=80",
-               "DR@D=160"});
-  for (const Scheme& s : schemes) {
-    const double loc_err = pipeline.mean_localization_error(s.factory);
-    const auto points = run_dr_sweep(pipeline, s.factory, MetricKind::kDiff,
-                                     AttackClass::kDecBounded, damages, {x},
-                                     fp);
-    table.new_row().add(s.label).add(loc_err, 2).add(points[0].threshold, 2);
-    for (const auto& p : points) table.add(p.detection_rate, 4);
-  }
-  bench::emit(opts, "detection under different localization schemes", table);
-
-  std::cout << "\nchecks: the trained threshold tracks each scheme's benign "
-               "error; less accurate schemes\nsacrifice detection at small "
-               "D first - exactly the scheme-dependence of Section 7.2\n"
-               "(\"for different schemes, the detection threshold derived "
-               "from training will be\ndifferent; thus the false positive "
-               "and the detection rate will be different\").\n";
-  return 0;
+  return lad::bench::scenario_main(argc, argv, "tab_localizer_ablation.scn");
 }

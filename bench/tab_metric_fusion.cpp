@@ -1,99 +1,8 @@
-// Metric-fusion ablation (extension beyond the paper).
-//
-// Each metric is trained at the same tau; the fusion detector alarms when
-// ANY metric exceeds its threshold.  The interesting adversarial case: the
-// greedy attacker optimizes its taint against ONE metric (it must commit -
-// the taints conflict), so a fused detector can catch what the targeted
-// metric misses.  For each "attacker targets metric X" scenario we report
-// the DR of every single-metric detector and of the fusion.
-#include <iostream>
-
-#include "common.h"
-#include "util/string_util.h"
-#include "core/fusion.h"
-#include "core/trainer.h"
-#include "sim/pipeline.h"
-#include "stats/quantile.h"
-
-using namespace lad;
+// Thin wrapper over the checked-in spec bench/scenarios/tab_metric_fusion.scn -
+// the sweep's axes, sample counts, and paper context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  bench::BenchOptions opts = bench::parse_common_flags(flags);
-  const double d = flags.get_double("d", 100.0);
-  const double x = flags.get_double("x", 0.10);
-  const double tau = flags.get_double("tau", 0.99);
-  bench::check_unused(flags);
-
-  bench::banner("Table - metric fusion (extension)",
-                "D = " + format_double(d, 0) + ", x = " +
-                    format_double(x * 100, 0) + "%, tau = " +
-                    format_double(tau, 3) + ", T = Dec-Bounded");
-
-  Pipeline pipeline(opts.pipeline);
-  const LocalizerFactory factory =
-      beaconless_mle_factory(pipeline.model(), pipeline.gz());
-  const std::vector<MetricKind> kinds = {
-      MetricKind::kDiff, MetricKind::kAddAll, MetricKind::kProb};
-  auto benign = pipeline.benign_scores(factory, kinds);
-
-  // Train each metric at the same tau.
-  std::map<MetricKind, double> thresholds;
-  for (MetricKind k : kinds) {
-    thresholds[k] = train_threshold(k, benign.at(k), tau).threshold;
-  }
-
-  // Benign FP of the fusion: fraction of samples where any ratio > 1
-  // (computed sample-wise: the per-metric benign vectors share victims).
-  const std::size_t n = benign.at(MetricKind::kDiff).size();
-  int fused_fp = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    bool any = false;
-    for (MetricKind k : kinds) {
-      if (benign.at(k)[i] > thresholds[k]) any = true;
-    }
-    if (any) ++fused_fp;
-  }
-
-  Table table({"attacker_targets", "DR_diff", "DR_add-all", "DR_prob",
-               "DR_fusion"});
-  for (MetricKind target : kinds) {
-    // The attacker commits to minimizing `target`; every detector then
-    // scores the same tainted observations.  Pipeline scores are computed
-    // per metric, so we regenerate the taint per (target, scorer) pair via
-    // AttackSpec: the greedy uses spec.metric for BOTH taint and scoring.
-    // For cross-scoring we need taint(target) scored by scorer - done via
-    // the fusion-specific evaluation below.
-    AttackSpec spec;
-    spec.metric = target;
-    spec.attack_class = AttackClass::kDecBounded;
-    spec.damage = d;
-    spec.compromised_frac = x;
-    const auto cross = pipeline.attack_scores_cross(spec, kinds);
-
-    table.new_row().add(metric_name(target));
-    std::vector<char> fused_hit(cross.begin()->second.size(), 0);
-    for (MetricKind scorer : kinds) {
-      const auto& scores = cross.at(scorer);
-      table.add(fraction_above(scores, thresholds[scorer]), 4);
-      for (std::size_t i = 0; i < scores.size(); ++i) {
-        if (scores[i] > thresholds[scorer]) fused_hit[i] = 1;
-      }
-    }
-    int hits = 0;
-    for (char h : fused_hit) hits += h;
-    table.add(static_cast<double>(hits) / static_cast<double>(fused_hit.size()),
-              4);
-  }
-  bench::emit(opts, "attacker-vs-detector matrix", table);
-
-  std::cout << "\nfusion benign FP at per-metric tau=" << tau << ": "
-            << format_double(static_cast<double>(fused_fp) / n, 4)
-            << " (union bound of the three " << format_double(1 - tau, 3)
-            << " rates)\n";
-  std::cout << "\nchecks: the fusion column dominates each row's targeted "
-               "metric - an attacker that\nevades its targeted metric is "
-               "caught by another, at the cost of a fused FP about\nthe sum "
-               "of the single-metric FPs.\n";
-  return 0;
+  return lad::bench::scenario_main(argc, argv, "tab_metric_fusion.scn");
 }

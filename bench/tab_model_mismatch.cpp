@@ -1,65 +1,8 @@
-// Section 8 future work: "the accuracy of the deployment knowledge model.
-// If this model cannot accurately model the actual deployment, there will
-// be extra errors (both on false positive and detection rate)."
-//
-// Two mismatch axes, measured against the paper's Fig-7-style experiment:
-//  * sigma mismatch: sensors scatter with sigma_actual while the knowledge
-//    model (training, g(z), MLE) keeps sigma = 50;
-//  * deployment-point jitter: the actual release points are offset by a
-//    Gaussian of the given std-dev (off-target airdrop) while the
-//    knowledge keeps the nominal grid.
-// Reported: realized FP of a threshold trained *on the mismatched world*
-// at nominal 1%, the threshold inflation, and DR at D in {80, 160}.
-#include <iostream>
-
-#include "common.h"
-#include "sim/experiment.h"
-
-using namespace lad;
-
-namespace {
-
-void run_axis(const bench::BenchOptions& base, const std::string& label,
-              const std::vector<double>& values,
-              void (*apply)(PipelineConfig&, double)) {
-  Table table({label, "mle_loc_error", "threshold", "DR@D=80", "DR@D=160"});
-  for (double v : values) {
-    PipelineConfig cfg = base.pipeline;
-    apply(cfg, v);
-    Pipeline pipeline(cfg);
-    const LocalizerFactory factory =
-        beaconless_mle_factory(pipeline.model(), pipeline.gz());
-    const double loc_err = pipeline.mean_localization_error(factory);
-    const auto points =
-        run_dr_sweep(pipeline, factory, MetricKind::kDiff,
-                     AttackClass::kDecBounded, {80.0, 160.0}, {0.10}, 0.01);
-    table.new_row().add(v, 1).add(loc_err, 2).add(points[0].threshold, 2);
-    for (const auto& p : points) table.add(p.detection_rate, 4);
-  }
-  bench::emit(base, label + " mismatch", table);
-}
-
-}  // namespace
+// Thin wrapper over the checked-in spec bench/scenarios/tab_model_mismatch.scn -
+// the sweep's axes, sample counts, and paper context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  bench::BenchOptions opts = bench::parse_common_flags(flags);
-  opts.pipeline.networks = opts.quick ? 2 : 6;
-  opts.pipeline.victims_per_network = opts.quick ? 50 : 150;
-  bench::check_unused(flags);
-
-  bench::banner("Table - deployment-knowledge mismatch (Section 8)",
-                "knowledge sigma = 50, grid points; reality deviates; "
-                "M = Diff, T = Dec-Bounded, x = 10%, FP = 1%");
-
-  run_axis(opts, "actual_sigma", {50.0, 60.0, 75.0, 100.0},
-           [](PipelineConfig& cfg, double v) { cfg.actual_sigma = v; });
-  run_axis(opts, "deployment_jitter_m", {0.0, 10.0, 25.0, 50.0},
-           [](PipelineConfig& cfg, double v) { cfg.deployment_jitter = v; });
-
-  std::cout << "\nchecks: mismatch widens the benign score distribution, so "
-               "the trained threshold\ninflates and detection of small-D "
-               "attacks erodes first - the error structure the\npaper "
-               "anticipated for inaccurate deployment knowledge.\n";
-  return 0;
+  return lad::bench::scenario_main(argc, argv, "tab_model_mismatch.scn");
 }

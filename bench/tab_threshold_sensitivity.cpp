@@ -1,79 +1,8 @@
-// Section 5.5's robustness claim: "our method has a high detection rate
-// and low false positive rate for large localization errors introduced by
-// attacks, even if the anomaly detection thresholds are not optimally
-// selected."
-//
-// Two sweeps quantify that:
-//  * tau sweep: thresholds trained at tau in {90%, 95%, 99%, 99.9%};
-//  * fudge sweep: the tau = 99% threshold scaled by 0.5x ... 2x
-//    (simulating badly calibrated training).
-// For each setting: realized FP on held-out benign samples and DR at
-// D in {60, 120, 200}.
-#include <iostream>
-
-#include "common.h"
-#include "core/trainer.h"
-#include "sim/pipeline.h"
-#include "stats/quantile.h"
-
-using namespace lad;
+// Thin wrapper over the checked-in spec bench/scenarios/tab_threshold_sensitivity.scn -
+// the sweep's axes, sample counts, and paper context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  bench::BenchOptions opts = bench::parse_common_flags(flags);
-  const std::vector<double> damages = flags.get_double_list("d", {60, 120, 200});
-  bench::check_unused(flags);
-
-  bench::banner("Table - threshold sensitivity (Section 5.5)",
-                "m = " + std::to_string(opts.pipeline.deploy.nodes_per_group) +
-                    ", M = Diff, T = Dec-Bounded, x = 10%");
-
-  Pipeline pipeline(opts.pipeline);
-  const LocalizerFactory factory =
-      beaconless_mle_factory(pipeline.model(), pipeline.gz());
-  auto benign = pipeline.benign_scores(factory, {MetricKind::kDiff});
-  const std::vector<double>& scores = benign.at(MetricKind::kDiff);
-
-  std::vector<std::vector<double>> attack_scores;
-  for (double d : damages) {
-    AttackSpec spec;
-    spec.metric = MetricKind::kDiff;
-    spec.attack_class = AttackClass::kDecBounded;
-    spec.damage = d;
-    spec.compromised_frac = 0.10;
-    attack_scores.push_back(pipeline.attack_scores(spec));
-  }
-
-  auto emit_row = [&](Table& t, double threshold) {
-    t.add(threshold, 2).add(fraction_above(scores, threshold), 4);
-    for (const auto& att : attack_scores) {
-      t.add(fraction_above(att, threshold), 4);
-    }
-  };
-
-  Table tau_table({"tau", "threshold", "FP", "DR@D=60", "DR@D=120",
-                   "DR@D=200"});
-  for (double tau : {0.90, 0.95, 0.99, 0.999}) {
-    const TrainingResult r =
-        train_threshold(MetricKind::kDiff, scores, tau);
-    tau_table.new_row().add(tau, 3);
-    emit_row(tau_table, r.threshold);
-  }
-  bench::emit(opts, "tau sweep", tau_table);
-
-  const double t99 = train_threshold(MetricKind::kDiff, scores, 0.99).threshold;
-  Table fudge_table({"fudge", "threshold", "FP", "DR@D=60", "DR@D=120",
-                     "DR@D=200"});
-  for (double fudge : {0.5, 0.75, 1.0, 1.25, 1.5, 2.0}) {
-    fudge_table.new_row().add(fudge, 2);
-    emit_row(fudge_table, t99 * fudge);
-  }
-  bench::emit(opts, "miscalibration sweep (tau=99% threshold scaled)",
-              fudge_table);
-
-  std::cout << "\nchecks: at D = 200 the detection rate stays ~1 across the "
-               "whole 0.5x..2x threshold\nrange - the paper's claim that "
-               "high-impact anomalies are insensitive to threshold\n"
-               "quality; small-D detection is what miscalibration costs.\n";
-  return 0;
+  return lad::bench::scenario_main(argc, argv, "tab_threshold_sensitivity.scn");
 }

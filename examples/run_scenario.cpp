@@ -1,0 +1,38 @@
+// Runs a declarative scenario file through the ScenarioRunner - the
+// library-level equivalent of `lad_cli run`.  With no argument it runs
+// the checked-in quickstart spec (bench/scenarios/quickstart.scn); pass a
+// path to run any other .scn (see the README's "Scenario files" section
+// for the schema).
+#include <iostream>
+#include <string>
+
+#include "sim/scenario.h"
+#include "util/assert.h"
+
+#ifndef LAD_SCENARIO_DIR
+#define LAD_SCENARIO_DIR "bench/scenarios"
+#endif
+
+int main(int argc, char** argv) {
+  using namespace lad;
+  const std::string path =
+      argc > 1 ? argv[1] : std::string(LAD_SCENARIO_DIR) + "/quickstart.scn";
+  try {
+    const ScenarioSpec spec = ScenarioSpec::load(path);
+    ScenarioRunner runner(spec);
+    std::cout << spec.title << "\n"
+              << "(" << experiment_kind_name(spec.kind) << ", "
+              << runner.num_items() << " work items, seed "
+              << spec.pipeline.seed << ")\n";
+    const ScenarioResult result = runner.run();
+    for (const ResultTable& t : result.tables) {
+      std::cout << "\n== " << t.id << " ==\n";
+      t.table.print(std::cout);
+    }
+    if (!spec.note.empty()) std::cout << "\n" << spec.note << "\n";
+    return 0;
+  } catch (const AssertionError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

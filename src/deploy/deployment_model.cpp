@@ -5,8 +5,27 @@
 
 #include "stats/special.h"
 #include "util/assert.h"
+#include "util/string_util.h"
 
 namespace lad {
+
+const char* deployment_shape_name(DeploymentShape shape) {
+  switch (shape) {
+    case DeploymentShape::kGrid: return "grid";
+    case DeploymentShape::kHex: return "hex";
+    case DeploymentShape::kRandom: return "random";
+  }
+  return "?";
+}
+
+DeploymentShape deployment_shape_from_name(const std::string& name) {
+  const std::string n = to_lower(name);
+  if (n == "grid") return DeploymentShape::kGrid;
+  if (n == "hex" || n == "hexagonal") return DeploymentShape::kHex;
+  if (n == "random" || n == "random-known") return DeploymentShape::kRandom;
+  LAD_REQUIRE_MSG(false, "unknown deployment shape: " << name);
+  return DeploymentShape::kGrid;  // unreachable
+}
 
 DeploymentModel::DeploymentModel(const DeploymentConfig& config)
     : config_(config) {

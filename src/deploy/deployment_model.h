@@ -3,6 +3,7 @@
 // the deployment point by an isotropic 2-D Gaussian with std sigma.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "deploy/config.h"
@@ -19,6 +20,9 @@ namespace lad {
 /// hexagon shapes, or deployments where the deployment points are random
 /// (as long as their locations are given to all sensors)").
 enum class DeploymentShape { kGrid, kHex, kRandom };
+
+const char* deployment_shape_name(DeploymentShape shape);
+DeploymentShape deployment_shape_from_name(const std::string& name);
 
 class DeploymentModel {
  public:

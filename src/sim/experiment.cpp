@@ -1,11 +1,34 @@
 #include "sim/experiment.h"
 
-#include "core/trainer.h"
 #include "loc/beaconless_mle.h"
 #include "stats/quantile.h"
 #include "util/assert.h"
 
 namespace lad {
+
+ThresholdFit fit_threshold(MetricKind metric,
+                           const std::vector<double>& benign_scores,
+                           double fp_budget) {
+  LAD_REQUIRE_MSG(fp_budget > 0 && fp_budget < 1, "FP budget must be in (0,1)");
+  ThresholdFit fit{train_threshold(metric, benign_scores, 1.0 - fp_budget),
+                   0.0};
+  fit.realized_fp = fraction_above(benign_scores, fit.training.threshold);
+  return fit;
+}
+
+ThresholdFit fit_threshold(Pipeline& pipeline, const LocalizerFactory& factory,
+                           MetricKind metric, double fp_budget) {
+  auto benign = pipeline.benign_scores(factory, {metric});
+  return fit_threshold(metric, benign.at(metric), fp_budget);
+}
+
+PipelineConfig density_pipeline_config(const PipelineConfig& base, int m) {
+  PipelineConfig cfg = base;
+  cfg.deploy.nodes_per_group = m;
+  // Decorrelate deployments across densities.
+  cfg.seed = base.seed + static_cast<std::uint64_t>(m) * 0x9E37ull;
+  return cfg;
+}
 
 std::vector<RocExperimentResult> run_roc_experiment(
     Pipeline& pipeline, const LocalizerFactory& factory,
@@ -40,12 +63,7 @@ std::vector<DrPoint> run_dr_sweep(Pipeline& pipeline,
                                   const std::vector<double>& damages,
                                   const std::vector<double>& compromised_fracs,
                                   double fp_budget) {
-  LAD_REQUIRE_MSG(fp_budget > 0 && fp_budget < 1, "FP budget must be in (0,1)");
-  auto benign = pipeline.benign_scores(factory, {metric});
-  const std::vector<double>& scores = benign.at(metric);
-  const TrainingResult trained =
-      train_threshold(metric, scores, 1.0 - fp_budget);
-  const double realized_fp = fraction_above(scores, trained.threshold);
+  const ThresholdFit fit = fit_threshold(pipeline, factory, metric, fp_budget);
 
   std::vector<DrPoint> out;
   for (double x : compromised_fracs) {
@@ -56,8 +74,8 @@ std::vector<DrPoint> run_dr_sweep(Pipeline& pipeline,
       spec.damage = d;
       spec.compromised_frac = x;
       const std::vector<double> attack = pipeline.attack_scores(spec);
-      out.push_back({d, x, fraction_above(attack, trained.threshold),
-                     realized_fp, trained.threshold});
+      out.push_back({d, x, fraction_above(attack, fit.threshold()),
+                     fit.realized_fp, fit.threshold()});
     }
   }
   return out;
@@ -70,18 +88,12 @@ std::vector<DensityPoint> run_density_sweep(
     const std::vector<double>& compromised_fracs, double fp_budget) {
   std::vector<DensityPoint> out;
   for (int m : densities) {
-    PipelineConfig cfg = base_config;
-    cfg.deploy.nodes_per_group = m;
-    // Decorrelate deployments across densities.
-    cfg.seed = base_config.seed + static_cast<std::uint64_t>(m) * 0x9E37ull;
-    Pipeline pipeline(cfg);
+    Pipeline pipeline(density_pipeline_config(base_config, m));
     const LocalizerFactory factory =
         beaconless_mle_factory(pipeline.model(), pipeline.gz());
 
-    auto benign = pipeline.benign_scores(factory, {metric});
-    const std::vector<double>& scores = benign.at(metric);
-    const TrainingResult trained =
-        train_threshold(metric, scores, 1.0 - fp_budget);
+    const ThresholdFit fit =
+        fit_threshold(pipeline, factory, metric, fp_budget);
     const double loc_error = pipeline.mean_localization_error(factory);
 
     for (double x : compromised_fracs) {
@@ -92,8 +104,8 @@ std::vector<DensityPoint> run_density_sweep(
         spec.damage = d;
         spec.compromised_frac = x;
         const std::vector<double> attack = pipeline.attack_scores(spec);
-        out.push_back({m, d, x, fraction_above(attack, trained.threshold),
-                       loc_error, trained.threshold});
+        out.push_back({m, d, x, fraction_above(attack, fit.threshold()),
+                       loc_error, fit.threshold()});
       }
     }
   }

@@ -11,10 +11,36 @@
 #include <string>
 #include <vector>
 
+#include "core/trainer.h"
 #include "sim/pipeline.h"
 #include "stats/roc.h"
 
 namespace lad {
+
+/// A threshold trained at the (1 - fp_budget) percentile of benign scores
+/// (Section 5.5 with tau = 1 - FP), plus the FP rate it realizes on the
+/// training samples.  This is the single trainer path shared by
+/// run_dr_sweep, run_density_sweep, and the scenario runner.
+struct ThresholdFit {
+  TrainingResult training;
+  double realized_fp;  ///< FP of the trained threshold on the training set
+
+  double threshold() const { return training.threshold; }
+};
+
+/// Trains from pre-collected benign scores.
+ThresholdFit fit_threshold(MetricKind metric,
+                           const std::vector<double>& benign_scores,
+                           double fp_budget);
+
+/// Convenience: runs the benign pass first, then trains.
+ThresholdFit fit_threshold(Pipeline& pipeline, const LocalizerFactory& factory,
+                           MetricKind metric, double fp_budget);
+
+/// The per-density pipeline configuration run_density_sweep deploys:
+/// density m with a seed decorrelated from the base seed.  Exposed so the
+/// scenario runner's density work items reproduce the sweep exactly.
+PipelineConfig density_pipeline_config(const PipelineConfig& base, int m);
 
 struct RocExperimentResult {
   MetricKind metric;

@@ -1,0 +1,884 @@
+// ScenarioRunner: expands a ScenarioSpec's cartesian product into an
+// ordered work-item list and executes it (or one shard of it) through the
+// existing Pipeline / experiment entry points.
+//
+// Work-item ids are assigned by iterating the expansion in a fixed order,
+// so ids are identical in every shard of the same spec.  All randomness is
+// keyed from the spec's seed (Philox-style sub-streams inside Pipeline;
+// explicit per-item seeds in the bespoke kinds), never from execution
+// order, which is what makes shard output placement-independent.
+//
+// Pipelines / benign passes / deployed networks are cached per runner and
+// shared across the items that need them; because they are deterministic
+// functions of (spec, seed), caching changes wall time only, never values.
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "attack/displacement.h"
+#include "attack/greedy.h"
+#include "core/corrector.h"
+#include "core/detector.h"
+#include "core/trainer.h"
+#include "loc/beaconless_mle.h"
+#include "loc/dvhop.h"
+#include "loc/echo.h"
+#include "loc/mmse.h"
+#include "rng/rng.h"
+#include "stats/quantile.h"
+#include "stats/running_stats.h"
+#include "stats/special.h"
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace lad {
+
+namespace {
+
+/// The (actual_sigma, jitter) mismatch combinations a spec expands to.
+std::vector<std::pair<double, double>> mismatch_pairs(const ScenarioSpec& s) {
+  std::vector<std::pair<double, double>> pairs;
+  if (s.mismatch_coupling == MismatchCoupling::kProduct) {
+    for (double sigma : s.actual_sigmas) {
+      for (double jitter : s.jitters) pairs.emplace_back(sigma, jitter);
+    }
+    return pairs;
+  }
+  // Axes mode: vary one axis at a time, the other held at its first value.
+  // When both axes vary, the two passes are emitted back to back (the
+  // baseline-ish row appears in each, matching the two-table mismatch
+  // bench this mode reproduces).
+  if (s.actual_sigmas.size() <= 1) {
+    for (double jitter : s.jitters) {
+      pairs.emplace_back(s.actual_sigmas.front(), jitter);
+    }
+    return pairs;
+  }
+  for (double sigma : s.actual_sigmas) {
+    pairs.emplace_back(sigma, s.jitters.front());
+  }
+  if (s.jitters.size() > 1) {
+    for (double jitter : s.jitters) {
+      pairs.emplace_back(s.actual_sigmas.front(), jitter);
+    }
+  }
+  return pairs;
+}
+
+std::string percent_label(double fp) {
+  if (fp == 0.0) return "DR@FP=0";
+  std::ostringstream os;
+  os << fp * 100.0;
+  return "DR@" + os.str() + "%";
+}
+
+std::string dr_at_damage_label(double d) {
+  return "DR@D=" + format_double(d, 0);
+}
+
+/// Total work items in a spec's full expansion.  Shared by num_items()
+/// and the per-kind empty-shard early-outs (a modulo shard owns at least
+/// one item exactly when its index is below this total).
+long long total_items(const ScenarioSpec& s) {
+  const long long metrics = static_cast<long long>(s.metrics.size());
+  const long long attacks = static_cast<long long>(s.attacks.size());
+  const long long damages = static_cast<long long>(s.damages.size());
+  const long long xs = static_cast<long long>(s.compromised.size());
+  switch (s.kind) {
+    case ExperimentKind::kRoc:
+      return metrics * attacks * damages * xs;
+    case ExperimentKind::kDrSweep:
+      return static_cast<long long>(mismatch_pairs(s).size()) *
+             static_cast<long long>(s.shapes.size()) *
+             static_cast<long long>(s.localizers.size()) * metrics * attacks *
+             xs * damages;
+    case ExperimentKind::kDensitySweep:
+      return static_cast<long long>(s.densities.size()) * metrics * attacks *
+             xs * damages;
+    case ExperimentKind::kDeploymentPdf:
+      return 2;
+    case ExperimentKind::kGzAccuracy:
+      return static_cast<long long>(s.omegas.size());
+    case ExperimentKind::kCorrection:
+      return 1 + attacks * damages;
+    case ExperimentKind::kEchoComparison:
+      return 1 + damages;
+    case ExperimentKind::kMetricFusion:
+      return 1 + metrics;
+    case ExperimentKind::kMmseVulnerability:
+      return static_cast<long long>(s.lies.size()) +
+             static_cast<long long>(s.dvhop_lies.size());
+    case ExperimentKind::kThresholdSensitivity:
+      return static_cast<long long>(s.taus.size()) +
+             static_cast<long long>(s.fudges.size());
+  }
+  return 0;
+}
+
+/// True when `shard` owns no item at all - the caller returns its
+/// header-only tables without building any shared state.
+bool shard_is_empty(const ShardRange& shard, const ScenarioSpec& s) {
+  return static_cast<long long>(shard.index) >= total_items(s);
+}
+
+}  // namespace
+
+struct ScenarioRunner::Impl {
+  ScenarioSpec spec;
+
+  // --- shared deterministic state (lazy; values never depend on which
+  //     items run, only the spec) ---------------------------------------
+  std::map<std::string, std::unique_ptr<Pipeline>> pipelines;
+  // (pipeline key | localizer) -> per-metric benign scores
+  std::map<std::string, std::map<MetricKind, std::vector<double>>> benign;
+  std::map<std::string, double> loc_errors;
+  // threshold-sensitivity: per-damage attack scores on the base pipeline
+  std::map<double, std::vector<double>> attack_cache;
+
+  explicit Impl(const ScenarioSpec& s) : spec(s) {}
+
+  PipelineConfig group_config(DeploymentShape shape, double actual_sigma,
+                              double jitter) const {
+    PipelineConfig cfg = spec.pipeline;
+    cfg.shape = shape;
+    cfg.actual_sigma = actual_sigma;
+    cfg.deployment_jitter = jitter;
+    return cfg;
+  }
+
+  static std::string config_key(const PipelineConfig& cfg) {
+    std::ostringstream os;
+    os << deployment_shape_name(cfg.shape) << "|m="
+       << cfg.deploy.nodes_per_group << "|as=" << cfg.actual_sigma
+       << "|j=" << cfg.deployment_jitter << "|seed=" << cfg.seed;
+    return os.str();
+  }
+
+  Pipeline& pipeline_for(const PipelineConfig& cfg) {
+    const std::string key = config_key(cfg);
+    auto it = pipelines.find(key);
+    if (it == pipelines.end()) {
+      it = pipelines.emplace(key, std::make_unique<Pipeline>(cfg)).first;
+    }
+    return *it->second;
+  }
+
+  /// Benign scores for every spec metric under one (pipeline, localizer);
+  /// per-metric values are independent of which metrics share the pass.
+  const std::map<MetricKind, std::vector<double>>& benign_for(
+      Pipeline& pipeline, const std::string& localizer) {
+    const std::string key =
+        config_key(pipeline.config()) + "|" + localizer;
+    auto it = benign.find(key);
+    if (it == benign.end()) {
+      const LocalizerFactory factory =
+          localizer_factory_from_name(localizer, pipeline);
+      it = benign.emplace(key, pipeline.benign_scores(factory, spec.metrics))
+               .first;
+    }
+    return it->second;
+  }
+
+  double loc_error_for(Pipeline& pipeline, const std::string& localizer) {
+    const std::string key =
+        config_key(pipeline.config()) + "|" + localizer;
+    auto it = loc_errors.find(key);
+    if (it == loc_errors.end()) {
+      const LocalizerFactory factory =
+          localizer_factory_from_name(localizer, pipeline);
+      it = loc_errors
+               .emplace(key, pipeline.mean_localization_error(factory))
+               .first;
+    }
+    return it->second;
+  }
+
+  const std::vector<double>& attack_scores_cached(Pipeline& pipeline,
+                                                  const AttackSpec& spec_) {
+    auto it = attack_cache.find(spec_.damage);
+    if (it == attack_cache.end()) {
+      it = attack_cache.emplace(spec_.damage, pipeline.attack_scores(spec_))
+               .first;
+    }
+    return it->second;
+  }
+
+  // --- per-kind execution ----------------------------------------------
+  ScenarioResult run_roc(const ShardRange& shard);
+  ScenarioResult run_dr(const ShardRange& shard);
+  ScenarioResult run_density(const ShardRange& shard);
+  ScenarioResult run_pdf(const ShardRange& shard);
+  ScenarioResult run_gz(const ShardRange& shard);
+  ScenarioResult run_correction(const ShardRange& shard);
+  ScenarioResult run_echo(const ShardRange& shard);
+  ScenarioResult run_fusion(const ShardRange& shard);
+  ScenarioResult run_mmse(const ShardRange& shard);
+  ScenarioResult run_threshold(const ShardRange& shard);
+};
+
+namespace {
+
+/// Starts a row tagged with the work item that produces it.
+Table& tagged_row(ResultTable& t, long long item) {
+  t.row_items.push_back(item);
+  return t.table.new_row();
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec)
+    : impl_(std::make_unique<Impl>(spec)) {}
+
+ScenarioRunner::~ScenarioRunner() = default;
+
+long long ScenarioRunner::num_items() const {
+  return total_items(impl_->spec);
+}
+
+ScenarioResult ScenarioRunner::run(const ShardRange& shard) {
+  LAD_REQUIRE_MSG(shard.count >= 1 && shard.index >= 0 &&
+                      shard.index < shard.count,
+                  "invalid shard range " << shard.index << "/" << shard.count);
+  switch (impl_->spec.kind) {
+    case ExperimentKind::kRoc: return impl_->run_roc(shard);
+    case ExperimentKind::kDrSweep: return impl_->run_dr(shard);
+    case ExperimentKind::kDensitySweep: return impl_->run_density(shard);
+    case ExperimentKind::kDeploymentPdf: return impl_->run_pdf(shard);
+    case ExperimentKind::kGzAccuracy: return impl_->run_gz(shard);
+    case ExperimentKind::kCorrection: return impl_->run_correction(shard);
+    case ExperimentKind::kEchoComparison: return impl_->run_echo(shard);
+    case ExperimentKind::kMetricFusion: return impl_->run_fusion(shard);
+    case ExperimentKind::kMmseVulnerability: return impl_->run_mmse(shard);
+    case ExperimentKind::kThresholdSensitivity:
+      return impl_->run_threshold(shard);
+  }
+  LAD_REQUIRE_MSG(false, "invalid experiment kind");
+  return {};  // unreachable
+}
+
+ScenarioResult ScenarioRunner::Impl::run_roc(const ShardRange& shard) {
+  const bool many_metrics = spec.metrics.size() > 1;
+  const bool many_attacks = spec.attacks.size() > 1;
+  const bool many_xs = spec.compromised.size() > 1;
+
+  std::vector<std::string> dims;
+  if (many_metrics) dims.push_back("metric");
+  if (many_attacks) dims.push_back("attack");
+  dims.push_back("D");
+  if (many_xs) dims.push_back("x");
+
+  std::vector<std::string> summary_cols = dims;
+  summary_cols.push_back("AUC");
+  for (double fp : spec.fp_grid) summary_cols.push_back(percent_label(fp));
+  std::vector<std::string> curve_cols = dims;
+  curve_cols.push_back("FP");
+  curve_cols.push_back("DR");
+
+  ScenarioResult result{spec.name, {}};
+  result.tables.push_back({"summary", Table(summary_cols), {}});
+  if (spec.curve_points > 0) {
+    result.tables.push_back({"curves", Table(curve_cols), {}});
+  }
+  ResultTable& summary = result.tables.front();
+
+  long long item = -1;
+  for (MetricKind metric : spec.metrics) {
+    for (AttackClass cls : spec.attacks) {
+      for (double d : spec.damages) {
+        for (double x : spec.compromised) {
+          ++item;
+          if (!shard.contains(item)) continue;
+          Pipeline& pipeline = pipeline_for(
+              group_config(spec.shapes.front(), spec.actual_sigmas.front(),
+                           spec.jitters.front()));
+          const std::vector<double>& benign_scores =
+              benign_for(pipeline, spec.localizers.front()).at(metric);
+          AttackSpec attack;
+          attack.metric = metric;
+          attack.attack_class = cls;
+          attack.damage = d;
+          attack.compromised_frac = x;
+          const RocCurve curve(benign_scores,
+                               pipeline.attack_scores(attack));
+
+          auto add_dims = [&](Table& t) -> Table& {
+            if (many_metrics) t.add(metric_name(metric));
+            if (many_attacks) t.add(attack_class_name(cls));
+            t.add(d, 0);
+            if (many_xs) t.add(x, 2);
+            return t;
+          };
+          Table& row = add_dims(tagged_row(summary, item));
+          row.add(curve.auc(), 4);
+          for (double fp : spec.fp_grid) {
+            row.add(curve.detection_rate_at_fp(fp), 4);
+          }
+          if (spec.curve_points > 0) {
+            ResultTable& curves = result.tables.back();
+            const auto& pts = curve.points();
+            const std::size_t stride = std::max<std::size_t>(
+                1, pts.size() / static_cast<std::size_t>(spec.curve_points));
+            for (std::size_t i = 0; i < pts.size(); i += stride) {
+              add_dims(tagged_row(curves, item))
+                  .add(pts[i].false_positive_rate, 5)
+                  .add(pts[i].detection_rate, 5);
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+ScenarioResult ScenarioRunner::Impl::run_dr(const ShardRange& shard) {
+  const auto pairs = mismatch_pairs(spec);
+  const bool many_sigmas = spec.actual_sigmas.size() > 1;
+  const bool many_jitters = spec.jitters.size() > 1;
+  const bool many_shapes = spec.shapes.size() > 1;
+  const bool many_locs = spec.localizers.size() > 1;
+  const bool many_metrics = spec.metrics.size() > 1;
+  const bool many_attacks = spec.attacks.size() > 1;
+
+  std::vector<std::string> cols;
+  if (many_sigmas) cols.push_back("actual_sigma");
+  if (many_jitters) cols.push_back("jitter");
+  if (many_shapes) cols.push_back("shape");
+  if (many_locs) cols.push_back("localizer");
+  if (many_metrics) cols.push_back("metric");
+  if (many_attacks) cols.push_back("attack");
+  cols.push_back("x");
+  cols.push_back("D");
+  cols.push_back("DR");
+  cols.push_back("trained_FP");
+  cols.push_back("threshold");
+  if (spec.loc_error) cols.push_back("loc_error");
+
+  ScenarioResult result{spec.name, {}};
+  result.tables.push_back({"dr", Table(cols), {}});
+  ResultTable& dr = result.tables.front();
+
+  long long item = -1;
+  for (const auto& [actual_sigma, jitter] : pairs) {
+    for (DeploymentShape shape : spec.shapes) {
+      for (const std::string& localizer : spec.localizers) {
+        for (MetricKind metric : spec.metrics) {
+          for (AttackClass cls : spec.attacks) {
+            for (double x : spec.compromised) {
+              for (double d : spec.damages) {
+                ++item;
+                if (!shard.contains(item)) continue;
+                Pipeline& pipeline =
+                    pipeline_for(group_config(shape, actual_sigma, jitter));
+                const ThresholdFit fit = fit_threshold(
+                    metric, benign_for(pipeline, localizer).at(metric),
+                    spec.fp_budget);
+                AttackSpec attack;
+                attack.metric = metric;
+                attack.attack_class = cls;
+                attack.damage = d;
+                attack.compromised_frac = x;
+                const std::vector<double> scores =
+                    pipeline.attack_scores(attack);
+
+                Table& row = tagged_row(dr, item);
+                if (many_sigmas) row.add(actual_sigma, 1);
+                if (many_jitters) row.add(jitter, 1);
+                if (many_shapes) row.add(deployment_shape_name(shape));
+                if (many_locs) row.add(localizer);
+                if (many_metrics) row.add(metric_name(metric));
+                if (many_attacks) row.add(attack_class_name(cls));
+                row.add(x, 2)
+                    .add(d, 0)
+                    .add(fraction_above(scores, fit.threshold()), 4)
+                    .add(fit.realized_fp, 4)
+                    .add(fit.threshold(), 2);
+                if (spec.loc_error) {
+                  row.add(loc_error_for(pipeline, localizer), 2);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+ScenarioResult ScenarioRunner::Impl::run_density(const ShardRange& shard) {
+  const bool many_metrics = spec.metrics.size() > 1;
+  const bool many_attacks = spec.attacks.size() > 1;
+
+  std::vector<std::string> cols = {"m"};
+  if (many_metrics) cols.push_back("metric");
+  if (many_attacks) cols.push_back("attack");
+  cols.insert(cols.end(), {"x", "D", "DR", "mle_loc_error", "threshold"});
+
+  ScenarioResult result{spec.name, {}};
+  result.tables.push_back({"density", Table(cols), {}});
+  ResultTable& density = result.tables.front();
+
+  long long item = -1;
+  for (int m : spec.densities) {
+    for (MetricKind metric : spec.metrics) {
+      for (AttackClass cls : spec.attacks) {
+        for (double x : spec.compromised) {
+          for (double d : spec.damages) {
+            ++item;
+            if (!shard.contains(item)) continue;
+            // Each density re-deploys with the decorrelated per-m seed the
+            // Fig. 9 sweep uses (density_pipeline_config).
+            Pipeline& pipeline =
+                pipeline_for(density_pipeline_config(spec.pipeline, m));
+            const std::string& localizer = spec.localizers.front();
+            const ThresholdFit fit = fit_threshold(
+                metric, benign_for(pipeline, localizer).at(metric),
+                spec.fp_budget);
+            AttackSpec attack;
+            attack.metric = metric;
+            attack.attack_class = cls;
+            attack.damage = d;
+            attack.compromised_frac = x;
+            const std::vector<double> scores = pipeline.attack_scores(attack);
+
+            Table& row = tagged_row(density, item);
+            row.add(m);
+            if (many_metrics) row.add(metric_name(metric));
+            if (many_attacks) row.add(attack_class_name(cls));
+            row.add(x, 2)
+                .add(d, 0)
+                .add(fraction_above(scores, fit.threshold()), 4)
+                .add(loc_error_for(pipeline, localizer), 2)
+                .add(fit.threshold(), 2);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+ScenarioResult ScenarioRunner::Impl::run_pdf(const ShardRange& shard) {
+  ScenarioResult result{spec.name, {}};
+  result.tables.push_back({"surface", Table({"x", "y", "pdf"}), {}});
+  result.tables.push_back(
+      {"radial", Table({"distance_from_deployment_point", "pdf",
+                        "fraction_within_distance"}),
+       {}});
+
+  const double sigma = spec.pipeline.deploy.sigma;
+  const Vec2 dp{150.0, 150.0};  // the paper's Figure 2 group
+
+  if (shard.contains(0)) {
+    ResultTable& surface = result.tables[0];
+    const int grid = spec.pdf_grid;
+    for (int i = 0; i < grid; ++i) {
+      for (int j = 0; j < grid; ++j) {
+        const Vec2 p{300.0 * i / (grid - 1), 300.0 * j / (grid - 1)};
+        tagged_row(surface, 0)
+            .add(p.x, 1)
+            .add(p.y, 1)
+            .add(gaussian2d_pdf_radial(distance(p, dp), sigma), 9);
+      }
+    }
+  }
+  if (shard.contains(1)) {
+    ResultTable& radial = result.tables[1];
+    for (double r = 0.0; r <= 250.0; r += 25.0) {
+      tagged_row(radial, 1)
+          .add(r, 0)
+          .add(gaussian2d_pdf_radial(r, sigma), 9)
+          .add(rayleigh_cdf(r, sigma), 6);
+    }
+  }
+  return result;
+}
+
+ScenarioResult ScenarioRunner::Impl::run_gz(const ShardRange& shard) {
+  ScenarioResult result{spec.name, {}};
+  result.tables.push_back(
+      {"gz", Table({"omega", "max_abs_error", "max_mu_error_nodes",
+                    "table_bytes"}),
+       {}});
+  ResultTable& gz_table = result.tables.front();
+
+  const GzParams params{spec.pipeline.deploy.radio_range,
+                        spec.pipeline.deploy.sigma};
+  const int m = spec.pipeline.deploy.nodes_per_group;
+  for (std::size_t i = 0; i < spec.omegas.size(); ++i) {
+    const long long item = static_cast<long long>(i);
+    if (!shard.contains(item)) continue;
+    const int omega = static_cast<int>(spec.omegas[i]);
+    const GzTable table(params, omega);
+    const double err = table.max_abs_error(2000);
+    tagged_row(gz_table, item)
+        .add(omega)
+        .add(err, 8)
+        .add(err * m, 5)
+        .add(static_cast<long long>((omega + 1) * sizeof(double)));
+  }
+  return result;
+}
+
+ScenarioResult ScenarioRunner::Impl::run_correction(const ShardRange& shard) {
+  ScenarioResult result{spec.name, {}};
+  result.tables.push_back(
+      {"benign_floor", Table({"mean_err", "max_err", "trials"}), {}});
+  result.tables.push_back(
+      {"correction",
+       Table({"attack", "D", "err_accepting_Le", "err_corrected_mean",
+              "err_corrected_p90", "recovered_frac"}),
+       {}});
+  if (shard_is_empty(shard, spec)) return result;
+
+  const DeploymentConfig& dcfg = spec.pipeline.deploy;
+  const std::uint64_t seed = spec.pipeline.seed;
+  const double x = spec.compromised.front();
+  const MetricKind target = spec.metrics.front();
+  const int trials = spec.trials;
+
+  const DeploymentModel model(dcfg);
+  const GzTable gz({dcfg.radio_range, dcfg.sigma});
+  // The deployed network consumes the head of Rng(seed); the benign-floor
+  // item continues from the post-construction state, so the same network
+  // and floor fall out of any shard that needs them.
+  Rng rng(seed);
+  const Network net(model, rng);
+  const LocationCorrector corrector(model, gz);
+
+  auto draw_in_field = [&](Rng& r) {
+    std::size_t node;
+    do {
+      node = static_cast<std::size_t>(r.uniform_int(net.num_nodes()));
+    } while (!dcfg.field().contains(net.position(node)));
+    return node;
+  };
+
+  if (shard.contains(0)) {
+    RunningStats floor;
+    for (int t = 0; t < trials; ++t) {
+      const std::size_t node = draw_in_field(rng);
+      floor.add(distance(corrector.correct(net.observe(node)).corrected,
+                         net.position(node)));
+    }
+    tagged_row(result.tables[0], 0)
+        .add(floor.mean(), 1)
+        .add(floor.max(), 1)
+        .add(trials);
+  }
+
+  long long item = 0;
+  for (AttackClass cls : spec.attacks) {
+    for (double d : spec.damages) {
+      ++item;
+      if (!shard.contains(item)) continue;
+      std::vector<double> errs;
+      // Keyed by item id, not by the (possibly fractional) damage value,
+      // so distinct cells never share a stream.
+      Rng trial_rng = Rng::stream(seed, static_cast<std::uint64_t>(item));
+      for (int t = 0; t < trials; ++t) {
+        const std::size_t node = draw_in_field(trial_rng);
+        const Observation a = net.observe(node);
+        const Vec2 la = net.position(node);
+        const Vec2 le = displaced_location(la, d, dcfg.field(), trial_rng);
+        const ExpectedObservation mu = model.expected_observation(le, gz);
+        const TaintResult taint =
+            greedy_taint(a, mu, dcfg.nodes_per_group, target, cls,
+                         static_cast<int>(x * a.total()));
+        errs.push_back(
+            distance(corrector.correct(taint.tainted).corrected, la));
+      }
+      double mean = 0.0;
+      int recovered = 0;
+      for (double e : errs) {
+        mean += e;
+        if (e < d / 2.0) ++recovered;  // "recovered": below half the damage
+      }
+      mean /= static_cast<double>(errs.size());
+      std::sort(errs.begin(), errs.end());
+      const double p90 =
+          errs[static_cast<std::size_t>(0.9 * (errs.size() - 1))];
+      tagged_row(result.tables[1], item)
+          .add(attack_class_name(cls))
+          .add(d, 0)
+          .add(d, 0)
+          .add(mean, 1)
+          .add(p90, 1)
+          .add(static_cast<double>(recovered) / trials, 3);
+    }
+  }
+  return result;
+}
+
+ScenarioResult ScenarioRunner::Impl::run_echo(const ShardRange& shard) {
+  ScenarioResult result{spec.name, {}};
+  result.tables.push_back(
+      {"meta", Table({"echo_coverage", "lad_threshold"}), {}});
+  result.tables.push_back(
+      {"echo", Table({"D", "echo_rejected", "echo_accepted", "echo_uncovered",
+                      "echo_DR", "lad_DR"}),
+       {}});
+  if (shard_is_empty(shard, spec)) return result;
+
+  const DeploymentConfig& dcfg = spec.pipeline.deploy;
+  const std::uint64_t seed = spec.pipeline.seed;
+  const MetricKind metric = spec.metrics.front();
+  const double x = spec.compromised.front();
+
+  const DeploymentModel model(dcfg);
+  const GzTable gz({dcfg.radio_range, dcfg.sigma});
+  Rng rng(seed);
+  const Network net(model, rng);
+  const BeaconlessMleLocalizer localizer(model, gz);
+  const EchoProtocol echo = EchoProtocol::grid(
+      dcfg.field(), spec.echo_grid_x, spec.echo_grid_y, spec.echo_range);
+
+  // Train LAD on benign samples (continues the shared rng, like the net).
+  const std::unique_ptr<Metric> scorer = make_metric(metric);
+  std::vector<double> benign_scores;
+  for (int i = 0; i < spec.echo_train_samples; ++i) {
+    const std::size_t node =
+        static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
+    const Observation obs = net.observe(node);
+    benign_scores.push_back(
+        scorer->score(obs,
+                      model.expected_observation(localizer.estimate(obs), gz),
+                      dcfg.nodes_per_group));
+  }
+  const double threshold =
+      train_threshold(metric, benign_scores, spec.tau).threshold;
+  const Detector detector(model, gz, metric, threshold);
+
+  if (shard.contains(0)) {
+    tagged_row(result.tables[0], 0)
+        .add(echo.coverage(dcfg.field()), 3)
+        .add(threshold, 2);
+  }
+
+  long long item = 0;
+  for (double d : spec.damages) {
+    ++item;
+    if (!shard.contains(item)) continue;
+    int rejected = 0, accepted = 0, uncovered = 0, lad_detected = 0;
+    // Keyed by item id (see run_correction): damage values never collide
+    // with each other or with the shared training stream.
+    Rng trial_rng = Rng::stream(seed, static_cast<std::uint64_t>(item));
+    for (int t = 0; t < spec.trials; ++t) {
+      std::size_t node;
+      do {
+        node =
+            static_cast<std::size_t>(trial_rng.uniform_int(net.num_nodes()));
+      } while (!dcfg.field().contains(net.position(node)));
+      const Vec2 la = net.position(node);
+      const Vec2 claimed = displaced_location(la, d, dcfg.field(), trial_rng);
+
+      // The attacker may stretch the echo (delay >= 0) but never shrink
+      // it; testing the honest echo plus one large delay covers the
+      // attacker's whole strategy space.
+      int verdict = echo.verify(claimed, la, 0.0);
+      if (verdict == -1) {
+        verdict = echo.verify(claimed, la, 10.0) == 1 ? 1 : -1;
+      }
+      if (verdict == 0) ++uncovered;
+      else if (verdict == 1) ++accepted;
+      else ++rejected;
+
+      const Observation a = net.observe(node);
+      const ExpectedObservation mu = model.expected_observation(claimed, gz);
+      const TaintResult taint = greedy_taint(
+          a, mu, dcfg.nodes_per_group, metric, spec.attacks.front(),
+          static_cast<int>(x * a.total()));
+      if (detector.check(taint.tainted, claimed).anomaly) ++lad_detected;
+    }
+    tagged_row(result.tables[1], item)
+        .add(d, 0)
+        .add(rejected)
+        .add(accepted)
+        .add(uncovered)
+        .add(static_cast<double>(rejected) / spec.trials, 3)
+        .add(static_cast<double>(lad_detected) / spec.trials, 3);
+  }
+  return result;
+}
+
+ScenarioResult ScenarioRunner::Impl::run_fusion(const ShardRange& shard) {
+  std::vector<std::string> cols = {"attacker_targets"};
+  for (MetricKind k : spec.metrics) {
+    cols.push_back(std::string("DR_") + metric_name(k));
+  }
+  cols.push_back("DR_fusion");
+
+  ScenarioResult result{spec.name, {}};
+  result.tables.push_back({"benign", Table({"fused_FP", "tau"}), {}});
+  result.tables.push_back({"fusion", Table(cols), {}});
+  if (shard_is_empty(shard, spec)) return result;
+
+  Pipeline& pipeline = pipeline_for(group_config(
+      spec.shapes.front(), spec.actual_sigmas.front(), spec.jitters.front()));
+  const auto& benign_scores =
+      benign_for(pipeline, spec.localizers.front());
+
+  std::map<MetricKind, double> thresholds;
+  for (MetricKind k : spec.metrics) {
+    thresholds[k] =
+        train_threshold(k, benign_scores.at(k), spec.tau).threshold;
+  }
+  const double d = spec.damages.front();
+  const double x = spec.compromised.front();
+
+  if (shard.contains(0)) {
+    const std::size_t n = benign_scores.begin()->second.size();
+    int fused_fp = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      bool any = false;
+      for (MetricKind k : spec.metrics) {
+        if (benign_scores.at(k)[i] > thresholds[k]) any = true;
+      }
+      if (any) ++fused_fp;
+    }
+    tagged_row(result.tables[0], 0)
+        .add(static_cast<double>(fused_fp) / static_cast<double>(n), 4)
+        .add(spec.tau, 3);
+  }
+
+  long long item = 0;
+  for (MetricKind target : spec.metrics) {
+    ++item;
+    if (!shard.contains(item)) continue;
+    AttackSpec attack;
+    attack.metric = target;
+    attack.attack_class = spec.attacks.front();
+    attack.damage = d;
+    attack.compromised_frac = x;
+    const auto cross = pipeline.attack_scores_cross(attack, spec.metrics);
+
+    Table& row = tagged_row(result.tables[1], item).add(metric_name(target));
+    std::vector<char> fused_hit(cross.begin()->second.size(), 0);
+    for (MetricKind scorer : spec.metrics) {
+      const auto& scores = cross.at(scorer);
+      row.add(fraction_above(scores, thresholds[scorer]), 4);
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        if (scores[i] > thresholds[scorer]) fused_hit[i] = 1;
+      }
+    }
+    int hits = 0;
+    for (char h : fused_hit) hits += h;
+    row.add(static_cast<double>(hits) / static_cast<double>(fused_hit.size()),
+            4);
+  }
+  return result;
+}
+
+ScenarioResult ScenarioRunner::Impl::run_mmse(const ShardRange& shard) {
+  ScenarioResult result{spec.name, {}};
+  result.tables.push_back(
+      {"mmse", Table({"lie_m", "mmse_mean_err", "mmse_max_err"}), {}});
+  result.tables.push_back({"dvhop", Table({"lie_m", "dvhop_mean_err"}), {}});
+
+  const std::uint64_t seed = spec.pipeline.seed;
+
+  long long item = -1;
+  for (double lie : spec.lies) {
+    ++item;
+    if (!shard.contains(item)) continue;
+    // Per-item keyed stream: shard placement cannot perturb the draws.
+    Rng rng = Rng::stream(seed, static_cast<std::uint64_t>(item));
+    RunningStats err;
+    for (int trial = 0; trial < spec.trials; ++trial) {
+      const Vec2 truth{rng.uniform(100, 900), rng.uniform(100, 900)};
+      std::vector<Vec2> refs = {
+          {100, 100}, {900, 100}, {100, 900}, {900, 900}};
+      std::vector<double> dists;
+      for (const Vec2& r : refs) dists.push_back(distance(truth, r));
+      const double theta = rng.uniform(0.0, 2 * M_PI);
+      refs[0] = polar_offset(refs[0], lie, theta);
+      const auto res = mmse_multilaterate(refs, dists);
+      if (res) err.add(distance(res->position, truth));
+    }
+    tagged_row(result.tables[0], item)
+        .add(lie, 0)
+        .add(err.mean(), 2)
+        .add(err.max(), 2);
+  }
+
+  // DV-Hop end-to-end on one deployed network (deterministic shared state).
+  const DeploymentModel model(spec.pipeline.deploy);
+  Rng net_rng(seed + 1);
+  const Network net(model, net_rng);
+  for (double lie : spec.dvhop_lies) {
+    ++item;
+    if (!shard.contains(item)) continue;
+    DvHopLocalizer dvhop(3, 3);
+    dvhop.prepare(net);
+    if (lie > 0) {
+      dvhop.compromise_anchor(0, polar_offset({167, 167}, lie, 0.7));
+    }
+    RunningStats err;
+    Rng pick(seed + 2);
+    for (int trial = 0; trial < spec.dvhop_trials; ++trial) {
+      const std::size_t node =
+          static_cast<std::size_t>(pick.uniform_int(net.num_nodes()));
+      err.add(distance(dvhop.localize(net, node), net.position(node)));
+    }
+    tagged_row(result.tables[1], item).add(lie, 0).add(err.mean(), 2);
+  }
+  return result;
+}
+
+ScenarioResult ScenarioRunner::Impl::run_threshold(const ShardRange& shard) {
+  std::vector<std::string> cols = {"threshold", "FP"};
+  for (double d : spec.damages) cols.push_back(dr_at_damage_label(d));
+  std::vector<std::string> tau_cols = {"tau"};
+  tau_cols.insert(tau_cols.end(), cols.begin(), cols.end());
+  std::vector<std::string> fudge_cols = {"fudge"};
+  fudge_cols.insert(fudge_cols.end(), cols.begin(), cols.end());
+
+  ScenarioResult result{spec.name, {}};
+  result.tables.push_back({"tau", Table(tau_cols), {}});
+  result.tables.push_back({"fudge", Table(fudge_cols), {}});
+  if (shard_is_empty(shard, spec)) return result;
+
+  Pipeline& pipeline = pipeline_for(group_config(
+      spec.shapes.front(), spec.actual_sigmas.front(), spec.jitters.front()));
+  const MetricKind metric = spec.metrics.front();
+  const std::vector<double>& benign_scores =
+      benign_for(pipeline, spec.localizers.front()).at(metric);
+
+  auto attack_for = [&](double d) -> const std::vector<double>& {
+    AttackSpec attack;
+    attack.metric = metric;
+    attack.attack_class = spec.attacks.front();
+    attack.damage = d;
+    attack.compromised_frac = spec.compromised.front();
+    return attack_scores_cached(pipeline, attack);
+  };
+  auto emit = [&](Table& row, double threshold) {
+    row.add(threshold, 2).add(fraction_above(benign_scores, threshold), 4);
+    for (double d : spec.damages) {
+      row.add(fraction_above(attack_for(d), threshold), 4);
+    }
+  };
+
+  long long item = -1;
+  for (double tau : spec.taus) {
+    ++item;
+    if (!shard.contains(item)) continue;
+    const TrainingResult r = train_threshold(metric, benign_scores, tau);
+    emit(tagged_row(result.tables[0], item).add(tau, 3), r.threshold);
+  }
+  const double base =
+      spec.fudges.empty()
+          ? 0.0
+          : train_threshold(metric, benign_scores, spec.tau).threshold;
+  for (double fudge : spec.fudges) {
+    ++item;
+    if (!shard.contains(item)) continue;
+    emit(tagged_row(result.tables[1], item).add(fudge, 2), base * fudge);
+  }
+  return result;
+}
+
+}  // namespace lad

@@ -76,7 +76,6 @@ void Table::print(std::ostream& os) const {
   }
 }
 
-namespace {
 std::string csv_escape(const std::string& s) {
   if (s.find_first_of(",\"\n") == std::string::npos) return s;
   std::string out = "\"";
@@ -87,7 +86,6 @@ std::string csv_escape(const std::string& s) {
   out += '"';
   return out;
 }
-}  // namespace
 
 void Table::print_csv(std::ostream& os) const {
   for (std::size_t c = 0; c < columns_.size(); ++c) {

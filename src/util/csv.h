@@ -11,6 +11,10 @@
 
 namespace lad {
 
+/// RFC-4180-ish escaping of one CSV cell (quotes cells containing
+/// comma/quote/newline); shared with the scenario CSV writer.
+std::string csv_escape(const std::string& s);
+
 class Table {
  public:
   explicit Table(std::vector<std::string> columns);

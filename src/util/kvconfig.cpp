@@ -1,0 +1,289 @@
+#include "util/kvconfig.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace lad {
+
+namespace {
+
+bool is_comment_or_blank(std::string_view line) {
+  const std::string_view t = trim(line);
+  return t.empty() || t.front() == '#' || t.front() == ';';
+}
+
+}  // namespace
+
+const std::string* KvConfig::Section::find(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool KvConfig::Section::has(const std::string& key) const {
+  read_[key] = true;
+  return find(key) != nullptr;
+}
+
+std::string KvConfig::Section::get_string(const std::string& key,
+                                          const std::string& def) const {
+  read_[key] = true;
+  const std::string* v = find(key);
+  return v ? *v : def;
+}
+
+double KvConfig::Section::get_double(const std::string& key,
+                                     double def) const {
+  read_[key] = true;
+  const std::string* v = find(key);
+  if (!v) return def;
+  try {
+    return parse_double(*v);
+  } catch (const AssertionError&) {
+    LAD_REQUIRE_MSG(false, "[" << name_ << "] " << key << ": '" << *v
+                              << "' is not a number");
+  }
+  return def;  // unreachable
+}
+
+long long KvConfig::Section::get_int(const std::string& key,
+                                     long long def) const {
+  read_[key] = true;
+  const std::string* v = find(key);
+  if (!v) return def;
+  try {
+    return parse_int(*v);
+  } catch (const AssertionError&) {
+    LAD_REQUIRE_MSG(false, "[" << name_ << "] " << key << ": '" << *v
+                              << "' is not an integer");
+  }
+  return def;  // unreachable
+}
+
+bool KvConfig::Section::get_bool(const std::string& key, bool def) const {
+  read_[key] = true;
+  const std::string* v = find(key);
+  if (!v) return def;
+  const std::string lower = to_lower(*v);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
+    return false;
+  }
+  LAD_REQUIRE_MSG(false, "[" << name_ << "] " << key << ": '" << *v
+                            << "' is not a boolean");
+  return def;  // unreachable
+}
+
+std::vector<double> KvConfig::Section::get_double_list(
+    const std::string& key, const std::vector<double>& def) const {
+  read_[key] = true;
+  const std::string* v = find(key);
+  if (!v) return def;
+  std::vector<double> out;
+  for (const std::string& tok : split(*v, ',')) {
+    try {
+      for (double d : expand_double_range(trim(tok))) out.push_back(d);
+    } catch (const AssertionError& e) {
+      LAD_REQUIRE_MSG(false, "[" << name_ << "] " << key << ": " << e.what());
+    }
+  }
+  return out;
+}
+
+std::vector<long long> KvConfig::Section::get_int_list(
+    const std::string& key, const std::vector<long long>& def) const {
+  read_[key] = true;
+  const std::string* v = find(key);
+  if (!v) return def;
+  std::vector<long long> out;
+  for (const std::string& tok : split(*v, ',')) {
+    try {
+      for (long long i : expand_int_range(trim(tok))) out.push_back(i);
+    } catch (const AssertionError& e) {
+      LAD_REQUIRE_MSG(false, "[" << name_ << "] " << key << ": " << e.what());
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> KvConfig::Section::get_string_list(
+    const std::string& key, const std::vector<std::string>& def) const {
+  read_[key] = true;
+  const std::string* v = find(key);
+  if (!v) return def;
+  std::vector<std::string> out;
+  for (const std::string& tok : split(*v, ',')) {
+    out.emplace_back(trim(tok));
+  }
+  return out;
+}
+
+std::vector<std::string> KvConfig::Section::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : entries_) {
+    if (!read_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+std::vector<std::string> KvConfig::Section::keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : entries_) out.push_back(k);
+  return out;
+}
+
+KvConfig KvConfig::parse_string(std::string_view text,
+                                const std::string& origin) {
+  KvConfig cfg;
+  cfg.origin_ = origin;
+  Section* current = nullptr;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? eol : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    if (is_comment_or_blank(line)) continue;
+    const std::string_view t = trim(line);
+
+    if (t.front() == '[') {
+      LAD_REQUIRE_MSG(t.back() == ']', origin << ":" << line_no
+                                              << ": unterminated section header "
+                                              << t);
+      const std::string name{trim(t.substr(1, t.size() - 2))};
+      LAD_REQUIRE_MSG(!name.empty(),
+                      origin << ":" << line_no << ": empty section name");
+      for (const Section& s : cfg.sections_) {
+        LAD_REQUIRE_MSG(s.name() != name,
+                        origin << ":" << line_no << ": duplicate section ["
+                               << name << "] (first at line " << s.line()
+                               << ")");
+      }
+      cfg.sections_.emplace_back(name, line_no);
+      current = &cfg.sections_.back();
+      continue;
+    }
+
+    const std::size_t eq = t.find('=');
+    LAD_REQUIRE_MSG(eq != std::string_view::npos,
+                    origin << ":" << line_no << ": expected 'key = value', got '"
+                           << t << "'");
+    const std::string key{trim(t.substr(0, eq))};
+    const std::string value{trim(t.substr(eq + 1))};
+    LAD_REQUIRE_MSG(!key.empty(), origin << ":" << line_no << ": empty key");
+    LAD_REQUIRE_MSG(current != nullptr,
+                    origin << ":" << line_no << ": key '" << key
+                           << "' before any [section]");
+    LAD_REQUIRE_MSG(current->find(key) == nullptr,
+                    origin << ":" << line_no << ": duplicate key '" << key
+                           << "' in section [" << current->name() << "]");
+    current->entries_.emplace_back(key, value);
+  }
+  return cfg;
+}
+
+KvConfig KvConfig::parse_file(const std::string& path) {
+  std::ifstream is(path);
+  LAD_REQUIRE_MSG(static_cast<bool>(is), "cannot open config file '" << path
+                                                                     << "'");
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return parse_string(ss.str(), path);
+}
+
+bool KvConfig::has_section(const std::string& name) const {
+  return find_section(name) != nullptr;
+}
+
+const KvConfig::Section* KvConfig::find_section(const std::string& name) const {
+  for (const Section& s : sections_) {
+    if (s.name() == name) return &s;
+  }
+  return nullptr;
+}
+
+const KvConfig::Section& KvConfig::section(const std::string& name) const {
+  const Section* s = find_section(name);
+  LAD_REQUIRE_MSG(s != nullptr,
+                  origin_ << ": missing required section [" << name << "]");
+  return *s;
+}
+
+std::vector<std::string> KvConfig::unused() const {
+  std::vector<std::string> out;
+  for (const Section& s : sections_) {
+    for (const std::string& key : s.unused()) {
+      out.push_back(s.name() + "." + key);
+    }
+  }
+  return out;
+}
+
+std::vector<double> expand_double_range(std::string_view token) {
+  const auto parts = split(token, ':');
+  if (parts.size() == 1) return {parse_double(token)};
+  LAD_REQUIRE_MSG(parts.size() == 3, "bad range '" << token
+                                                   << "' (expected lo:hi:step)");
+  const double lo = parse_double(parts[0]);
+  const double hi = parse_double(parts[1]);
+  const double step = parse_double(parts[2]);
+  LAD_REQUIRE_MSG(step > 0, "range '" << token << "': step must be > 0");
+  LAD_REQUIRE_MSG(lo <= hi, "range '" << token << "': lo must be <= hi");
+  std::vector<double> out;
+  // Index-based stepping avoids drift; the endpoint is included when it
+  // lies on the grid (within a relative tolerance of one part in 1e9).
+  const double tol = step * 1e-9;
+  for (std::size_t i = 0;; ++i) {
+    const double v = lo + static_cast<double>(i) * step;
+    if (v > hi + tol) break;
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<long long> expand_int_range(std::string_view token) {
+  const auto parts = split(token, ':');
+  if (parts.size() == 1) return {parse_int(token)};
+  LAD_REQUIRE_MSG(parts.size() == 3, "bad range '" << token
+                                                   << "' (expected lo:hi:step)");
+  const long long lo = parse_int(parts[0]);
+  const long long hi = parse_int(parts[1]);
+  const long long step = parse_int(parts[2]);
+  LAD_REQUIRE_MSG(step > 0, "range '" << token << "': step must be > 0");
+  LAD_REQUIRE_MSG(lo <= hi, "range '" << token << "': lo must be <= hi");
+  std::vector<long long> out;
+  for (long long v = lo; v <= hi; v += step) out.push_back(v);
+  return out;
+}
+
+std::string render_list(const std::vector<double>& values) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ", ";
+    os << values[i];
+  }
+  return os.str();
+}
+
+std::string render_list(const std::vector<long long>& values) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ", ";
+    os << values[i];
+  }
+  return os.str();
+}
+
+}  // namespace lad

@@ -1,0 +1,111 @@
+// Minimal INI-style key/value configuration parser - the text format
+// behind the declarative scenario engine (sim/scenario.h).
+//
+// Syntax:
+//
+//   # comment (also ';')
+//   [section]
+//   key = value          # values run to end of line; inline comments are
+//   list = 1, 2, 3       # NOT stripped (values rarely need '#')
+//   range = 40:160:20    # expands to 40,60,...,160 in list accessors
+//
+// Rules enforced at parse time (errors carry file:line context):
+//   * every key lives inside a section;
+//   * section names are unique (duplicate sections are almost always a
+//     copy-paste bug in a sweep file, so they hard-fail);
+//   * keys are unique within their section.
+//
+// Like util/flags.h, every accessor marks its key as read; unused() then
+// reports the keys a consumer never looked at, which is how the scenario
+// loader rejects typos ("dammages = ...") instead of ignoring them.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lad {
+
+class KvConfig {
+ public:
+  class Section {
+   public:
+    Section(std::string name, int line) : name_(std::move(name)), line_(line) {}
+
+    const std::string& name() const { return name_; }
+    int line() const { return line_; }
+
+    bool has(const std::string& key) const;
+
+    /// Typed accessors with defaults; throw lad::AssertionError (with the
+    /// section/key named) when a present value does not parse.
+    std::string get_string(const std::string& key,
+                           const std::string& def) const;
+    double get_double(const std::string& key, double def) const;
+    long long get_int(const std::string& key, long long def) const;
+    bool get_bool(const std::string& key, bool def) const;
+
+    /// Comma-separated lists; every element may be a lo:hi:step range.
+    std::vector<double> get_double_list(const std::string& key,
+                                        const std::vector<double>& def) const;
+    std::vector<long long> get_int_list(
+        const std::string& key, const std::vector<long long>& def) const;
+    std::vector<std::string> get_string_list(
+        const std::string& key, const std::vector<std::string>& def) const;
+
+    /// Keys that were parsed but never read through an accessor.
+    std::vector<std::string> unused() const;
+
+    /// All keys in file order (introspection / error messages).
+    std::vector<std::string> keys() const;
+
+   private:
+    friend class KvConfig;
+
+    std::string name_;
+    int line_ = 0;
+    std::vector<std::pair<std::string, std::string>> entries_;  // file order
+    mutable std::map<std::string, bool> read_;
+
+    const std::string* find(const std::string& key) const;
+  };
+
+  /// Parses configuration text; `origin` names the source in errors.
+  static KvConfig parse_string(std::string_view text,
+                               const std::string& origin = "<string>");
+  /// Reads and parses a file; throws lad::AssertionError if unreadable.
+  static KvConfig parse_file(const std::string& path);
+
+  const std::string& origin() const { return origin_; }
+
+  bool has_section(const std::string& name) const;
+  /// Throws lad::AssertionError when the section is missing.
+  const Section& section(const std::string& name) const;
+  /// nullptr when missing (for optional sections).
+  const Section* find_section(const std::string& name) const;
+
+  /// Sections in file order.
+  const std::vector<Section>& sections() const { return sections_; }
+
+  /// Every "section.key" never read through an accessor - callers reject
+  /// these after consuming the config so typos fail loudly.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string origin_;
+  std::vector<Section> sections_;
+};
+
+/// Expands one list token: either a scalar ("42") or an inclusive range
+/// "lo:hi:step" (step > 0, lo <= hi; the endpoint is included when it lies
+/// on the grid within a relative tolerance).  Shared by the list accessors.
+std::vector<double> expand_double_range(std::string_view token);
+std::vector<long long> expand_int_range(std::string_view token);
+
+/// Canonical comma-joined rendering; parsing the result through the list
+/// accessors round-trips to the same values.
+std::string render_list(const std::vector<double>& values);
+std::string render_list(const std::vector<long long>& values);
+
+}  // namespace lad

@@ -1,0 +1,397 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace lad {
+namespace {
+
+// A dr-sweep small enough for unit tests (2 networks x 30 victims on a
+// 6x6 grid of 25-node groups).
+constexpr const char* kTinySpec = R"([scenario]
+name = tiny
+experiment = dr-sweep
+
+[pipeline]
+seed = 7
+m = 25
+networks = 2
+victims = 30
+sigma = 30
+r = 50
+field = 600
+grid_nx = 6
+grid_ny = 6
+
+[sweep]
+damages = 60, 120
+compromised = 0.10, 0.20
+
+[detector]
+fp_budget = 0.01
+)";
+
+ScenarioSpec tiny_spec() {
+  return ScenarioSpec::from_config(KvConfig::parse_string(kTinySpec));
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+// --- spec parsing ------------------------------------------------------
+
+TEST(ScenarioSpec, ParsesTheTinySpec) {
+  const ScenarioSpec spec = tiny_spec();
+  EXPECT_EQ(spec.name, "tiny");
+  EXPECT_EQ(spec.title, "tiny");  // defaults to the name
+  EXPECT_EQ(spec.kind, ExperimentKind::kDrSweep);
+  EXPECT_EQ(spec.pipeline.seed, 7u);
+  EXPECT_EQ(spec.pipeline.deploy.nodes_per_group, 25);
+  EXPECT_EQ(spec.damages, (std::vector<double>{60, 120}));
+  EXPECT_EQ(spec.compromised, (std::vector<double>{0.10, 0.20}));
+  EXPECT_EQ(spec.metrics, (std::vector<MetricKind>{MetricKind::kDiff}));
+  EXPECT_EQ(spec.localizers, (std::vector<std::string>{"beaconless-mle"}));
+}
+
+TEST(ScenarioSpec, NameAndExperimentAreRequired) {
+  EXPECT_THROW(ScenarioSpec::from_config(KvConfig::parse_string(
+                   "[scenario]\nexperiment = roc\n")),
+               AssertionError);
+  EXPECT_THROW(ScenarioSpec::from_config(
+                   KvConfig::parse_string("[scenario]\nname = x\n")),
+               AssertionError);
+  EXPECT_THROW(ScenarioSpec::from_config(KvConfig::parse_string("")),
+               AssertionError);
+}
+
+TEST(ScenarioSpec, UnknownExperimentKindIsRejected) {
+  EXPECT_THROW(ScenarioSpec::from_config(KvConfig::parse_string(
+                   "[scenario]\nname = x\nexperiment = frobnicate\n")),
+               AssertionError);
+}
+
+TEST(ScenarioSpec, UnknownSectionIsRejected) {
+  EXPECT_THROW(ScenarioSpec::from_config(KvConfig::parse_string(
+                   "[scenario]\nname = x\nexperiment = roc\n"
+                   "[sweeep]\ndamages = 10\n")),
+               AssertionError);
+}
+
+TEST(ScenarioSpec, UnknownKeyIsRejectedWithItsName) {
+  try {
+    ScenarioSpec::from_config(KvConfig::parse_string(
+        "[scenario]\nname = x\nexperiment = roc\n"
+        "[sweep]\ndammages = 10\n"));
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    EXPECT_NE(std::string(e.what()).find("sweep.dammages"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioSpec, DuplicateSectionIsRejected) {
+  EXPECT_THROW(ScenarioSpec::from_config(KvConfig::parse_string(
+                   "[scenario]\nname = x\nexperiment = roc\n"
+                   "[sweep]\ndamages = 10\n[sweep]\ndamages = 20\n")),
+               AssertionError);
+}
+
+TEST(ScenarioSpec, BadEnumValuesAreRejected) {
+  const auto parse = [](const std::string& sweep_line) {
+    return ScenarioSpec::from_config(KvConfig::parse_string(
+        "[scenario]\nname = x\nexperiment = roc\n[sweep]\n" + sweep_line +
+        "\n"));
+  };
+  EXPECT_THROW(parse("metrics = banana"), AssertionError);
+  EXPECT_THROW(parse("attacks = nuke"), AssertionError);
+  EXPECT_THROW(parse("shapes = pentagon"), AssertionError);
+  EXPECT_THROW(parse("localizers = gps"), AssertionError);
+  EXPECT_THROW(parse("mismatch_coupling = sideways"), AssertionError);
+}
+
+TEST(ScenarioSpec, EmptySweepListsAreRejected) {
+  const auto parse = [](const std::string& body) {
+    return ScenarioSpec::from_config(KvConfig::parse_string(
+        "[scenario]\nname = x\nexperiment = dr-sweep\n" + body));
+  };
+  EXPECT_THROW(parse("[sweep]\ndamages =\n"), AssertionError);
+  EXPECT_THROW(parse("[sweep]\nmetrics =\n"), AssertionError);
+  // density-sweep without a density list cannot expand.
+  EXPECT_THROW(ScenarioSpec::from_config(KvConfig::parse_string(
+                   "[scenario]\nname = x\nexperiment = density-sweep\n")),
+               AssertionError);
+}
+
+TEST(ScenarioSpec, RangeSyntaxRoundTripsThroughSweeps) {
+  const ScenarioSpec spec = ScenarioSpec::from_config(KvConfig::parse_string(
+      "[scenario]\nname = x\nexperiment = dr-sweep\n"
+      "[sweep]\ndamages = 40:160:40\n"));
+  EXPECT_EQ(spec.damages, (std::vector<double>{40, 80, 120, 160}));
+
+  const ScenarioSpec again = ScenarioSpec::from_config(KvConfig::parse_string(
+      "[scenario]\nname = x\nexperiment = dr-sweep\n"
+      "[sweep]\ndamages = " + render_list(spec.damages) + "\n"));
+  EXPECT_EQ(again.damages, spec.damages);
+}
+
+TEST(ScenarioSpec, BadDetectorSettingsAreRejected) {
+  EXPECT_THROW(ScenarioSpec::from_config(KvConfig::parse_string(
+                   "[scenario]\nname = x\nexperiment = roc\n"
+                   "[detector]\nfp_budget = 1.5\n")),
+               AssertionError);
+  EXPECT_THROW(ScenarioSpec::from_config(KvConfig::parse_string(
+                   "[scenario]\nname = x\nexperiment = roc\n"
+                   "[detector]\ntau = 0\n")),
+               AssertionError);
+}
+
+TEST(ScenarioSpec, UnsweptMultiValuedAxesAreRejected) {
+  const auto parse = [](const std::string& kind, const std::string& body) {
+    return ScenarioSpec::from_config(KvConfig::parse_string(
+        "[scenario]\nname = x\nexperiment = " + kind + "\n" + body));
+  };
+  // roc expands metrics/attacks/damages/compromised, nothing else.
+  EXPECT_THROW(parse("roc", "[sweep]\nlocalizers = beaconless-mle, dv-hop\n"),
+               AssertionError);
+  EXPECT_THROW(parse("roc", "[sweep]\nshapes = grid, hex\n"), AssertionError);
+  EXPECT_THROW(parse("roc", "[sweep]\ndensities = 100, 300\n"),
+               AssertionError);
+  // metric-fusion commits to one damage / compromise level.
+  EXPECT_THROW(parse("metric-fusion", "[sweep]\ndamages = 80, 160\n"),
+               AssertionError);
+  EXPECT_THROW(parse("echo-comparison", "[sweep]\ncompromised = 0.1, 0.2\n"),
+               AssertionError);
+  // dr-sweep legitimately expands all of these.
+  EXPECT_NO_THROW(parse("dr-sweep",
+                        "[sweep]\nshapes = grid, hex\n"
+                        "localizers = beaconless-mle, dv-hop\n"
+                        "damages = 80, 160\ncompromised = 0.1, 0.2\n"));
+}
+
+TEST(ScenarioSpec, ForeignKindSectionsAreRejected) {
+  try {
+    ScenarioSpec::from_config(KvConfig::parse_string(
+        "[scenario]\nname = x\nexperiment = dr-sweep\n[gz]\nomegas = 8\n"));
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    EXPECT_NE(std::string(e.what()).find("only valid for experiment = "
+                                         "gz-accuracy"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioSpec, QuickOverridesApply) {
+  ScenarioSpec spec = ScenarioSpec::from_config(KvConfig::parse_string(
+      "[scenario]\nname = x\nexperiment = density-sweep\n"
+      "[quick]\nnetworks = 2\nvictims = 20\ndensities = 50\n"
+      "[sweep]\ndensities = 100, 300\n"));
+  ScenarioOverrides o;
+  o.quick = true;
+  spec = apply_overrides(spec, o);
+  EXPECT_EQ(spec.pipeline.networks, 2);
+  EXPECT_EQ(spec.pipeline.victims_per_network, 20);
+  EXPECT_EQ(spec.densities, (std::vector<int>{50}));
+}
+
+TEST(ScenarioSpec, QuickNeverInflatesASmallSpec) {
+  // tiny has no [quick] section and is already below the 3x60 fallback in
+  // networks; quick mode must not grow the run.
+  ScenarioOverrides o;
+  o.quick = true;
+  const ScenarioSpec spec = apply_overrides(tiny_spec(), o);
+  EXPECT_EQ(spec.pipeline.networks, 2);            // unchanged (< 3)
+  EXPECT_EQ(spec.pipeline.victims_per_network, 30);  // unchanged (< 60)
+}
+
+TEST(ScenarioSpec, ExplicitOverridesBeatQuick) {
+  ScenarioOverrides o;
+  o.quick = true;
+  o.networks = 5;
+  o.seed = 99;
+  const ScenarioSpec spec = apply_overrides(tiny_spec(), o);
+  EXPECT_EQ(spec.pipeline.networks, 5);
+  EXPECT_EQ(spec.pipeline.seed, 99u);
+}
+
+// --- shard syntax ------------------------------------------------------
+
+TEST(ParseShard, AcceptsValidRanges) {
+  EXPECT_EQ(parse_shard("0/1").index, 0);
+  EXPECT_EQ(parse_shard("0/1").count, 1);
+  EXPECT_EQ(parse_shard("3/8").index, 3);
+  EXPECT_EQ(parse_shard("3/8").count, 8);
+}
+
+TEST(ParseShard, RejectsMalformedSyntax) {
+  EXPECT_THROW(parse_shard("0/0"), AssertionError);
+  EXPECT_THROW(parse_shard("banana"), AssertionError);
+  EXPECT_THROW(parse_shard("1"), AssertionError);
+  EXPECT_THROW(parse_shard("1/2/3"), AssertionError);
+  EXPECT_THROW(parse_shard("2/2"), AssertionError);
+  EXPECT_THROW(parse_shard("-1/2"), AssertionError);
+  EXPECT_THROW(parse_shard("a/b"), AssertionError);
+  EXPECT_THROW(parse_shard(""), AssertionError);
+}
+
+// --- runner ------------------------------------------------------------
+
+TEST(ScenarioRunner, NumItemsMatchesTheCartesianProduct) {
+  EXPECT_EQ(ScenarioRunner(tiny_spec()).num_items(), 4);  // 2 D x 2 x
+
+  const ScenarioSpec roc = ScenarioSpec::from_config(KvConfig::parse_string(
+      "[scenario]\nname = r\nexperiment = roc\n"
+      "[sweep]\nmetrics = diff, prob\nattacks = dec-bounded, dec-only\n"
+      "damages = 40, 80, 120\n"));
+  EXPECT_EQ(ScenarioRunner(roc).num_items(), 12);  // 2 metrics x 2 x 3 D
+}
+
+TEST(ScenarioRunner, DrSweepMatchesTheDirectEntryPoint) {
+  const ScenarioSpec spec = tiny_spec();
+  ScenarioRunner runner(spec);
+  const ScenarioResult result = runner.run();
+  ASSERT_EQ(result.tables.size(), 1u);
+  const Table& table = result.tables[0].table;
+  ASSERT_EQ(table.num_rows(), 4u);
+  EXPECT_EQ(table.columns(),
+            (std::vector<std::string>{"x", "D", "DR", "trained_FP",
+                                      "threshold"}));
+
+  Pipeline pipeline(spec.pipeline);
+  const LocalizerFactory factory =
+      beaconless_mle_factory(pipeline.model(), pipeline.gz());
+  const auto points =
+      run_dr_sweep(pipeline, factory, MetricKind::kDiff,
+                   AttackClass::kDecBounded, spec.damages, spec.compromised,
+                   spec.fp_budget);
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(table.cell(i, 2), format_double(points[i].detection_rate, 4));
+    EXPECT_EQ(table.cell(i, 4), format_double(points[i].threshold, 2));
+  }
+}
+
+TEST(ScenarioRunner, ShardsPartitionTheItems) {
+  ScenarioRunner runner(tiny_spec());
+  const ScenarioResult full = runner.run();
+
+  std::vector<long long> seen;
+  for (int i = 0; i < 3; ++i) {
+    ScenarioRunner shard_runner(tiny_spec());
+    const ScenarioResult part = shard_runner.run(ShardRange{i, 3});
+    for (long long item : part.tables[0].row_items) seen.push_back(item);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, full.tables[0].row_items);  // full run is 0,1,2,3
+}
+
+TEST(ScenarioRunner, MergedShardCsvsAreByteIdenticalToTheFullRun) {
+  namespace fs = std::filesystem;
+  const fs::path base =
+      fs::path(testing::TempDir()) / "lad_scenario_shard_test";
+  fs::remove_all(base);
+
+  {
+    ScenarioRunner runner(tiny_spec());
+    write_result_csvs(runner.run(), (base / "full").string());
+  }
+  std::vector<std::string> shard_dirs;
+  for (int i = 0; i < 2; ++i) {
+    ScenarioRunner runner(tiny_spec());
+    const std::string dir = (base / ("shard" + std::to_string(i))).string();
+    write_result_csvs(runner.run(ShardRange{i, 2}), dir);
+    shard_dirs.push_back(dir);
+  }
+  merge_result_csvs(shard_dirs, (base / "merged").string());
+
+  const std::string full = read_file(base / "full" / "tiny.dr.csv");
+  const std::string merged = read_file(base / "merged" / "tiny.dr.csv");
+  EXPECT_FALSE(full.empty());
+  EXPECT_EQ(full, merged);
+  fs::remove_all(base);
+}
+
+TEST(ScenarioRunner, MergeRejectsOverlappingShards) {
+  namespace fs = std::filesystem;
+  const fs::path base =
+      fs::path(testing::TempDir()) / "lad_scenario_overlap_test";
+  fs::remove_all(base);
+
+  ScenarioRunner runner(tiny_spec());
+  const std::string dir = (base / "shard0").string();
+  write_result_csvs(runner.run(ShardRange{0, 2}), dir);
+  // The same shard dir twice duplicates every item tag.
+  EXPECT_THROW(merge_result_csvs({dir, dir}, (base / "merged").string()),
+               AssertionError);
+  fs::remove_all(base);
+}
+
+TEST(ScenarioRunner, MergeRejectsIncompleteShardSetsUnlessPartial) {
+  namespace fs = std::filesystem;
+  const fs::path base =
+      fs::path(testing::TempDir()) / "lad_scenario_partial_test";
+  fs::remove_all(base);
+
+  // Only shard 1 of 2: items 1 and 3 exist, 0 and 2 are missing.
+  ScenarioRunner runner(tiny_spec());
+  const std::string dir = (base / "shard1").string();
+  write_result_csvs(runner.run(ShardRange{1, 2}), dir);
+  EXPECT_THROW(merge_result_csvs({dir}, (base / "merged").string()),
+               AssertionError);
+  EXPECT_NO_THROW(merge_result_csvs({dir}, (base / "merged").string(),
+                                    /*require_complete=*/false));
+  fs::remove_all(base);
+}
+
+TEST(ScenarioRunner, RocEmitsSummaryAndCurves) {
+  const ScenarioSpec spec = ScenarioSpec::from_config(KvConfig::parse_string(
+      "[scenario]\nname = r\nexperiment = roc\n"
+      "[pipeline]\nseed = 7\nm = 25\nnetworks = 2\nvictims = 30\n"
+      "sigma = 30\nfield = 600\ngrid_nx = 6\ngrid_ny = 6\n"
+      "[sweep]\ndamages = 120\n"
+      "[output]\nfp_grid = 0.01, 0.1\ncurve_points = 10\n"));
+  ScenarioRunner runner(spec);
+  const ScenarioResult result = runner.run();
+  ASSERT_EQ(result.tables.size(), 2u);
+  EXPECT_EQ(result.tables[0].id, "summary");
+  EXPECT_EQ(result.tables[0].table.columns(),
+            (std::vector<std::string>{"D", "AUC", "DR@1%", "DR@10%"}));
+  ASSERT_EQ(result.tables[0].table.num_rows(), 1u);
+  EXPECT_EQ(result.tables[1].id, "curves");
+  EXPECT_GT(result.tables[1].table.num_rows(), 0u);
+}
+
+// Every checked-in spec must parse and expand (guards the .scn files the
+// bench wrappers and docs reference).
+TEST(ScenarioSpecFiles, AllCheckedInSpecsParse) {
+#ifndef LAD_SCENARIO_DIR
+  GTEST_SKIP() << "LAD_SCENARIO_DIR not configured";
+#else
+  namespace fs = std::filesystem;
+  int count = 0;
+  for (const auto& entry : fs::directory_iterator(LAD_SCENARIO_DIR)) {
+    if (entry.path().extension() != ".scn") continue;
+    SCOPED_TRACE(entry.path().string());
+    const ScenarioSpec spec = ScenarioSpec::load(entry.path().string());
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_GT(ScenarioRunner(spec).num_items(), 0);
+    ++count;
+  }
+  EXPECT_GE(count, 17);  // 16 figure/table specs + quickstart
+#endif
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the scenario engine CLI surface:
+# `lad_cli run --scenario` (full + sharded) and `lad_cli merge`, checking
+# the tagged-CSV header, the error paths for malformed --shard, and that
+# merged shard output is byte-identical to the unsharded run.
+set -u
+
+cli="$1"
+scn="$2"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+fail() {
+  echo "scenario_smoke FAIL: $*" >&2
+  exit 1
+}
+
+run() {
+  # run <name> <expected-rc> <cmd...>; captures stdout+stderr in $output.
+  local name="$1" want_rc="$2"
+  shift 2
+  output="$("$@" 2>&1)"
+  local rc=$?
+  echo "--- $name (rc=$rc) ---"
+  echo "$output"
+  [ "$rc" -eq "$want_rc" ] || fail "$name exited $rc, expected $want_rc"
+}
+
+# Full run writes one tagged CSV per result table.
+run full 0 "$cli" run --scenario "$scn" --out "$workdir/full"
+csv="$workdir/full/quickstart.dr.csv"
+[ -s "$csv" ] || fail "full run did not write $csv"
+head -1 "$csv" | grep -q '^item,x,D,DR,trained_FP,threshold$' \
+  || fail "unexpected merged CSV header: $(head -1 "$csv")"
+
+# Sharded runs partition the work items; merge restores the full CSV.
+run shard0 0 "$cli" run --scenario "$scn" --shard 0/2 --out "$workdir/s0"
+run shard1 0 "$cli" run --scenario "$scn" --shard 1/2 --out "$workdir/s1"
+run merge 0 "$cli" merge --out "$workdir/merged" "$workdir/s0" "$workdir/s1"
+cmp "$csv" "$workdir/merged/quickstart.dr.csv" \
+  || fail "merged CSV differs from the unsharded run"
+
+# Stdout mode prints the result tables.
+run stdout 0 "$cli" run --scenario "$scn"
+grep -q "== dr ==" <<<"$output" || fail "stdout run missing the dr table"
+
+# Malformed shard syntax fails cleanly (exit 2, named message, no crash).
+run shard_zero 2 "$cli" run --scenario "$scn" --shard 0/0
+grep -qi "shard" <<<"$output" || fail "0/0: error does not mention shard"
+run shard_garbage 2 "$cli" run --scenario "$scn" --shard banana
+grep -qi "shard" <<<"$output" || fail "banana: error does not mention shard"
+run shard_oob 2 "$cli" run --scenario "$scn" --shard 5/2
+grep -qi "shard" <<<"$output" || fail "5/2: error does not mention shard"
+
+# A typo'd flag must fail fast, not silently run all work items.
+run shard_typo 2 "$cli" run --scenario "$scn" --sahrd 0/2
+grep -q "unknown flag" <<<"$output" || fail "typo'd flag not rejected"
+
+# Merging overlapping shards (same dir twice) must fail, not duplicate rows.
+run merge_overlap 1 "$cli" merge --out "$workdir/dup" "$workdir/s0" "$workdir/s0"
+grep -qi "overlapping" <<<"$output" || fail "overlapping merge not rejected"
+
+# An incomplete shard set is rejected unless --partial opts in.
+run merge_incomplete 1 "$cli" merge --out "$workdir/half" "$workdir/s1"
+grep -qi "incomplete" <<<"$output" || fail "incomplete merge not rejected"
+run merge_partial 0 "$cli" merge --out "$workdir/half" --partial "$workdir/s1"
+
+# Missing scenario file is a named error, not a crash.
+run missing_spec 1 "$cli" run --scenario "$workdir/nope.scn"
+grep -q "nope.scn" <<<"$output" || fail "missing spec: error does not name it"
+
+echo "scenario_smoke OK"

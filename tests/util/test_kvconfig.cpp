@@ -1,0 +1,155 @@
+#include "util/kvconfig.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+constexpr const char* kSample = R"(# a comment
+; another comment style
+[alpha]
+name = first
+count = 3
+ratio = 0.5
+flag = true
+list = 1, 2, 3
+
+[beta]
+empty =
+range = 40:160:20
+)";
+
+TEST(KvConfig, ParsesSectionsAndTypedValues) {
+  const KvConfig cfg = KvConfig::parse_string(kSample);
+  ASSERT_EQ(cfg.sections().size(), 2u);
+  EXPECT_EQ(cfg.sections()[0].name(), "alpha");
+  EXPECT_EQ(cfg.sections()[1].name(), "beta");
+
+  const KvConfig::Section& alpha = cfg.section("alpha");
+  EXPECT_EQ(alpha.get_string("name", ""), "first");
+  EXPECT_EQ(alpha.get_int("count", 0), 3);
+  EXPECT_DOUBLE_EQ(alpha.get_double("ratio", 0.0), 0.5);
+  EXPECT_TRUE(alpha.get_bool("flag", false));
+  EXPECT_EQ(alpha.get_double_list("list", {}),
+            (std::vector<double>{1, 2, 3}));
+}
+
+TEST(KvConfig, DefaultsApplyWhenKeysAreMissing) {
+  const KvConfig cfg = KvConfig::parse_string(kSample);
+  const KvConfig::Section& alpha = cfg.section("alpha");
+  EXPECT_EQ(alpha.get_string("missing", "fallback"), "fallback");
+  EXPECT_EQ(alpha.get_int("missing", 42), 42);
+  EXPECT_FALSE(alpha.get_bool("missing", false));
+  EXPECT_EQ(alpha.get_double_list("missing", {7.0}),
+            (std::vector<double>{7.0}));
+  EXPECT_FALSE(alpha.has("missing"));
+  EXPECT_TRUE(alpha.has("name"));
+}
+
+TEST(KvConfig, MissingSectionThrowsAndFindReturnsNull) {
+  const KvConfig cfg = KvConfig::parse_string(kSample);
+  EXPECT_FALSE(cfg.has_section("gamma"));
+  EXPECT_EQ(cfg.find_section("gamma"), nullptr);
+  EXPECT_THROW(cfg.section("gamma"), AssertionError);
+}
+
+TEST(KvConfig, DuplicateSectionIsAnError) {
+  EXPECT_THROW(KvConfig::parse_string("[a]\nx = 1\n[b]\ny = 2\n[a]\nz = 3\n"),
+               AssertionError);
+}
+
+TEST(KvConfig, DuplicateKeyInSectionIsAnError) {
+  EXPECT_THROW(KvConfig::parse_string("[a]\nx = 1\nx = 2\n"), AssertionError);
+}
+
+TEST(KvConfig, KeyBeforeAnySectionIsAnError) {
+  EXPECT_THROW(KvConfig::parse_string("x = 1\n[a]\n"), AssertionError);
+}
+
+TEST(KvConfig, MalformedLinesAreErrorsWithLineNumbers) {
+  try {
+    KvConfig::parse_string("[a]\nnot a key value line\n", "test.scn");
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    EXPECT_NE(std::string(e.what()).find("test.scn:2"), std::string::npos);
+  }
+  EXPECT_THROW(KvConfig::parse_string("[unterminated\n"), AssertionError);
+  EXPECT_THROW(KvConfig::parse_string("[]\n"), AssertionError);
+  EXPECT_THROW(KvConfig::parse_string("[a]\n= value\n"), AssertionError);
+}
+
+TEST(KvConfig, BadTypedValuesNameTheSectionAndKey) {
+  const KvConfig cfg =
+      KvConfig::parse_string("[a]\nnum = banana\nflag = maybe\n");
+  try {
+    cfg.section("a").get_int("num", 0);
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[a] num"), std::string::npos) << what;
+  }
+  EXPECT_THROW(cfg.section("a").get_double("num", 0.0), AssertionError);
+  EXPECT_THROW(cfg.section("a").get_bool("flag", false), AssertionError);
+}
+
+TEST(KvConfig, UnusedReportsOnlyUnreadKeys) {
+  const KvConfig cfg = KvConfig::parse_string("[a]\nx = 1\ny = 2\n[b]\nz = 3\n");
+  cfg.section("a").get_int("x", 0);
+  const std::vector<std::string> unused = cfg.unused();
+  EXPECT_EQ(unused, (std::vector<std::string>{"a.y", "b.z"}));
+  cfg.section("a").get_int("y", 0);
+  cfg.section("b").get_int("z", 0);
+  EXPECT_TRUE(cfg.unused().empty());
+}
+
+TEST(KvConfig, RangeSyntaxExpandsInclusively) {
+  const KvConfig cfg = KvConfig::parse_string(kSample);
+  EXPECT_EQ(cfg.section("beta").get_double_list("range", {}),
+            (std::vector<double>{40, 60, 80, 100, 120, 140, 160}));
+  EXPECT_EQ(expand_int_range("1:7:3"), (std::vector<long long>{1, 4, 7}));
+  // Endpoint not on the grid: stops below hi.
+  EXPECT_EQ(expand_int_range("1:8:3"), (std::vector<long long>{1, 4, 7}));
+  EXPECT_EQ(expand_double_range("2.5"), (std::vector<double>{2.5}));
+}
+
+TEST(KvConfig, RangesMixWithPlainElements) {
+  const KvConfig cfg =
+      KvConfig::parse_string("[s]\nd = 10, 40:60:10, 100\n");
+  EXPECT_EQ(cfg.section("s").get_double_list("d", {}),
+            (std::vector<double>{10, 40, 50, 60, 100}));
+}
+
+TEST(KvConfig, BadRangesThrow) {
+  EXPECT_THROW(expand_double_range("1:2"), AssertionError);
+  EXPECT_THROW(expand_double_range("1:2:3:4"), AssertionError);
+  EXPECT_THROW(expand_double_range("5:1:1"), AssertionError);    // lo > hi
+  EXPECT_THROW(expand_double_range("1:5:0"), AssertionError);    // step 0
+  EXPECT_THROW(expand_double_range("1:5:-1"), AssertionError);   // step < 0
+  EXPECT_THROW(expand_double_range("a:b:c"), AssertionError);
+}
+
+TEST(KvConfig, RenderListRoundTrips) {
+  const std::vector<double> doubles = expand_double_range("0.05:0.25:0.05");
+  const KvConfig re = KvConfig::parse_string("[s]\nv = " +
+                                             render_list(doubles) + "\n");
+  EXPECT_EQ(re.section("s").get_double_list("v", {}), doubles);
+
+  const std::vector<long long> ints = expand_int_range("100:1000:300");
+  const KvConfig re2 =
+      KvConfig::parse_string("[s]\nv = " + render_list(ints) + "\n");
+  EXPECT_EQ(re2.section("s").get_int_list("v", {}), ints);
+}
+
+TEST(KvConfig, EmptyValueIsEmptyString) {
+  const KvConfig cfg = KvConfig::parse_string(kSample);
+  EXPECT_EQ(cfg.section("beta").get_string("empty", "def"), "");
+}
+
+TEST(KvConfig, MissingFileThrows) {
+  EXPECT_THROW(KvConfig::parse_file("/nonexistent/path.scn"), AssertionError);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Fixed-seed wall-time baseline runner (the ROADMAP "perf baseline" item).
+#
+# Builds the bench binaries, runs every figure/table scenario in quick
+# mode under the default fixed seed, and prints a markdown table of
+# wall-times to paste into bench/BASELINE.md.  Scenario output itself is
+# deterministic (same seed => byte-identical CSV), so regressions show up
+# as time deltas, never value deltas.
+#
+# usage: tools/bench_baseline.sh [build_dir]   (default: build)
+set -eu
+
+build="${1:-build}"
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake --build "$build" --target benches -j >/dev/null
+
+# Every figure/table bench is a thin wrapper over a checked-in spec, so
+# the spec directory is the authoritative bench list.
+benches=$(cd "$repo/bench/scenarios" && ls *.scn | sed 's/\.scn$//' \
+  | grep -v '^quickstart$')
+[ -n "$benches" ] || { echo "no specs found in bench/scenarios" >&2; exit 1; }
+
+host="$(uname -sr) / $(nproc) core(s)"
+echo "| bench (quick mode, default seed) | wall time (s) |"
+echo "|---|---|"
+for b in $benches; do
+  bin="$build/bench/$b"
+  [ -x "$bin" ] || { echo "missing binary $bin" >&2; exit 1; }
+  start=$(date +%s.%N)
+  "$bin" --quick --csv >/dev/null
+  end=$(date +%s.%N)
+  printf "| %s | %.2f |\n" "$b" "$(echo "$end $start" | awk '{print $1 - $2}')"
+done
+echo
+echo "_Measured on: $host, $(date -u +%Y-%m-%d)._"

@@ -16,6 +16,23 @@
 //                    [--trials 200] [--attack dec-bounded]
 //       Deploys a fresh network, attacks `trials` sensors, and reports the
 //       detection rate of the shipped detector (plus benign FP).
+//
+//   lad_cli run     --scenario file.scn [--shard i/n] [--out dir]
+//                   [--quick] [--csv] [--seed S] [--threads N]
+//                   [--m M] [--networks N] [--victims K] [--r R] [--sigma S]
+//       Runs a declarative scenario (see bench/scenarios/*.scn and the
+//       README's "Scenario files" section).  Without --out the result
+//       tables print to stdout; with --out each table is written as an
+//       item-tagged CSV.  --shard i/n executes only the work items with
+//       id % n == i; shard output is placement-independent (Philox-keyed
+//       randomness), so merged shards reproduce the unsharded run.
+//
+//   lad_cli merge   --out dir [--partial] <shard_dir>...
+//       Merges shard output directories written by `run --out`: rows are
+//       re-ordered by work-item tag, yielding CSVs byte-identical to the
+//       unsharded run's.  Overlapping shards and (unless --partial) gaps
+//       in the item tags are errors.
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -24,6 +41,7 @@
 #include "core/lad.h"
 #include "loc/beaconless_mle.h"
 #include "sim/pipeline.h"
+#include "sim/scenario.h"
 #include "stats/quantile.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -34,7 +52,8 @@ using namespace lad;
 namespace {
 
 int usage() {
-  std::cerr << "usage: lad_cli <train|inspect|check|simulate> [--flags]\n"
+  std::cerr << "usage: lad_cli <train|inspect|check|simulate|run|merge> "
+               "[--flags]\n"
                "       see the header of tools/lad_cli.cpp for details\n";
   return 2;
 }
@@ -172,6 +191,114 @@ int cmd_simulate(const Flags& flags) {
   return 0;
 }
 
+/// Rejects typo'd flags for the scenario subcommands: a silently dropped
+/// --shard misspelling would run ALL work items and poison a later merge
+/// with duplicate rows.
+int reject_unknown_flags(const Flags& flags, const char* cmd) {
+  const std::vector<std::string> unknown = flags.unused();
+  if (!unknown.empty()) {
+    std::cerr << cmd << ": unknown flag(s): --" << join(unknown, ", --")
+              << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_run(const Flags& flags) {
+  const std::string scn = flags.get_string("scenario", "");
+  if (scn.empty()) {
+    std::cerr << "run: --scenario <file.scn> is required\n";
+    return 2;
+  }
+
+  ShardRange shard;
+  if (flags.has("shard")) {
+    try {
+      shard = parse_shard(flags.get_string("shard", "0/1"));
+    } catch (const AssertionError& e) {
+      std::cerr << "run: invalid --shard: " << e.what() << "\n"
+                << "run: expected --shard i/n with 0 <= i < n, e.g. 0/4\n";
+      return 2;
+    }
+  }
+
+  const ScenarioOverrides overrides = overrides_from_flags(flags);
+  const std::string out = flags.get_string("out", "");
+  const bool csv = flags.get_bool("csv", false);
+  if (!flags.positional().empty()) {
+    std::cerr << "run: unexpected argument(s): "
+              << join(flags.positional(), " ") << "\n";
+    return 2;
+  }
+  if (const int rc = reject_unknown_flags(flags, "run")) return rc;
+
+  const ScenarioSpec spec = apply_overrides(ScenarioSpec::load(scn), overrides);
+  ScenarioRunner runner(spec);
+  const long long total = runner.num_items();
+  const long long mine =
+      (total - shard.index + shard.count - 1) / shard.count;
+  std::cerr << "scenario '" << spec.name << "' ("
+            << experiment_kind_name(spec.kind) << "): running " << mine
+            << " of " << total << " work items (shard " << shard.index << "/"
+            << shard.count << ")\n";
+
+  const ScenarioResult result = runner.run(shard);
+  if (!out.empty()) {
+    const std::vector<std::string> paths = write_result_csvs(result, out);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      std::cout << "wrote " << paths[i] << " ("
+                << result.tables[i].table.num_rows() << " rows)\n";
+    }
+    return 0;
+  }
+  std::cout << spec.title << "\n";
+  for (const ResultTable& t : result.tables) {
+    std::cout << "\n== " << t.id << " ==\n";
+    if (csv) {
+      t.table.print_csv(std::cout);
+    } else {
+      t.table.print(std::cout);
+    }
+  }
+  if (!spec.note.empty()) std::cout << "\n" << spec.note << "\n";
+  return 0;
+}
+
+int cmd_merge(const Flags& flags) {
+  const std::string out = flags.get_string("out", "");
+  std::vector<std::string> shard_dirs = flags.positional();
+  bool partial = false;
+  if (flags.has("partial")) {
+    // flags.h's "--name value" form means a bare --partial swallows the
+    // following shard dir; an existing directory wins over a boolean
+    // reading (a shard dir named "1" or "true" is still a dir).  Dir
+    // order never changes the merged output (items are disjoint across
+    // shards), so recovering it at the front is safe.
+    partial = true;
+    const std::string v = flags.get_string("partial", "true");
+    if (std::filesystem::is_directory(v)) {
+      shard_dirs.insert(shard_dirs.begin(), v);
+    } else {
+      try {
+        partial = flags.get_bool("partial", true);  // --partial=false works
+      } catch (const AssertionError&) {
+        // Neither a directory nor a boolean: let merge report it missing.
+        shard_dirs.insert(shard_dirs.begin(), v);
+      }
+    }
+  }
+  if (out.empty() || shard_dirs.empty()) {
+    std::cerr << "usage: lad_cli merge --out <dir> [--partial] "
+                 "<shard_dir>...\n";
+    return 2;
+  }
+  if (const int rc = reject_unknown_flags(flags, "merge")) return rc;
+  merge_result_csvs(shard_dirs, out, /*require_complete=*/!partial);
+  std::cout << "merged " << shard_dirs.size() << " shard dir(s) into " << out
+            << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -183,6 +310,8 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(flags);
     if (cmd == "check") return cmd_check(flags);
     if (cmd == "simulate") return cmd_simulate(flags);
+    if (cmd == "run") return cmd_run(flags);
+    if (cmd == "merge") return cmd_merge(flags);
     return usage();
   } catch (const AssertionError& e) {
     std::cerr << "error: " << e.what() << "\n";
