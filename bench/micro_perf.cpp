@@ -4,7 +4,9 @@
 //     versus the "quite complicated" exact integral;
 //   * metric evaluation cost per detection decision;
 //   * expected-observation computation (n table lookups);
-//   * neighbor-query throughput of the spatial index;
+//   * neighbor-query throughput of the spatial index, single
+//     (BM_NeighborQuery) and batched (BM_ObserveMany/BM_ObserveGrid) —
+//     the docs/PERFORMANCE.md before/after surface;
 //   * end-to-end Detector::check and MLE localization.
 #include <benchmark/benchmark.h>
 
@@ -88,6 +90,46 @@ void BM_NeighborQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NeighborQuery);
+
+/// Batched observation kernel over a reused ObservationBatch.  The Time/CPU
+/// columns are per *batch* (one observe_many call); items_per_second is the
+/// per-observation rate — invert it to compare against BM_NeighborQuery.
+void BM_ObserveMany(benchmark::State& state) {
+  const Network& net = bench_network();
+  const std::size_t batch_size = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<std::size_t> nodes(batch_size);
+  for (std::size_t& n : nodes) {
+    n = static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
+  }
+  ObservationBatch batch;
+  for (auto _ : state) {
+    net.observe_many(nodes, batch);
+    benchmark::DoNotOptimize(batch.row(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_ObserveMany)->Arg(64)->Arg(256);
+
+/// Batched observe_at over a probe grid (the sampling-path analogue).
+void BM_ObserveGrid(benchmark::State& state) {
+  const Network& net = bench_network();
+  const std::size_t batch_size = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<Vec2> points(batch_size);
+  for (Vec2& p : points) {
+    p = {rng.uniform(0, 1000), rng.uniform(0, 1000)};
+  }
+  ObservationBatch batch;
+  for (auto _ : state) {
+    net.observe_grid(points, batch);
+    benchmark::DoNotOptimize(batch.row(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_ObserveGrid)->Arg(256);
 
 void BM_MetricScore(benchmark::State& state) {
   const DeploymentModel& model = bench_model();

@@ -3,10 +3,16 @@
 //
 // Storage is structure-of-arrays (positions[], groups[]) - observation
 // computation walks positions linearly within grid cells (Per.16/Per.19).
+// Alongside the node-indexed arrays, the network keeps cell-ordered copies
+// of the payload columns the audibility filter needs (group id, tx-range
+// override), permuted by the GridIndex build, so the hot path reads
+// contiguous rows and never chases a per-candidate indirection.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "deploy/deployment_model.h"
@@ -51,15 +57,83 @@ class Network {
   /// Observation a hypothetical node at p would make (no exclusion).
   Observation observe_at(Vec2 p) const;
 
+  /// Batched observations: row j of `out` becomes observe(nodes[j])'s
+  /// counts.  The batch is reset (resized + zeroed) here, so one batch can
+  /// be reused across calls without reallocating.
+  void observe_many(std::span<const std::size_t> nodes,
+                    ObservationBatch& out) const;
+
+  /// Batched observe_at over arbitrary probe points (sampling paths):
+  /// row j of `out` becomes observe_at(points[j])'s counts.
+  void observe_grid(std::span<const Vec2> points, ObservationBatch& out) const;
+
   const GridIndex& index() const { return *index_; }
 
  private:
+  /// The one audibility filter shared by every neighborhood path: calls
+  /// fn(node, group) for every node whose transmission reaches p, i.e.
+  /// |position(node) - p| <= tx_range(node).  The listener itself is
+  /// included when it sits in the index (distance 0 is audible at any
+  /// non-negative range); callers wanting "neighbors of i" exclude i.
+  ///
+  /// When no tx-range override is active every node transmits at R, so a
+  /// radius-R slot scan is exact and the per-candidate NaN-check/range
+  /// test vanishes; with overrides the scan widens to the largest active
+  /// range and filters per sender.  Keeping both paths in this helper is
+  /// what stops the fast path and the attack path from drifting.
+  template <class AudibleFn>
+  void for_each_audible(Vec2 p, AudibleFn&& fn) const {
+    const double R = model_->config().radio_range;
+    const std::uint32_t* const order = index_->permutation().data();
+    if (num_tx_overrides_ == 0) {
+      // `dist2 <= audible_radius2(R)` reproduces the historical
+      // `sqrt(dist2) <= R` filter bit-for-bit without a per-candidate sqrt.
+      index_->for_each_slot_in_disk2(
+          p, R, audible_radius2(R), [&](std::uint32_t slot, double /*d2*/) {
+            fn(static_cast<std::size_t>(order[slot]), cell_groups_[slot]);
+          });
+      return;
+    }
+    index_->for_each_slot_in_radius(
+        p, max_tx_range_, [&](std::uint32_t slot, double dist2) {
+          const float o = cell_tx_override_[slot];
+          const double tx = std::isnan(o) ? R : static_cast<double>(o);
+          if (std::sqrt(dist2) <= tx) {
+            fn(static_cast<std::size_t>(order[slot]), cell_groups_[slot]);
+          }
+        });
+  }
+
+  /// Largest squared distance <= r*r whose (correctly rounded) square root
+  /// also compares <= r.  The historical no-override path was a two-stage
+  /// filter: the grid prefilter `dist2 <= r*r` followed by the per-sender
+  /// `sqrt(dist2) <= r`; both sets are downward closed, so their
+  /// intersection is exactly `dist2 <= audible_radius2(r)` — one compare,
+  /// bit-identical to the legacy pipeline.  (Searching only downward from
+  /// r*r is deliberate: a dist2 just above fl(r*r) whose sqrt still
+  /// rounds to <= r was rejected by the legacy prefilter too, in this
+  /// regime.)  The loop runs at most a step or two, only when r*r rounds
+  /// upward.
+  static double audible_radius2(double r) {
+    double t = r * r;
+    while (std::sqrt(t) > r) t = std::nextafter(t, 0.0);
+    return t;
+  }
+
+  /// Accumulates the observation at p into `counts` (one int per group).
+  void accumulate_observation(Vec2 p, int* counts) const;
+
   const DeploymentModel* model_;
   std::vector<Vec2> positions_;
   std::vector<std::uint16_t> groups_;
-  std::vector<float> tx_range_override_;  // NaN = default R
+  std::vector<float> tx_range_override_;  // NaN = default R (node-indexed)
   double max_tx_range_;                   // current max for index queries
+  std::size_t num_tx_overrides_ = 0;      // active entries in the override map
   std::unique_ptr<GridIndex> index_;
+  // Cell-ordered (slot-indexed) payload columns for the SoA fast path.
+  std::vector<std::uint16_t> cell_groups_;
+  std::vector<float> cell_tx_override_;
+  std::vector<std::uint32_t> slot_of_;  // node -> slot (inverse permutation)
 };
 
 }  // namespace lad

@@ -35,4 +35,39 @@ struct Observation {
 /// The expected observation mu = (mu1, ..., mun) is real-valued (Eq. 2).
 using ExpectedObservation = std::vector<double>;
 
+/// A reusable batch of observations in one flat counts[row][group] buffer.
+/// `Network::observe_many` / `observe_grid` fill one row per queried node
+/// or probe point; reusing the batch across calls amortizes the per-call
+/// allocation that a vector<Observation> would pay.
+class ObservationBatch {
+ public:
+  /// Resizes to `rows` x `num_groups` and zero-fills every count.
+  void reset(std::size_t rows, std::size_t num_groups) {
+    rows_ = rows;
+    groups_ = num_groups;
+    counts_.assign(rows * num_groups, 0);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t num_groups() const { return groups_; }
+
+  int* row(std::size_t r) { return counts_.data() + r * groups_; }
+  const int* row(std::size_t r) const { return counts_.data() + r * groups_; }
+
+  int count(std::size_t r, std::size_t group) const {
+    return counts_[r * groups_ + group];
+  }
+
+  /// Copies row r out into a standalone Observation.
+  Observation to_observation(std::size_t r) const {
+    LAD_REQUIRE_MSG(r < rows_, "batch row out of range");
+    return Observation(std::vector<int>(row(r), row(r) + groups_));
+  }
+
+ private:
+  std::vector<int> counts_;
+  std::size_t rows_ = 0;
+  std::size_t groups_ = 0;
+};
+
 }  // namespace lad

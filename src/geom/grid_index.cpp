@@ -9,26 +9,33 @@ namespace lad {
 
 GridIndex::GridIndex(const std::vector<Vec2>& points, const Aabb& bounds,
                      double cell_size)
-    : bounds_(bounds), cell_size_(cell_size), points_(points) {
+    : bounds_(bounds), cell_size_(cell_size) {
   LAD_REQUIRE_MSG(cell_size > 0, "cell size must be positive");
   nx_ = std::max(1, static_cast<int>(std::ceil(bounds_.width() / cell_size_)));
   ny_ = std::max(1, static_cast<int>(std::ceil(bounds_.height() / cell_size_)));
 
   const std::size_t ncells = static_cast<std::size_t>(nx_) * ny_;
-  // Counting sort of points into cells (CSR).
+  // Stable counting sort of points into cells: within a cell, slots keep
+  // ascending original index, so visitation order matches the historical
+  // index-list layout exactly.
   std::vector<std::uint32_t> counts(ncells + 1, 0);
-  std::vector<std::uint32_t> cell_of_point(points_.size());
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    const std::size_t c = cell_of(points_[i]);
+  std::vector<std::uint32_t> cell_of_point(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::size_t c = cell_of(points[i]);
     cell_of_point[i] = static_cast<std::uint32_t>(c);
     ++counts[c + 1];
   }
   for (std::size_t c = 0; c < ncells; ++c) counts[c + 1] += counts[c];
   cell_start_ = counts;
-  cell_items_.resize(points_.size());
+  order_.resize(points.size());
+  xs_.resize(points.size());
+  ys_.resize(points.size());
   std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    cell_items_[cursor[cell_of_point[i]]++] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint32_t k = cursor[cell_of_point[i]]++;
+    order_[k] = static_cast<std::uint32_t>(i);
+    xs_[k] = points[i].x;
+    ys_[k] = points[i].y;
   }
 }
 
@@ -47,26 +54,9 @@ std::size_t GridIndex::cell_of(Vec2 p) const {
 
 void GridIndex::for_each_in_radius(
     Vec2 p, double radius, const std::function<void(std::size_t)>& fn) const {
-  LAD_REQUIRE_MSG(radius >= 0, "negative query radius");
-  const double r2 = radius * radius;
-  // Cell span covering the query disk (clamped to the grid).
-  int cx0 = static_cast<int>(std::floor((p.x - radius - bounds_.lo.x) / cell_size_));
-  int cy0 = static_cast<int>(std::floor((p.y - radius - bounds_.lo.y) / cell_size_));
-  int cx1 = static_cast<int>(std::floor((p.x + radius - bounds_.lo.x) / cell_size_));
-  int cy1 = static_cast<int>(std::floor((p.y + radius - bounds_.lo.y) / cell_size_));
-  cx0 = std::clamp(cx0, 0, nx_ - 1);
-  cy0 = std::clamp(cy0, 0, ny_ - 1);
-  cx1 = std::clamp(cx1, 0, nx_ - 1);
-  cy1 = std::clamp(cy1, 0, ny_ - 1);
-  for (int cy = cy0; cy <= cy1; ++cy) {
-    for (int cx = cx0; cx <= cx1; ++cx) {
-      const std::size_t c = static_cast<std::size_t>(cy) * nx_ + cx;
-      for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
-        const std::uint32_t i = cell_items_[k];
-        if (distance2(points_[i], p) <= r2) fn(i);
-      }
-    }
-  }
+  for_each_slot_in_radius(p, radius, [&](std::uint32_t slot, double) {
+    fn(static_cast<std::size_t>(order_[slot]));
+  });
 }
 
 std::vector<std::size_t> GridIndex::query(Vec2 p, double radius) const {

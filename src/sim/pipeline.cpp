@@ -101,10 +101,17 @@ std::map<MetricKind, std::vector<double>> Pipeline::benign_scores(
         Rng rng = Rng::stream(config_.seed ^ kStreamBenign, ni);
         std::unique_ptr<Localizer> localizer = factory(rng.bits());
         localizer->prepare(net);
+        // Draw all victims first (same rng call order as the historical
+        // per-victim loop), then compute their observations in one batch.
+        std::vector<std::size_t> victims(k);
         for (std::size_t v = 0; v < k; ++v) {
-          const std::size_t node = draw_victim(net, config_, rng);
-          const Observation obs = net.observe(node);
-          const Vec2 le = localizer->localize(net, node);
+          victims[v] = draw_victim(net, config_, rng);
+        }
+        ObservationBatch batch;
+        net.observe_many(victims, batch);
+        for (std::size_t v = 0; v < k; ++v) {
+          const Observation obs = batch.to_observation(v);
+          const Vec2 le = localizer->localize(net, victims[v]);
           const ExpectedObservation mu = model_.expected_observation(le, gz_);
           for (std::size_t mi = 0; mi < metric_impls.size(); ++mi) {
             scores[mi][ni * k + v] = metric_impls[mi]->score(obs, mu, m);
@@ -139,14 +146,23 @@ std::vector<double> Pipeline::attack_scores(const AttackSpec& spec) {
       [&](std::size_t ni) {
         const Network& net = *networks_[ni];
         Rng rng = Rng::stream(config_.seed ^ kStreamAttack, ni);
+        // Step 1/2 draws first (victim then Le per victim, preserving the
+        // historical rng call order), then one observation batch.
+        std::vector<std::size_t> victims(k);
+        std::vector<Vec2> les(k);
         for (std::size_t v = 0; v < k; ++v) {
-          // Step 1 (7.1): random victim, untainted observation a at La.
-          const std::size_t node = draw_victim(net, config_, rng);
-          const Observation a = net.observe(node);
-          const Vec2 la = net.position(node);
-          // Step 2: plant Le with |Le - La| = D; expected observation mu.
-          const Vec2 le = displaced_location(la, spec.damage, field, rng);
-          const ExpectedObservation mu = model_.expected_observation(le, gz_);
+          // Step 1 (7.1): random victim at La.
+          victims[v] = draw_victim(net, config_, rng);
+          // Step 2: plant Le with |Le - La| = D.
+          les[v] = displaced_location(net.position(victims[v]), spec.damage,
+                                      field, rng);
+        }
+        ObservationBatch batch;
+        net.observe_many(victims, batch);
+        for (std::size_t v = 0; v < k; ++v) {
+          const Observation a = batch.to_observation(v);
+          const ExpectedObservation mu =
+              model_.expected_observation(les[v], gz_);
           // Step 3: tainted observation minimizing the metric.
           const int budget = static_cast<int>(
               std::lround(spec.compromised_frac * a.total()));
@@ -177,12 +193,19 @@ std::map<MetricKind, std::vector<double>> Pipeline::attack_scores_cross(
       [&](std::size_t ni) {
         const Network& net = *networks_[ni];
         Rng rng = Rng::stream(config_.seed ^ kStreamAttack, ni);
+        std::vector<std::size_t> victims(k);
+        std::vector<Vec2> les(k);
         for (std::size_t v = 0; v < k; ++v) {
-          const std::size_t node = draw_victim(net, config_, rng);
-          const Observation a = net.observe(node);
-          const Vec2 la = net.position(node);
-          const Vec2 le = displaced_location(la, spec.damage, field, rng);
-          const ExpectedObservation mu = model_.expected_observation(le, gz_);
+          victims[v] = draw_victim(net, config_, rng);
+          les[v] = displaced_location(net.position(victims[v]), spec.damage,
+                                      field, rng);
+        }
+        ObservationBatch batch;
+        net.observe_many(victims, batch);
+        for (std::size_t v = 0; v < k; ++v) {
+          const Observation a = batch.to_observation(v);
+          const ExpectedObservation mu =
+              model_.expected_observation(les[v], gz_);
           const int budget = static_cast<int>(
               std::lround(spec.compromised_frac * a.total()));
           const TaintResult taint =

@@ -559,10 +559,17 @@ ScenarioResult ScenarioRunner::Impl::run_correction(const ShardRange& shard) {
 
   if (shard.contains(0)) {
     RunningStats floor;
-    for (int t = 0; t < trials; ++t) {
-      const std::size_t node = draw_in_field(rng);
-      floor.add(distance(corrector.correct(net.observe(node)).corrected,
-                         net.position(node)));
+    // Draw every floor sample first (identical rng call order), then one
+    // observation batch over all of them.
+    std::vector<std::size_t> nodes(static_cast<std::size_t>(trials));
+    for (std::size_t t = 0; t < nodes.size(); ++t) {
+      nodes[t] = draw_in_field(rng);
+    }
+    ObservationBatch batch;
+    net.observe_many(nodes, batch);
+    for (std::size_t t = 0; t < nodes.size(); ++t) {
+      floor.add(distance(corrector.correct(batch.to_observation(t)).corrected,
+                         net.position(nodes[t])));
     }
     tagged_row(result.tables[0], 0)
         .add(floor.mean(), 1)
@@ -579,17 +586,25 @@ ScenarioResult ScenarioRunner::Impl::run_correction(const ShardRange& shard) {
       // Keyed by item id, not by the (possibly fractional) damage value,
       // so distinct cells never share a stream.
       Rng trial_rng = Rng::stream(seed, static_cast<std::uint64_t>(item));
-      for (int t = 0; t < trials; ++t) {
-        const std::size_t node = draw_in_field(trial_rng);
-        const Observation a = net.observe(node);
-        const Vec2 la = net.position(node);
-        const Vec2 le = displaced_location(la, d, dcfg.field(), trial_rng);
-        const ExpectedObservation mu = model.expected_observation(le, gz);
+      // Victim + Le draws first (same rng call order as the historical
+      // per-trial loop), then a single observation batch.
+      std::vector<std::size_t> nodes(static_cast<std::size_t>(trials));
+      std::vector<Vec2> les(nodes.size());
+      for (std::size_t t = 0; t < nodes.size(); ++t) {
+        nodes[t] = draw_in_field(trial_rng);
+        les[t] = displaced_location(net.position(nodes[t]), d, dcfg.field(),
+                                    trial_rng);
+      }
+      ObservationBatch batch;
+      net.observe_many(nodes, batch);
+      for (std::size_t t = 0; t < nodes.size(); ++t) {
+        const Observation a = batch.to_observation(t);
+        const ExpectedObservation mu = model.expected_observation(les[t], gz);
         const TaintResult taint =
             greedy_taint(a, mu, dcfg.nodes_per_group, target, cls,
                          static_cast<int>(x * a.total()));
-        errs.push_back(
-            distance(corrector.correct(taint.tainted).corrected, la));
+        errs.push_back(distance(corrector.correct(taint.tainted).corrected,
+                                net.position(nodes[t])));
       }
       double mean = 0.0;
       int recovered = 0;
@@ -639,10 +654,15 @@ ScenarioResult ScenarioRunner::Impl::run_echo(const ShardRange& shard) {
   // Train LAD on benign samples (continues the shared rng, like the net).
   const std::unique_ptr<Metric> scorer = make_metric(metric);
   std::vector<double> benign_scores;
-  for (int i = 0; i < spec.echo_train_samples; ++i) {
-    const std::size_t node =
-        static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
-    const Observation obs = net.observe(node);
+  std::vector<std::size_t> train_nodes(
+      static_cast<std::size_t>(spec.echo_train_samples));
+  for (std::size_t i = 0; i < train_nodes.size(); ++i) {
+    train_nodes[i] = static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
+  }
+  ObservationBatch train_batch;
+  net.observe_many(train_nodes, train_batch);
+  for (std::size_t i = 0; i < train_nodes.size(); ++i) {
+    const Observation obs = train_batch.to_observation(i);
     benign_scores.push_back(
         scorer->score(obs,
                       model.expected_observation(localizer.estimate(obs), gz),
@@ -666,14 +686,25 @@ ScenarioResult ScenarioRunner::Impl::run_echo(const ShardRange& shard) {
     // Keyed by item id (see run_correction): damage values never collide
     // with each other or with the shared training stream.
     Rng trial_rng = Rng::stream(seed, static_cast<std::uint64_t>(item));
-    for (int t = 0; t < spec.trials; ++t) {
+    // Victim + claimed-location draws first (same rng call order), then
+    // one observation batch over the trials.
+    std::vector<std::size_t> nodes(static_cast<std::size_t>(spec.trials));
+    std::vector<Vec2> claims(nodes.size());
+    for (std::size_t t = 0; t < nodes.size(); ++t) {
       std::size_t node;
       do {
         node =
             static_cast<std::size_t>(trial_rng.uniform_int(net.num_nodes()));
       } while (!dcfg.field().contains(net.position(node)));
-      const Vec2 la = net.position(node);
-      const Vec2 claimed = displaced_location(la, d, dcfg.field(), trial_rng);
+      nodes[t] = node;
+      claims[t] =
+          displaced_location(net.position(node), d, dcfg.field(), trial_rng);
+    }
+    ObservationBatch batch;
+    net.observe_many(nodes, batch);
+    for (std::size_t t = 0; t < nodes.size(); ++t) {
+      const Vec2 la = net.position(nodes[t]);
+      const Vec2 claimed = claims[t];
 
       // The attacker may stretch the echo (delay >= 0) but never shrink
       // it; testing the honest echo plus one large delay covers the
@@ -686,7 +717,7 @@ ScenarioResult ScenarioRunner::Impl::run_echo(const ShardRange& shard) {
       else if (verdict == 1) ++accepted;
       else ++rejected;
 
-      const Observation a = net.observe(node);
+      const Observation a = batch.to_observation(t);
       const ExpectedObservation mu = model.expected_observation(claimed, gz);
       const TaintResult taint = greedy_taint(
           a, mu, dcfg.nodes_per_group, metric, spec.attacks.front(),

@@ -128,6 +128,79 @@ TEST(Network, ReducedRangeSilencesNode) {
   EXPECT_EQ(after.counts[g] + 1, before.counts[g]);
 }
 
+TEST(Network, ObserveManyMatchesPerNodeObserve) {
+  const DeploymentModel model(tiny_config());
+  Rng rng(8);
+  const Network net(model, rng);
+  std::vector<std::size_t> nodes;
+  for (std::size_t n = 0; n < net.num_nodes(); n += 7) nodes.push_back(n);
+  ObservationBatch batch;
+  net.observe_many(nodes, batch);
+  ASSERT_EQ(batch.rows(), nodes.size());
+  ASSERT_EQ(batch.num_groups(), static_cast<std::size_t>(net.num_groups()));
+  for (std::size_t j = 0; j < nodes.size(); ++j) {
+    EXPECT_EQ(batch.to_observation(j), net.observe(nodes[j]))
+        << "node " << nodes[j];
+  }
+}
+
+TEST(Network, ObserveManySeesTxRangeOverrides) {
+  const DeploymentModel model(tiny_config());
+  Rng rng(9);
+  Network net(model, rng);
+  const std::vector<std::size_t> nodes = {0, 31, 77, 158};
+  ObservationBatch batch;
+  // Overrides in both directions, including on an observed node itself.
+  net.set_tx_range(0, net.radio_range() * 3);
+  net.set_tx_range(42, 0.0);
+  net.observe_many(nodes, batch);
+  for (std::size_t j = 0; j < nodes.size(); ++j) {
+    EXPECT_EQ(batch.to_observation(j), net.observe(nodes[j]))
+        << "node " << nodes[j];
+  }
+  // Reset restores the no-override fast path; batch must follow.
+  net.reset_tx_ranges();
+  net.observe_many(nodes, batch);
+  for (std::size_t j = 0; j < nodes.size(); ++j) {
+    EXPECT_EQ(batch.to_observation(j), net.observe(nodes[j]))
+        << "node " << nodes[j] << " after reset";
+  }
+}
+
+TEST(Network, ObserveGridMatchesObserveAt) {
+  const DeploymentModel model(tiny_config());
+  Rng rng(10);
+  const Network net(model, rng);
+  // Probe points inside, on the edge of, and outside the field.
+  const std::vector<Vec2> points = {
+      {200, 200}, {0, 0}, {400, 400}, {-50, 200}, {450, -30}, {123.5, 321.5}};
+  ObservationBatch batch;
+  net.observe_grid(points, batch);
+  ASSERT_EQ(batch.rows(), points.size());
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    EXPECT_EQ(batch.to_observation(j), net.observe_at(points[j]))
+        << "point " << j;
+  }
+}
+
+TEST(Network, ObservationBatchIsReusableAcrossCalls) {
+  const DeploymentModel model(tiny_config());
+  Rng rng(11);
+  const Network net(model, rng);
+  ObservationBatch batch;
+  const std::vector<std::size_t> big = {0, 1, 2, 3, 4, 5, 6, 7};
+  net.observe_many(big, batch);
+  EXPECT_EQ(batch.rows(), big.size());
+  // A smaller follow-up batch must not inherit stale rows or counts.
+  const std::vector<std::size_t> small = {9};
+  net.observe_many(small, batch);
+  ASSERT_EQ(batch.rows(), 1u);
+  EXPECT_EQ(batch.to_observation(0), net.observe(9));
+  // Empty batch is legal.
+  net.observe_many(std::vector<std::size_t>{}, batch);
+  EXPECT_EQ(batch.rows(), 0u);
+}
+
 TEST(Network, TotalObservationEqualsNeighborCount) {
   const DeploymentModel model(tiny_config());
   Rng rng(7);

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Markdown link checker for README.md and docs/*.md.
+#
+# Extracts every inline markdown link/image target and verifies that
+# local targets exist relative to the file that references them (anchors
+# are stripped; http(s)/mailto links are skipped — CI has no network).
+# Exits non-zero listing each broken link, so new docs cannot rot
+# silently.
+#
+# usage: tools/check_links.sh [file-or-dir ...]   (default: README.md docs)
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+targets=("$@")
+[ ${#targets[@]} -gt 0 ] || targets=(README.md docs)
+
+files=$(for t in "${targets[@]}"; do
+  if [ -d "$t" ]; then find "$t" -name '*.md' | sort; else echo "$t"; fi
+done)
+[ -n "$files" ] || { echo "check_links: no markdown files found" >&2; exit 1; }
+
+status=0
+checked=0
+for f in $files; do
+  dir=$(dirname "$f")
+  # Inline links: [text](target).  One per line; tolerate several per line.
+  links=$(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//' || true)
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    path="${link%%#*}"            # strip anchor
+    [ -n "$path" ] || continue    # pure in-page anchor
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN $f -> $link"
+      status=1
+    fi
+  done
+done
+
+echo "check_links: $checked local links checked in $(echo "$files" | wc -l) files"
+exit $status
