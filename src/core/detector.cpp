@@ -1,5 +1,9 @@
 #include "core/detector.h"
 
+#include <sstream>
+
+#include "util/string_util.h"
+
 namespace lad {
 
 Detector::Detector(const DeploymentModel& model, const GzTable& gz,
@@ -15,6 +19,12 @@ double Detector::score(const Observation& o, Vec2 le) const {
 Verdict Detector::check(const Observation& o, Vec2 le) const {
   const double s = score(o, le);
   return {s > threshold_, s, threshold_};
+}
+
+std::string Detector::describe() const {
+  std::ostringstream os;
+  os << metric_->name() << " metric, threshold " << threshold_;
+  return os.str();
 }
 
 }  // namespace lad

@@ -1,12 +1,18 @@
-// The LAD detector: given a trained threshold, classify (observation,
-// estimated location) pairs as normal or anomalous.
+// The LAD detection API.
 //
-// This is what would run on a sensor node after the localization phase
-// (Section 4): compute mu from the deployment knowledge (constant-time
-// g(z) table lookups), evaluate the metric, compare with the threshold.
+// `AnomalyDetector` is the one interface every detector variant
+// implements: score an (observation, estimated location) pair, turn the
+// score into a Verdict, and describe itself for inspection surfaces.
+// `Detector` is the paper's single-metric instance (Section 4): compute
+// mu from the deployment knowledge (constant-time g(z) table lookups),
+// evaluate the metric, compare with the trained threshold.  FusionDetector
+// (core/fusion.h) is the multi-metric instance.  Bundles materialize
+// either kind behind the interface (core/serialize.h), so shipping a new
+// detector variant to sensors is a serialization non-event.
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/metric.h"
 #include "deploy/deployment_model.h"
@@ -20,7 +26,24 @@ struct Verdict {
   double threshold;  ///< the trained detection threshold
 };
 
-class Detector {
+/// What runs on a sensor node after the localization phase, whatever the
+/// number of metrics behind it.
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  /// Anomaly score of observation `o` against estimated location `le`.
+  /// Higher = more anomalous; the scale is detector-specific.
+  virtual double score(const Observation& o, Vec2 le) const = 0;
+
+  /// Full decision.
+  virtual Verdict check(const Observation& o, Vec2 le) const = 0;
+
+  /// One-line human-readable summary (metric(s) + threshold(s)).
+  virtual std::string describe() const = 0;
+};
+
+class Detector final : public AnomalyDetector {
  public:
   /// The model and gz table must outlive the detector.
   Detector(const DeploymentModel& model, const GzTable& gz, MetricKind metric,
@@ -30,11 +53,9 @@ class Detector {
   double threshold() const { return threshold_; }
   void set_threshold(double t) { threshold_ = t; }
 
-  /// Anomaly score of observation `o` against estimated location `le`.
-  double score(const Observation& o, Vec2 le) const;
-
-  /// Full decision.
-  Verdict check(const Observation& o, Vec2 le) const;
+  double score(const Observation& o, Vec2 le) const override;
+  Verdict check(const Observation& o, Vec2 le) const override;
+  std::string describe() const override;
 
  private:
   const DeploymentModel* model_;

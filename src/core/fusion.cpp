@@ -1,31 +1,44 @@
 #include "core/fusion.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "util/assert.h"
 
 namespace lad {
 
 FusionDetector::FusionDetector(const DeploymentModel& model, const GzTable& gz,
-                               double diff_threshold, double addall_threshold,
-                               double prob_threshold)
-    : model_(&model), gz_(&gz),
-      metrics_{make_metric(MetricKind::kDiff),
-               make_metric(MetricKind::kAddAll),
-               make_metric(MetricKind::kProb)},
-      thresholds_{diff_threshold, addall_threshold, prob_threshold} {
-  for (double t : thresholds_) {
-    LAD_REQUIRE_MSG(t > 0, "fusion thresholds must be positive");
+                               std::vector<Component> components)
+    : model_(&model), gz_(&gz), components_(std::move(components)) {
+  LAD_REQUIRE_MSG(!components_.empty(),
+                  "fusion needs at least one (metric, threshold) component");
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    LAD_REQUIRE_MSG(components_[i].second > 0,
+                    "fusion thresholds must be positive");
+    for (std::size_t j = 0; j < i; ++j) {
+      LAD_REQUIRE_MSG(components_[j].first != components_[i].first,
+                      "duplicate fusion metric '"
+                          << metric_name(components_[i].first) << "'");
+    }
+    metrics_.push_back(make_metric(components_[i].first));
   }
 }
 
-std::array<double, 3> FusionDetector::normalized_scores(const Observation& o,
-                                                        Vec2 le) const {
+FusionDetector::FusionDetector(const DeploymentModel& model, const GzTable& gz,
+                               double diff_threshold, double addall_threshold,
+                               double prob_threshold)
+    : FusionDetector(model, gz,
+                     {{MetricKind::kDiff, diff_threshold},
+                      {MetricKind::kAddAll, addall_threshold},
+                      {MetricKind::kProb, prob_threshold}}) {}
+
+std::vector<double> FusionDetector::normalized_scores(const Observation& o,
+                                                      Vec2 le) const {
   const ExpectedObservation mu = model_->expected_observation(le, *gz_);
   const int m = model_->config().nodes_per_group;
-  std::array<double, 3> out{};
-  for (std::size_t i = 0; i < 3; ++i) {
-    out[i] = metrics_[i]->score(o, mu, m) / thresholds_[i];
+  std::vector<double> out(components_.size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    out[i] = metrics_[i]->score(o, mu, m) / components_[i].second;
   }
   return out;
 }
@@ -45,9 +58,19 @@ MetricKind FusionDetector::dominant_metric(const Observation& o,
   const auto s = normalized_scores(o, le);
   const std::size_t idx = static_cast<std::size_t>(
       std::max_element(s.begin(), s.end()) - s.begin());
-  static constexpr std::array<MetricKind, 3> kKinds = {
-      MetricKind::kDiff, MetricKind::kAddAll, MetricKind::kProb};
-  return kKinds[idx];
+  return components_[idx].first;
+}
+
+std::string FusionDetector::describe() const {
+  std::ostringstream os;
+  os << "fusion of " << components_.size() << " metrics (";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i) os << ", ";
+    os << metric_name(components_[i].first) << " @ "
+       << components_[i].second;
+  }
+  os << "), alarm when any normalized score > 1";
+  return os.str();
 }
 
 }  // namespace lad

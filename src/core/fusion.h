@@ -11,39 +11,58 @@
 // The ablation bench (tab_metric_fusion) measures whether fusing buys
 // detection at equal false-positive cost - the interesting case is the
 // attacker that optimizes against ONE metric and gets caught by another.
+//
+// FusionDetector implements the AnomalyDetector interface, so a fused
+// detector ships in a v2 bundle and runs behind the same API as the
+// single-metric Detector (core/serialize.h).
 #pragma once
 
-#include <array>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/detector.h"
 #include "core/metric.h"
 
 namespace lad {
 
-class FusionDetector {
+class FusionDetector final : public AnomalyDetector {
  public:
-  /// Per-metric thresholds, typically each trained at the same tau.
-  /// Thresholds must be positive (scores are normalized by them).
+  /// One (metric, trained threshold) pair per fused component.
+  using Component = std::pair<MetricKind, double>;
+
+  /// Components must be non-empty with positive thresholds (scores are
+  /// normalized by them) and pairwise-distinct metric kinds.
+  FusionDetector(const DeploymentModel& model, const GzTable& gz,
+                 std::vector<Component> components);
+
+  /// The classic three-metric fusion with per-metric thresholds, typically
+  /// each trained at the same tau.
   FusionDetector(const DeploymentModel& model, const GzTable& gz,
                  double diff_threshold, double addall_threshold,
                  double prob_threshold);
 
+  const std::vector<Component>& components() const { return components_; }
+
   /// max_i score_i / threshold_i; alarm when > 1.
   double fused_score(const Observation& o, Vec2 le) const;
 
-  Verdict check(const Observation& o, Vec2 le) const;
+  double score(const Observation& o, Vec2 le) const override {
+    return fused_score(o, le);
+  }
+  Verdict check(const Observation& o, Vec2 le) const override;
+  std::string describe() const override;
 
   /// Which metric dominated the fused score (diagnostics).
   MetricKind dominant_metric(const Observation& o, Vec2 le) const;
 
  private:
-  std::array<double, 3> normalized_scores(const Observation& o, Vec2 le) const;
+  std::vector<double> normalized_scores(const Observation& o, Vec2 le) const;
 
   const DeploymentModel* model_;
   const GzTable* gz_;
-  std::array<std::unique_ptr<Metric>, 3> metrics_;
-  std::array<double, 3> thresholds_;
+  std::vector<Component> components_;
+  std::vector<std::unique_ptr<Metric>> metrics_;
 };
 
 }  // namespace lad

@@ -2,65 +2,170 @@
 //
 // The paper's workflow trains thresholds offline ("through training ...
 // we use tau percentile") and ships the deployment knowledge + threshold
-// to sensors.  This module serializes exactly that bundle - deployment
-// configuration, deployment points, g(z) table resolution, metric and
-// threshold - in a line-oriented text format, and materializes a working
-// Detector from it.
+// to sensors.  This module serializes exactly that bundle and materializes
+// a working AnomalyDetector from it.
 //
-// Format (version header + key/value lines + point list):
-//   lad-detector v1
+// Current format: `lad-detector v2`, a line-oriented sectioned text file.
+//
+//   lad-detector v2
+//   [deployment]          deployment config + point list (as in v1)
 //   field_side 1000
 //   ...
 //   points 100
 //   50 50
 //   ...
+//   [gz]                  g(z) lookup-table resolution
+//   omega 256
+//   [detector.diff]       one section per detector component; a single
+//   metric diff           section materializes the paper's Detector, two
+//   threshold 12.5        or more a FusionDetector over the sections
+//   tau 0.99 12.5 4800 3.41 1.18 0.2 19.7
+//   ...                   ^ multi-tau training provenance: tau, threshold,
+//   group 17 11.25          samples, score mean/stddev/min/max; `group`
+//   x-trained-by lad_cli    rows are per-group threshold overrides, and
+//                           `x-` keys are an extensible tail.
+//
+// Unknown sections/keys are rejected with line context (like kvconfig) -
+// only `x-<key> <value>` lines pass through, preserved verbatim, so future
+// writers can attach provenance without breaking old readers' invariants
+// silently.  `load_bundle` still reads the golden-pinned v1 format and
+// migrates it in memory; `save_bundle` always writes v2.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/detector.h"
+#include "core/fusion.h"
+#include "core/trainer.h"
 
 namespace lad {
 
+/// One row of a detector section's multi-tau threshold table - the
+/// provenance of a TrainingResult, enough to re-derive the operating
+/// point or audit the benign score distribution it came from.
+struct ThresholdEntry {
+  double tau = 0.0;        ///< percentile level (in (0,1])
+  double threshold = 0.0;  ///< trained threshold at that tau
+  std::uint64_t samples = 0;
+  double score_mean = 0.0;
+  double score_stddev = 0.0;
+  double score_min = 0.0;
+  double score_max = 0.0;
+
+  bool operator==(const ThresholdEntry&) const = default;
+};
+
+/// Per-group threshold override (e.g. boundary groups trained separately
+/// for the corrector path); `group` indexes the deployment point list.
+struct GroupThreshold {
+  int group = 0;
+  double threshold = 0.0;
+
+  bool operator==(const GroupThreshold&) const = default;
+};
+
+/// One `[detector.*]` section: a metric, its active threshold, and the
+/// training provenance behind it.
+struct DetectorSpec {
+  MetricKind metric = MetricKind::kDiff;
+  double threshold = 0.0;             ///< the active detection threshold
+  std::vector<ThresholdEntry> taus;   ///< multi-tau table (may be empty)
+  std::vector<GroupThreshold> group_overrides;  ///< ascending by group
+  /// Extensible tail: `x-<key> <value>` lines, preserved in file order.
+  std::vector<std::pair<std::string, std::string>> extensions;
+
+  bool operator==(const DetectorSpec&) const = default;
+
+  /// The override for `group` when present, else the active threshold.
+  double threshold_for_group(int group) const;
+};
+
+/// Builds a section from a multi-tau training sweep (all entries must
+/// share one metric); the active threshold is the entry at `active_tau`
+/// (exact match required).
+DetectorSpec detector_spec_from_training(
+    const std::vector<TrainingResult>& table, double active_tau);
+
 /// Everything a sensor needs to run LAD: self-contained and serializable.
+/// One detector section => the paper's single-metric Detector; several
+/// sections => a FusionDetector over them.
 struct DetectorBundle {
   DeploymentConfig config;
   std::vector<Vec2> deployment_points;
   int gz_omega = 256;
-  MetricKind metric = MetricKind::kDiff;
-  double threshold = 0.0;
+  std::vector<DetectorSpec> detectors;
 
   bool operator==(const DetectorBundle&) const = default;
+
+  bool fused() const { return detectors.size() > 1; }
+  /// First detector section; throws when the bundle has none.
+  const DetectorSpec& primary() const;
+  /// Structural invariants (non-empty sections, unique metrics, tau and
+  /// group-override ordering/ranges); throws lad::AssertionError.
+  void validate() const;
 };
 
-/// Captures a bundle from live objects.
+/// The bundle's section for `metric`, or nullptr when it has none.
+const DetectorSpec* find_detector(const DetectorBundle& bundle,
+                                  MetricKind metric);
+
+/// Captures a single-metric bundle from live objects.
 DetectorBundle make_bundle(const DeploymentModel& model, int gz_omega,
                            MetricKind metric, double threshold);
 
+/// Captures a bundle with explicit detector sections (one = single-metric,
+/// several = fusion).
+DetectorBundle make_bundle(const DeploymentModel& model, int gz_omega,
+                           std::vector<DetectorSpec> detectors);
+
+/// Writes the current (v2) format.
 void save_bundle(std::ostream& os, const DetectorBundle& bundle);
 
-/// Throws lad::AssertionError on malformed/truncated/unsupported input.
-DetectorBundle load_bundle(std::istream& is);
+/// Reads v1 or v2; v1 bundles are migrated in memory to the v2 model.
+/// Throws lad::AssertionError with line context on malformed, truncated,
+/// or unsupported input.  `source_version` (optional) receives the format
+/// version the bytes were in (1 or 2).
+DetectorBundle load_bundle(std::istream& is, int* source_version = nullptr);
 
-/// A detector materialized from a bundle, owning its model and g(z) table.
+/// Opens and loads a bundle file; errors name the path.
+DetectorBundle load_bundle_file(const std::string& path,
+                                int* source_version = nullptr);
+
+/// A detector materialized from a bundle, owning its model, g(z) table and
+/// the AnomalyDetector (single-metric Detector or FusionDetector).
 class RuntimeDetector {
  public:
   explicit RuntimeDetector(const DetectorBundle& bundle);
+  ~RuntimeDetector();
 
   const DeploymentModel& model() const { return *model_; }
   const GzTable& gz() const { return *gz_; }
-  const Detector& detector() const { return *detector_; }
+  const AnomalyDetector& detector() const { return *detector_; }
+  bool fused() const { return specs_.size() > 1; }
+
+  double score(const Observation& o, Vec2 le) const {
+    return detector_->score(o, le);
+  }
 
   Verdict check(const Observation& o, Vec2 le) const {
     return detector_->check(o, le);
   }
 
+  /// As check(), but honoring the bundle's per-group threshold overrides
+  /// for the sensor's home group.
+  Verdict check_for_group(const Observation& o, Vec2 le, int group) const;
+
  private:
+  std::vector<DetectorSpec> specs_;
   std::unique_ptr<DeploymentModel> model_;
   std::unique_ptr<GzTable> gz_;
-  std::unique_ptr<Detector> detector_;
+  std::vector<std::unique_ptr<Metric>> metrics_;  ///< one per spec
+  std::unique_ptr<AnomalyDetector> detector_;
 };
 
 }  // namespace lad

@@ -1,5 +1,6 @@
 #include "sim/pipeline.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "attack/displacement.h"
@@ -223,6 +224,25 @@ std::map<MetricKind, std::vector<double>> Pipeline::attack_scores_cross(
     out[scorers[si]] = std::move(scores[si]);
   }
   return out;
+}
+
+DetectorBundle Pipeline::train_bundle(const LocalizerFactory& factory,
+                                      const std::vector<MetricKind>& metrics,
+                                      std::vector<double> taus,
+                                      double active_tau) {
+  LAD_REQUIRE_MSG(!metrics.empty(), "need at least one metric to train");
+  taus.push_back(active_tau);
+  std::sort(taus.begin(), taus.end());
+  taus.erase(std::unique(taus.begin(), taus.end()), taus.end());
+  auto benign = benign_scores(factory, metrics);
+  std::vector<DetectorSpec> specs;
+  specs.reserve(metrics.size());
+  for (MetricKind metric : metrics) {
+    specs.push_back(detector_spec_from_training(
+        train_thresholds(metric, std::move(benign.at(metric)), taus),
+        active_tau));
+  }
+  return make_bundle(model_, config_.gz_omega, std::move(specs));
 }
 
 double Pipeline::mean_localization_error(const LocalizerFactory& factory) {

@@ -22,6 +22,7 @@
 
 #include "attack/adversary.h"
 #include "core/metric.h"
+#include "core/serialize.h"
 #include "deploy/deployment_model.h"
 #include "deploy/gz_table.h"
 #include "deploy/network.h"
@@ -109,6 +110,16 @@ class Pipeline {
   /// Mean localization error of a scheme over the benign pass (diagnostic;
   /// drives the Fig. 9 density discussion).
   double mean_localization_error(const LocalizerFactory& factory);
+
+  /// Trains one detector section per metric on a single shared benign pass
+  /// (the localization estimate is shared across metrics, as in training)
+  /// and captures them in a bundle: the unit of deployment the CLI writes
+  /// and RuntimeDetector materializes.  `taus` is the threshold table
+  /// (deduplicated, sorted; `active_tau` is added when missing) and
+  /// `active_tau` selects each section's active threshold.
+  DetectorBundle train_bundle(const LocalizerFactory& factory,
+                              const std::vector<MetricKind>& metrics,
+                              std::vector<double> taus, double active_tau);
 
  private:
   PipelineConfig config_;

@@ -320,6 +320,13 @@ ScenarioSpec ScenarioSpec::from_config(const KvConfig& config) {
   if (const KvConfig::Section* d = config.find_section("detector")) {
     spec.fp_budget = d->get_double("fp_budget", spec.fp_budget);
     spec.tau = d->get_double("tau", spec.tau);
+    spec.bundle = d->get_string("bundle", "");
+    // Only metric-fusion consumes a saved bundle today; anywhere else the
+    // key would be dead configuration (fail-fast contract).
+    LAD_REQUIRE_MSG(spec.bundle.empty() ||
+                        spec.kind == ExperimentKind::kMetricFusion,
+                    "[detector] bundle is only consumed by metric-fusion "
+                    "(this is " << experiment_kind_name(spec.kind) << ")");
   }
   LAD_REQUIRE_MSG(spec.fp_budget > 0 && spec.fp_budget < 1,
                   "[detector] fp_budget must be in (0,1)");
@@ -465,21 +472,37 @@ std::vector<std::string> write_result_csvs(const ScenarioResult& result,
                     "table '" << t.id << "': item tags out of sync");
     const fs::path path =
         fs::path(dir) / (result.scenario + "." + t.id + ".csv");
-    std::ofstream os(path);
-    LAD_REQUIRE_MSG(static_cast<bool>(os),
-                    "cannot open '" << path.string() << "' for writing");
-    os << "item";
-    for (const std::string& col : t.table.columns()) {
-      os << ',' << csv_escape(col);
-    }
-    os << '\n';
-    for (std::size_t r = 0; r < t.table.num_rows(); ++r) {
-      os << t.row_items[r];
-      for (std::size_t c = 0; c < t.table.num_cols(); ++c) {
-        os << ',' << csv_escape(t.table.cell(r, c));
+    // Write-then-rename so a killed run never leaves a truncated CSV
+    // behind - `run --resume` treats a present file as complete.
+    const fs::path tmp_path = path.string() + ".tmp";
+    {
+      std::ofstream os(tmp_path);
+      LAD_REQUIRE_MSG(static_cast<bool>(os),
+                      "cannot open '" << tmp_path.string()
+                                      << "' for writing");
+      os << "item";
+      for (const std::string& col : t.table.columns()) {
+        os << ',' << csv_escape(col);
       }
       os << '\n';
+      for (std::size_t r = 0; r < t.table.num_rows(); ++r) {
+        os << t.row_items[r];
+        for (std::size_t c = 0; c < t.table.num_cols(); ++c) {
+          os << ',' << csv_escape(t.table.cell(r, c));
+        }
+        os << '\n';
+      }
+      // Flush before checking: a tail-of-file write failure otherwise
+      // hides in the stream buffer until the destructor, and the rename
+      // below would install a truncated CSV that --resume trusts.
+      os.flush();
+      LAD_REQUIRE_MSG(static_cast<bool>(os),
+                      "failed writing '" << tmp_path.string() << "'");
     }
+    fs::rename(tmp_path, path, ec);
+    LAD_REQUIRE_MSG(!ec, "cannot rename '" << tmp_path.string() << "' to '"
+                                           << path.string()
+                                           << "': " << ec.message());
     paths.push_back(path.string());
   }
   return paths;

@@ -93,6 +93,10 @@ struct ScenarioSpec {
   // [detector]
   double fp_budget = 0.01;  ///< trained-threshold experiments
   double tau = 0.99;        ///< quantile-trained experiments (fusion etc.)
+  /// Path to a saved detector bundle (core/serialize.h); when set, the
+  /// metric-fusion experiment takes its thresholds from the artifact
+  /// instead of training them inline.  Only valid for metric-fusion.
+  std::string bundle;
 
   // [output]
   std::vector<double> fp_grid;  ///< ROC summary columns
@@ -176,6 +180,12 @@ class ScenarioRunner {
 
   /// Total work items in the full (unsharded) expansion.
   long long num_items() const;
+
+  /// The table ids this spec's run will emit, in emission order - the
+  /// CSV files `run --out` writes are `<scenario>.<id>.csv`.  Drives
+  /// `run --resume`'s are-all-outputs-present check without executing
+  /// any work item.
+  std::vector<std::string> table_ids() const;
 
   /// Runs the items of `shard`; tables always carry the full header row
   /// even when the shard holds none of their items.

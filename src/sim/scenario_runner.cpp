@@ -21,6 +21,7 @@
 #include "attack/greedy.h"
 #include "core/corrector.h"
 #include "core/detector.h"
+#include "core/serialize.h"
 #include "core/trainer.h"
 #include "loc/beaconless_mle.h"
 #include "loc/dvhop.h"
@@ -121,6 +122,28 @@ long long total_items(const ScenarioSpec& s) {
 /// header-only tables without building any shared state.
 bool shard_is_empty(const ShardRange& shard, const ScenarioSpec& s) {
   return static_cast<long long>(shard.index) >= total_items(s);
+}
+
+/// The result-table ids each kind emits, in emission order.  Must stay in
+/// sync with the run_* builders below (guarded by a unit test that runs a
+/// spec of each kind and compares).
+std::vector<std::string> table_ids_for(const ScenarioSpec& s) {
+  switch (s.kind) {
+    case ExperimentKind::kRoc:
+      if (s.curve_points > 0) return {"summary", "curves"};
+      return {"summary"};
+    case ExperimentKind::kDrSweep: return {"dr"};
+    case ExperimentKind::kDensitySweep: return {"density"};
+    case ExperimentKind::kDeploymentPdf: return {"surface", "radial"};
+    case ExperimentKind::kGzAccuracy: return {"gz"};
+    case ExperimentKind::kCorrection: return {"benign_floor", "correction"};
+    case ExperimentKind::kEchoComparison: return {"meta", "echo"};
+    case ExperimentKind::kMetricFusion: return {"benign", "fusion"};
+    case ExperimentKind::kMmseVulnerability: return {"mmse", "dvhop"};
+    case ExperimentKind::kThresholdSensitivity: return {"tau", "fudge"};
+  }
+  LAD_REQUIRE_MSG(false, "invalid experiment kind");
+  return {};  // unreachable
 }
 
 }  // namespace
@@ -235,6 +258,10 @@ ScenarioRunner::~ScenarioRunner() = default;
 
 long long ScenarioRunner::num_items() const {
   return total_items(impl_->spec);
+}
+
+std::vector<std::string> ScenarioRunner::table_ids() const {
+  return table_ids_for(impl_->spec);
 }
 
 ScenarioResult ScenarioRunner::run(const ShardRange& shard) {
@@ -752,10 +779,43 @@ ScenarioResult ScenarioRunner::Impl::run_fusion(const ShardRange& shard) {
   const auto& benign_scores =
       benign_for(pipeline, spec.localizers.front());
 
+  // Thresholds always travel through a DetectorBundle - the unit the CLI
+  // ships to sensors - either loaded from the spec's saved artifact
+  // ([detector] bundle = path) or captured in memory from the same
+  // training the historical inline path ran.  Either way the ablation
+  // exercises the deployment surface, not a parallel code path.
+  DetectorBundle bundle;
+  if (!spec.bundle.empty()) {
+    bundle = load_bundle_file(spec.bundle);
+    // The artifact's thresholds are only meaningful against the score
+    // distribution of the deployment they were trained on; a mismatched
+    // bundle would silently skew every FP/DR column (fail-fast contract).
+    LAD_REQUIRE_MSG(
+        bundle.config == pipeline.model().config() &&
+            bundle.deployment_points == pipeline.model().deployment_points() &&
+            bundle.gz_omega == pipeline.config().gz_omega,
+        "bundle '" << spec.bundle
+                   << "' was trained on a different deployment than this "
+                      "scenario's [pipeline]");
+  } else {
+    std::vector<DetectorSpec> sections;
+    sections.reserve(spec.metrics.size());
+    for (MetricKind k : spec.metrics) {
+      sections.push_back(detector_spec_from_training(
+          {train_threshold(k, benign_scores.at(k), spec.tau)}, spec.tau));
+    }
+    bundle =
+        make_bundle(pipeline.model(), pipeline.config().gz_omega,
+                    std::move(sections));
+  }
   std::map<MetricKind, double> thresholds;
   for (MetricKind k : spec.metrics) {
-    thresholds[k] =
-        train_threshold(k, benign_scores.at(k), spec.tau).threshold;
+    const DetectorSpec* section = find_detector(bundle, k);
+    LAD_REQUIRE_MSG(section != nullptr,
+                    "bundle '" << spec.bundle
+                               << "' has no [detector] section for metric '"
+                               << metric_name(k) << "'");
+    thresholds[k] = section->threshold;
   }
   const double d = spec.damages.front();
   const double x = spec.compromised.front();

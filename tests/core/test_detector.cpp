@@ -64,6 +64,20 @@ TEST_F(DetectorTest, VerdictComparesAgainstThreshold) {
   EXPECT_DOUBLE_EQ(bad.score, ok.score);
 }
 
+TEST_F(DetectorTest, ImplementsAnomalyDetectorInterface) {
+  // The polymorphic path (what RuntimeDetector hands out) must agree with
+  // the concrete one.
+  const Detector det(model_, gz_, MetricKind::kDiff, 10.0);
+  const AnomalyDetector& base = det;
+  const std::size_t node = 19;
+  const Observation obs = net_.observe(node);
+  const Vec2 le = net_.position(node);
+  EXPECT_EQ(base.score(obs, le), det.score(obs, le));
+  EXPECT_EQ(base.check(obs, le).anomaly, det.check(obs, le).anomaly);
+  EXPECT_NE(base.describe().find("diff"), std::string::npos);
+  EXPECT_NE(base.describe().find("10"), std::string::npos);
+}
+
 TEST_F(DetectorTest, WorksWithAllThreeMetrics) {
   const std::size_t node = 17;
   const Observation obs = net_.observe(node);

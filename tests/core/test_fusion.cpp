@@ -78,6 +78,43 @@ TEST_F(FusionTest, RejectsNonPositiveThresholds) {
   EXPECT_THROW(FusionDetector(model_, gz_, 1.0, -2.0, 1.0), AssertionError);
 }
 
+TEST_F(FusionTest, RejectsEmptyAndDuplicateComponents) {
+  EXPECT_THROW(FusionDetector(model_, gz_, {}), AssertionError);
+  EXPECT_THROW(FusionDetector(model_, gz_,
+                              {{MetricKind::kDiff, 1.0},
+                               {MetricKind::kDiff, 2.0}}),
+               AssertionError);
+}
+
+TEST_F(FusionTest, ComponentSubsetMatchesManualMax) {
+  // The generalized constructor: fuse just Diff and Prob.
+  const FusionDetector fusion(
+      model_, gz_, {{MetricKind::kDiff, 8.0}, {MetricKind::kProb, 30.0}});
+  const std::size_t node = 13;
+  const Observation obs = net_.observe(node);
+  const Vec2 le = net_.position(node);
+  const Detector d_diff(model_, gz_, MetricKind::kDiff, 0);
+  const Detector d_prob(model_, gz_, MetricKind::kProb, 0);
+  const double expected = std::max(d_diff.score(obs, le) / 8.0,
+                                   d_prob.score(obs, le) / 30.0);
+  EXPECT_DOUBLE_EQ(fusion.fused_score(obs, le), expected);
+  ASSERT_EQ(fusion.components().size(), 2u);
+  EXPECT_EQ(fusion.components()[0].first, MetricKind::kDiff);
+  EXPECT_EQ(fusion.components()[1].first, MetricKind::kProb);
+}
+
+TEST_F(FusionTest, ImplementsAnomalyDetectorInterface) {
+  const FusionDetector fusion(model_, gz_, 10.0, 100.0, 20.0);
+  const AnomalyDetector& base = fusion;
+  const std::size_t node = 29;
+  const Observation obs = net_.observe(node);
+  const Vec2 le = net_.position(node);
+  EXPECT_EQ(base.score(obs, le), fusion.fused_score(obs, le));
+  EXPECT_EQ(base.check(obs, le).threshold, 1.0);
+  EXPECT_NE(base.describe().find("fusion"), std::string::npos);
+  EXPECT_NE(base.describe().find("add-all"), std::string::npos);
+}
+
 TEST_F(FusionTest, CatchesAttackerOptimizedAgainstSingleMetric) {
   // The motivating case: an attacker that minimizes the Diff metric may
   // still trip the Prob metric.  Craft an observation that keeps the total

@@ -1,6 +1,17 @@
-// Pins the on-disk detector-bundle format to a checked-in golden file so
-// accidental format changes fail loudly.  Intentional changes: bump the
-// version header, regenerate with LAD_REGOLD=1, and review the diff.
+// Pins the on-disk detector-bundle formats to checked-in golden files so
+// accidental format changes fail loudly:
+//
+//   detector_bundle_v1.lad          frozen v1 input (never regenerated);
+//                                   guards the migration path
+//   detector_bundle_v1_migrated.lad the v2 bytes save_bundle emits for the
+//                                   migrated v1 golden
+//   detector_bundle_v2.lad          a fusion bundle with a 3-tau table,
+//                                   group overrides and extension keys
+//
+// Intentional v2 changes: bump the version header, regenerate the v2
+// goldens with LAD_REGOLD=1, and review the diff.  The v1 golden is
+// input-only: save_bundle can no longer produce v1 bytes, so that file
+// must never change.
 #include "core/serialize.h"
 
 #include <gtest/gtest.h>
@@ -9,41 +20,142 @@
 #include <sstream>
 
 #include "deploy/deployment_model.h"
+#include "deploy/network.h"
 #include "support/golden.h"
 #include "support/tiny_network.h"
 
 namespace lad {
 namespace {
 
-constexpr char kGoldenName[] = "detector_bundle_v1.lad";
+constexpr char kGoldenV1[] = "detector_bundle_v1.lad";
+constexpr char kGoldenV1Migrated[] = "detector_bundle_v1_migrated.lad";
+constexpr char kGoldenV2[] = "detector_bundle_v2.lad";
 
-DetectorBundle reference_bundle() {
+DeploymentConfig golden_config() {
   DeploymentConfig cfg = test::tiny_config();
   cfg.sigma = 1.0 / 3.0;  // exercises round-trippable double formatting
-  const DeploymentModel model(cfg, {{10.5, 20.25}, {399.875, 0.125}, {7, 7}});
-  DetectorBundle b = make_bundle(model, 128, MetricKind::kProb, 17.25);
-  b.threshold = 0.1 + 0.2;  // no short decimal representation
+  return cfg;
+}
+
+DeploymentModel golden_model() {
+  return DeploymentModel(golden_config(),
+                         {{10.5, 20.25}, {399.875, 0.125}, {7, 7}});
+}
+
+/// The in-memory (migrated) image of the frozen v1 golden file.
+DetectorBundle reference_v1_bundle() {
+  DetectorBundle b =
+      make_bundle(golden_model(), 128, MetricKind::kProb, 17.25);
+  b.detectors[0].threshold = 0.1 + 0.2;  // no short decimal representation
   return b;
 }
 
-TEST(SerializeGolden, SavedBytesMatchGoldenFile) {
+/// The v2 golden: a fusion bundle exercising every section feature -
+/// three metrics, a 3-tau threshold table, per-group overrides, and
+/// extension keys.
+DetectorBundle reference_v2_bundle() {
+  DetectorSpec diff;
+  diff.metric = MetricKind::kDiff;
+  diff.threshold = 12.25;
+  diff.taus = {{0.95, 10.5, 4800, 3.5, 1.25, 0.125, 19.75},
+               {0.99, 12.25, 4800, 3.5, 1.25, 0.125, 19.75},
+               {0.999, 1.0 / 3.0, 4800, 3.5, 1.25, 0.125, 19.75}};
+  DetectorSpec addall;
+  addall.metric = MetricKind::kAddAll;
+  addall.threshold = 100.5;
+  addall.taus = {{0.95, 90.25, 4800, 60.5, 8.75, 30.0, 120.0},
+                 {0.99, 100.5, 4800, 60.5, 8.75, 30.0, 120.0},
+                 {0.999, 110.75, 4800, 60.5, 8.75, 30.0, 120.0}};
+  addall.group_overrides = {{0, 95.5}, {2, 105.25}};
+  DetectorSpec prob;
+  prob.metric = MetricKind::kProb;
+  prob.threshold = 30.125;
+  prob.taus = {{0.95, 25.5, 4800, 12.25, 4.5, 2.0, 48.0},
+               {0.99, 30.125, 4800, 12.25, 4.5, 2.0, 48.0},
+               {0.999, 36.75, 4800, 12.25, 4.5, 2.0, 48.0}};
+  prob.extensions = {{"trained-by", "golden fixture"},
+                     {"note", "values are hand-picked, not trained"}};
+  return make_bundle(golden_model(), 128, {diff, addall, prob});
+}
+
+TEST(SerializeGolden, V1GoldenLoadsAndMigratesToReferenceBundle) {
+  std::istringstream is(test::read_golden(kGoldenV1));
+  int version = 0;
+  const DetectorBundle loaded = load_bundle(is, &version);
+  EXPECT_EQ(version, 1);
+  EXPECT_EQ(loaded, reference_v1_bundle());
+}
+
+TEST(SerializeGolden, MigratedV1BundleSavesToMigratedGoldenBytes) {
+  std::istringstream is(test::read_golden(kGoldenV1));
   std::ostringstream os;
-  save_bundle(os, reference_bundle());
-  test::expect_matches_golden(os.str(), kGoldenName);
+  save_bundle(os, load_bundle(is));
+  test::expect_matches_golden(os.str(), kGoldenV1Migrated);
 }
 
-TEST(SerializeGolden, GoldenFileLoadsToReferenceBundle) {
-  std::istringstream is(test::read_golden(kGoldenName));
-  const DetectorBundle loaded = load_bundle(is);
-  EXPECT_EQ(loaded, reference_bundle());
+TEST(SerializeGolden, MigratedGoldenLoadsBackToTheSameBundle) {
+  std::istringstream migrated(test::read_golden(kGoldenV1Migrated));
+  int version = 0;
+  const DetectorBundle loaded = load_bundle(migrated, &version);
+  EXPECT_EQ(version, 2);
+  EXPECT_EQ(loaded, reference_v1_bundle());
 }
 
-TEST(SerializeGolden, GoldenFileMaterializesWorkingDetector) {
-  std::istringstream is(test::read_golden(kGoldenName));
+TEST(SerializeGolden, SavedBytesMatchV2GoldenFile) {
+  std::ostringstream os;
+  save_bundle(os, reference_v2_bundle());
+  test::expect_matches_golden(os.str(), kGoldenV2);
+}
+
+TEST(SerializeGolden, V2GoldenFileLoadsToReferenceBundle) {
+  std::istringstream is(test::read_golden(kGoldenV2));
+  int version = 0;
+  const DetectorBundle loaded = load_bundle(is, &version);
+  EXPECT_EQ(version, 2);
+  EXPECT_EQ(loaded, reference_v2_bundle());
+}
+
+TEST(SerializeGolden, V1GoldenMaterializesWorkingDetector) {
+  std::istringstream is(test::read_golden(kGoldenV1));
   const RuntimeDetector rt(load_bundle(is));
-  const Observation o(rt.model().num_groups());
+  EXPECT_FALSE(rt.fused());
+  const Observation o(static_cast<std::size_t>(rt.model().num_groups()));
   const Verdict v = rt.check(o, {200.0, 200.0});
   EXPECT_TRUE(std::isfinite(v.score));
+}
+
+TEST(SerializeGolden, V2GoldenMaterializesWorkingFusionDetector) {
+  std::istringstream is(test::read_golden(kGoldenV2));
+  const RuntimeDetector rt(load_bundle(is));
+  EXPECT_TRUE(rt.fused());
+  EXPECT_NE(rt.detector().describe().find("fusion"), std::string::npos);
+  const Observation o(static_cast<std::size_t>(rt.model().num_groups()));
+  const Verdict v = rt.check(o, {200.0, 200.0});
+  EXPECT_TRUE(std::isfinite(v.score));
+}
+
+TEST(SerializeGolden, V1GoldenVerdictsAreBitIdenticalToLiveDetector) {
+  // The migration contract: a v1 bundle shipped before the v2 redesign
+  // must keep producing exactly the verdicts the pre-refactor detector
+  // produced.  The live Detector below is that pre-refactor construction
+  // (model + gz + metric + threshold straight from the reference values).
+  std::istringstream is(test::read_golden(kGoldenV1));
+  const RuntimeDetector shipped(load_bundle(is));
+
+  const DeploymentModel model = golden_model();
+  const GzTable gz({model.config().radio_range, model.config().sigma}, 128);
+  const Detector live(model, gz, MetricKind::kProb, 0.1 + 0.2);
+
+  const Network net = test::make_network(model);
+  for (std::size_t node = 0; node < net.num_nodes(); node += 7) {
+    const Observation obs = net.observe(node);
+    const Vec2 le = net.position(node);
+    const Verdict a = live.check(obs, le);
+    const Verdict b = shipped.check(obs, le);
+    EXPECT_EQ(a.anomaly, b.anomaly) << "node " << node;
+    EXPECT_EQ(a.score, b.score) << "node " << node;  // bit-identical
+    EXPECT_EQ(a.threshold, b.threshold) << "node " << node;
+  }
 }
 
 }  // namespace

@@ -355,6 +355,141 @@ TEST(ScenarioRunner, MergeRejectsIncompleteShardSetsUnlessPartial) {
   fs::remove_all(base);
 }
 
+TEST(ScenarioSpec, BundleKeyOnlyValidForMetricFusion) {
+  const ScenarioSpec fusion = ScenarioSpec::from_config(KvConfig::parse_string(
+      "[scenario]\nname = f\nexperiment = metric-fusion\n"
+      "[detector]\nbundle = some/path.lad\n"));
+  EXPECT_EQ(fusion.bundle, "some/path.lad");
+
+  EXPECT_THROW(ScenarioSpec::from_config(KvConfig::parse_string(
+                   "[scenario]\nname = d\nexperiment = dr-sweep\n"
+                   "[detector]\nbundle = some/path.lad\n")),
+               AssertionError);
+}
+
+// A tiny metric-fusion spec (same deployment as kTinySpec).
+constexpr const char* kTinyFusionSpec = R"([scenario]
+name = tinyfusion
+experiment = metric-fusion
+
+[pipeline]
+seed = 7
+m = 25
+networks = 2
+victims = 30
+sigma = 30
+r = 50
+field = 600
+grid_nx = 6
+grid_ny = 6
+
+[sweep]
+metrics = diff, add-all, prob
+damages = 100
+compromised = 0.10
+
+[detector]
+tau = 0.99
+)";
+
+TEST(ScenarioRunner, TableIdsMatchTheEmittedTables) {
+  const auto ids_of = [](const ScenarioResult& result) {
+    std::vector<std::string> ids;
+    for (const ResultTable& t : result.tables) ids.push_back(t.id);
+    return ids;
+  };
+  // One spec per cheap kind; the expensive kinds share the same
+  // table-construction pattern (ids built before any item runs).
+  const std::vector<std::string> specs = {
+      kTinySpec,
+      kTinyFusionSpec,
+      "[scenario]\nname = p\nexperiment = deployment-pdf\n[pdf]\ngrid = 3\n",
+      "[scenario]\nname = g\nexperiment = gz-accuracy\n[gz]\nomegas = 8\n",
+      "[scenario]\nname = r\nexperiment = roc\n"
+      "[pipeline]\nnetworks = 1\nvictims = 5\nm = 25\nsigma = 30\n"
+      "field = 600\ngrid_nx = 6\ngrid_ny = 6\n"
+      "[output]\ncurve_points = 0\n",
+  };
+  for (const std::string& text : specs) {
+    const ScenarioSpec spec =
+        ScenarioSpec::from_config(KvConfig::parse_string(text));
+    SCOPED_TRACE(spec.name);
+    ScenarioRunner runner(spec);
+    EXPECT_EQ(runner.table_ids(), ids_of(runner.run()));
+  }
+}
+
+TEST(ScenarioRunner, FusionThroughSavedBundleMatchesInlineTraining) {
+  namespace fs = std::filesystem;
+  const fs::path base =
+      fs::path(testing::TempDir()) / "lad_scenario_bundle_test";
+  fs::remove_all(base);
+  fs::create_directories(base);
+
+  ScenarioSpec spec =
+      ScenarioSpec::from_config(KvConfig::parse_string(kTinyFusionSpec));
+  const ScenarioResult inline_result = ScenarioRunner(spec).run();
+
+  // Train the same thresholds the inline path trains, ship them through a
+  // saved v2 bundle, and point the spec at the artifact.
+  Pipeline pipeline(spec.pipeline);
+  const LocalizerFactory factory =
+      beaconless_mle_factory(pipeline.model(), pipeline.gz());
+  const auto benign = pipeline.benign_scores(factory, spec.metrics);
+  std::vector<DetectorSpec> sections;
+  for (MetricKind k : spec.metrics) {
+    sections.push_back(detector_spec_from_training(
+        {train_threshold(k, benign.at(k), spec.tau)}, spec.tau));
+  }
+  const fs::path bundle_path = base / "fusion.lad";
+  {
+    std::ofstream os(bundle_path);
+    save_bundle(os, make_bundle(pipeline.model(),
+                                spec.pipeline.gz_omega, sections));
+  }
+  spec.bundle = bundle_path.string();
+  const ScenarioResult bundle_result = ScenarioRunner(spec).run();
+
+  ASSERT_EQ(bundle_result.tables.size(), inline_result.tables.size());
+  for (std::size_t t = 0; t < inline_result.tables.size(); ++t) {
+    const Table& a = inline_result.tables[t].table;
+    const Table& b = bundle_result.tables[t].table;
+    ASSERT_EQ(a.num_rows(), b.num_rows());
+    for (std::size_t r = 0; r < a.num_rows(); ++r) {
+      for (std::size_t c = 0; c < a.num_cols(); ++c) {
+        EXPECT_EQ(a.cell(r, c), b.cell(r, c))
+            << inline_result.tables[t].id << " row " << r << " col " << c;
+      }
+    }
+  }
+
+  // A bundle missing one of the spec's metrics is rejected, not silently
+  // retrained.
+  ScenarioSpec partial =
+      ScenarioSpec::from_config(KvConfig::parse_string(kTinyFusionSpec));
+  const fs::path partial_path = base / "partial.lad";
+  {
+    std::ofstream os(partial_path);
+    save_bundle(os, make_bundle(pipeline.model(), spec.pipeline.gz_omega,
+                                {sections.front()}));
+  }
+  partial.bundle = partial_path.string();
+  EXPECT_THROW(ScenarioRunner(partial).run(), AssertionError);
+
+  // A bundle trained on a different deployment (here: another g(z)
+  // resolution) is rejected, not silently applied.
+  ScenarioSpec mismatched =
+      ScenarioSpec::from_config(KvConfig::parse_string(kTinyFusionSpec));
+  const fs::path mismatched_path = base / "mismatched.lad";
+  {
+    std::ofstream os(mismatched_path);
+    save_bundle(os, make_bundle(pipeline.model(), 999, sections));
+  }
+  mismatched.bundle = mismatched_path.string();
+  EXPECT_THROW(ScenarioRunner(mismatched).run(), AssertionError);
+  fs::remove_all(base);
+}
+
 TEST(ScenarioRunner, RocEmitsSummaryAndCurves) {
   const ScenarioSpec spec = ScenarioSpec::from_config(KvConfig::parse_string(
       "[scenario]\nname = r\nexperiment = roc\n"

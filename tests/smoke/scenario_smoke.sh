@@ -65,6 +65,29 @@ run merge_incomplete 1 "$cli" merge --out "$workdir/half" "$workdir/s1"
 grep -qi "incomplete" <<<"$output" || fail "incomplete merge not rejected"
 run merge_partial 0 "$cli" merge --out "$workdir/half" --partial "$workdir/s1"
 
+# --- resume --------------------------------------------------------------
+# A completed shard dir is skipped wholesale.
+run resume_done 0 "$cli" run --scenario "$scn" --shard 0/2 --out "$workdir/s0" --resume
+grep -q "skipping" <<<"$output" || fail "--resume did not skip a completed shard"
+
+# Simulate a killed shard: its CSV is gone (atomic rename means a killed
+# run leaves at most a stale .tmp, never a truncated .csv).  --resume must
+# recompute it and reproduce the original bytes.
+mkdir -p "$workdir/s1_killed"
+touch "$workdir/s1_killed/quickstart.dr.csv.tmp"
+run resume_rerun 0 "$cli" run --scenario "$scn" --shard 1/2 \
+  --out "$workdir/s1_killed" --resume
+grep -q "running" <<<"$output" || fail "--resume skipped an incomplete shard"
+cmp "$workdir/s1/quickstart.dr.csv" "$workdir/s1_killed/quickstart.dr.csv" \
+  || fail "--resume rerun differs from the original shard"
+run merge_resumed 0 "$cli" merge --out "$workdir/merged2" "$workdir/s0" "$workdir/s1_killed"
+cmp "$csv" "$workdir/merged2/quickstart.dr.csv" \
+  || fail "merged resumed shards differ from the unsharded run"
+
+# --resume without --out is a usage error.
+run resume_no_out 2 "$cli" run --scenario "$scn" --resume
+grep -q "resume" <<<"$output" || fail "--resume without --out: error does not say why"
+
 # Missing scenario file is a named error, not a crash.
 run missing_spec 1 "$cli" run --scenario "$workdir/nope.scn"
 grep -q "nope.scn" <<<"$output" || fail "missing spec: error does not name it"

@@ -1,24 +1,37 @@
 // lad_cli - command-line front end for the library.
 //
-//   lad_cli train   --out detector.lad [--metric diff] [--tau 0.99]
+//   lad_cli train   --out detector.lad [--metric diff | --fusion]
+//                   [--tau 0.99] [--taus 0.95,0.99,0.999]
 //                   [--m 300] [--r 50] [--sigma 50] [--networks 6]
-//       Trains a threshold on simulated benign deployments and writes a
-//       self-contained detector bundle.
+//       Trains threshold(s) on simulated benign deployments and writes a
+//       self-contained v2 detector bundle.  --fusion trains all three
+//       metrics on one shared benign pass (the bundle materializes as a
+//       FusionDetector); --taus records a multi-tau threshold table, with
+//       --tau selecting the active operating point.
 //
 //   lad_cli inspect --detector detector.lad
-//       Prints a bundle's configuration.
+//       Prints a bundle's configuration and full per-section provenance
+//       (tau table, per-group overrides, extension keys).
 //
 //   lad_cli check   --detector detector.lad --le-x <x> --le-y <y>
-//                   --obs g0:c0,g1:c1,...
-//       Verdict for one (observation, estimated location) pair.
+//                   --obs g0:c0,g1:c1,... [--group g]
+//       Verdict for one (observation, estimated location) pair; --group
+//       applies the bundle's per-group threshold override for that group.
 //
 //   lad_cli simulate --detector detector.lad [--d 120] [--x 0.1]
 //                    [--trials 200] [--attack dec-bounded]
+//                    [--target diff]
 //       Deploys a fresh network, attacks `trials` sensors, and reports the
-//       detection rate of the shipped detector (plus benign FP).
+//       detection rate of the shipped detector (plus benign FP).  The
+//       attacker's taint optimizes against --target (default: the bundle's
+//       first metric) - the interesting case for fused bundles.
+//
+//   lad_cli upgrade --in old.lad --out new.lad
+//       Rewrites a bundle in the current (v2) format; v1 inputs are
+//       migrated, v2 inputs re-emitted canonically.
 //
 //   lad_cli run     --scenario file.scn [--shard i/n] [--out dir]
-//                   [--quick] [--csv] [--seed S] [--threads N]
+//                   [--resume] [--quick] [--csv] [--seed S] [--threads N]
 //                   [--m M] [--networks N] [--victims K] [--r R] [--sigma S]
 //       Runs a declarative scenario (see bench/scenarios/*.scn and the
 //       README's "Scenario files" section).  Without --out the result
@@ -26,6 +39,10 @@
 //       item-tagged CSV.  --shard i/n executes only the work items with
 //       id % n == i; shard output is placement-independent (Philox-keyed
 //       randomness), so merged shards reproduce the unsharded run.
+//       --resume skips the run when every table CSV is already present in
+//       --out (CSVs are written atomically, so present means complete) -
+//       rerun a killed shard fleet with --resume and only the dead shards
+//       recompute.
 //
 //   lad_cli merge   --out dir [--partial] <shard_dir>...
 //       Merges shard output directories written by `run --out`: rows are
@@ -52,8 +69,8 @@ using namespace lad;
 namespace {
 
 int usage() {
-  std::cerr << "usage: lad_cli <train|inspect|check|simulate|run|merge> "
-               "[--flags]\n"
+  std::cerr << "usage: lad_cli <train|inspect|check|simulate|upgrade|run|"
+               "merge> [--flags]\n"
                "       see the header of tools/lad_cli.cpp for details\n";
   return 2;
 }
@@ -75,52 +92,118 @@ int cmd_train(const Flags& flags) {
     std::cerr << "train: --out <file> is required\n";
     return 2;
   }
-  const MetricKind metric =
-      metric_from_name(flags.get_string("metric", "diff"));
+  const bool fusion = flags.get_bool("fusion", false);
+  if (fusion && flags.has("metric")) {
+    std::cerr << "train: --fusion trains all three metrics; drop --metric\n";
+    return 2;
+  }
+  const std::vector<MetricKind> metrics =
+      fusion ? std::vector<MetricKind>{MetricKind::kDiff, MetricKind::kAddAll,
+                                       MetricKind::kProb}
+             : std::vector<MetricKind>{
+                   metric_from_name(flags.get_string("metric", "diff"))};
   const double tau = flags.get_double("tau", 0.99);
+  const std::vector<double> taus = flags.get_double_list("taus", {});
   const PipelineConfig cfg = pipeline_from_flags(flags);
 
   Pipeline pipeline(cfg);
   const LocalizerFactory factory =
       beaconless_mle_factory(pipeline.model(), pipeline.gz());
-  auto benign = pipeline.benign_scores(factory, {metric});
-  const TrainingResult trained =
-      train_threshold(metric, benign.at(metric), tau);
-  std::cout << "trained " << metric_name(metric) << " threshold "
-            << trained.threshold << " at tau " << tau << " over "
-            << trained.num_samples << " samples (benign mean "
-            << trained.score_stats.mean() << ")\n";
+  const DetectorBundle bundle =
+      pipeline.train_bundle(factory, metrics, taus, tau);
+  for (const DetectorSpec& spec : bundle.detectors) {
+    std::cout << "trained " << metric_name(spec.metric) << " threshold "
+              << spec.threshold << " at tau " << tau;
+    for (const ThresholdEntry& e : spec.taus) {
+      if (e.tau == tau) {
+        std::cout << " over " << e.samples << " samples (benign mean "
+                  << e.score_mean << ")";
+      }
+    }
+    std::cout << "\n";
+  }
 
   std::ofstream os(out);
   if (!os) {
     std::cerr << "train: cannot open '" << out << "' for writing\n";
     return 1;
   }
-  save_bundle(os, make_bundle(pipeline.model(), cfg.gz_omega, metric,
-                              trained.threshold));
+  save_bundle(os, bundle);
+  os.flush();
+  if (!os) {
+    std::cerr << "train: failed writing '" << out << "'\n";
+    return 1;
+  }
   std::cout << "wrote " << out << "\n";
   return 0;
 }
 
-DetectorBundle load_from_flag(const Flags& flags) {
+DetectorBundle load_from_flag(const Flags& flags, int* version = nullptr) {
   const std::string path = flags.get_string("detector", "");
   LAD_REQUIRE_MSG(!path.empty(), "--detector <file> is required");
-  std::ifstream is(path);
-  LAD_REQUIRE_MSG(static_cast<bool>(is), "cannot open '" << path << "'");
-  return load_bundle(is);
+  return load_bundle_file(path, version);
 }
 
 int cmd_inspect(const Flags& flags) {
-  const DetectorBundle b = load_from_flag(flags);
-  std::cout << "metric:       " << metric_name(b.metric) << "\n"
-            << "threshold:    " << b.threshold << "\n"
+  int version = 0;
+  const DetectorBundle b = load_from_flag(flags, &version);
+  std::cout << "format:       lad-detector v" << version
+            << (version == 1 ? " (migrates to v2 in memory)" : "") << "\n"
             << "field:        " << b.config.field_side << " x "
             << b.config.field_side << " m\n"
             << "groups:       " << b.deployment_points.size() << " (m = "
             << b.config.nodes_per_group << " nodes each)\n"
             << "sigma:        " << b.config.sigma << " m\n"
             << "radio range:  " << b.config.radio_range << " m\n"
-            << "g(z) omega:   " << b.gz_omega << "\n";
+            << "g(z) omega:   " << b.gz_omega << "\n"
+            << "detectors:    " << b.detectors.size()
+            << (b.fused() ? " (fusion: alarm when any metric alarms)" : "")
+            << "\n";
+  for (const DetectorSpec& spec : b.detectors) {
+    std::cout << "[detector." << metric_name(spec.metric) << "]\n"
+              << "  metric:       " << metric_name(spec.metric) << "\n"
+              << "  threshold:    " << spec.threshold << "\n";
+    for (const ThresholdEntry& e : spec.taus) {
+      std::cout << "  tau " << e.tau << " -> threshold " << e.threshold
+                << " (" << e.samples << " samples, score mean "
+                << e.score_mean << ", stddev " << e.score_stddev
+                << ", range [" << e.score_min << ", " << e.score_max
+                << "])\n";
+    }
+    for (const GroupThreshold& g : spec.group_overrides) {
+      std::cout << "  group " << g.group << " -> threshold " << g.threshold
+                << "\n";
+    }
+    for (const auto& [key, value] : spec.extensions) {
+      std::cout << "  x-" << key << " " << value << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_upgrade(const Flags& flags) {
+  const std::string in = flags.get_string("in", "");
+  const std::string out = flags.get_string("out", "");
+  if (in.empty() || out.empty()) {
+    std::cerr << "usage: lad_cli upgrade --in <old.lad> --out <new.lad>\n";
+    return 2;
+  }
+  int version = 0;
+  const DetectorBundle b = load_bundle_file(in, &version);
+  std::ofstream os(out);
+  if (!os) {
+    std::cerr << "upgrade: cannot open '" << out << "' for writing\n";
+    return 1;
+  }
+  save_bundle(os, b);
+  os.flush();
+  if (!os) {
+    std::cerr << "upgrade: failed writing '" << out << "'\n";
+    return 1;
+  }
+  std::cout << (version == 1 ? "upgraded v1 -> v2: "
+                             : "rewrote v2 canonically: ")
+            << in << " -> " << out << "\n";
   return 0;
 }
 
@@ -140,7 +223,12 @@ int cmd_check(const Flags& flags) {
     obs.counts[static_cast<std::size_t>(g)] =
         static_cast<int>(parse_int(kv[1]));
   }
-  const Verdict v = rt.check(obs, le);
+  const Verdict v =
+      flags.has("group")
+          ? rt.check_for_group(obs, le,
+                               static_cast<int>(flags.get_int("group", 0)))
+          : rt.check(obs, le);
+  std::cout << "detector: " << rt.detector().describe() << "\n";
   std::cout << "score " << v.score << " vs threshold " << v.threshold
             << " -> " << (v.anomaly ? "ANOMALY" : "ok") << "\n";
   return v.anomaly ? 3 : 0;
@@ -155,6 +243,12 @@ int cmd_simulate(const Flags& flags) {
   LAD_REQUIRE_MSG(trials > 0, "--trials must be positive");
   const AttackClass cls =
       attack_class_from_name(flags.get_string("attack", "dec-bounded"));
+  // The taint optimizes against one metric (it must commit); a fused
+  // bundle is exactly the defense against that commitment.
+  const MetricKind target =
+      flags.has("target")
+          ? metric_from_name(flags.get_string("target", "diff"))
+          : bundle.primary().metric;
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
 
   const GzTable gz({bundle.config.radio_range, bundle.config.sigma},
@@ -177,15 +271,17 @@ int cmd_simulate(const Flags& flags) {
     const Vec2 le = displaced_location(la, d, bundle.config.field(), rng);
     const ExpectedObservation mu = rt.model().expected_observation(le, gz);
     const TaintResult taint =
-        greedy_taint(a, mu, bundle.config.nodes_per_group, bundle.metric, cls,
+        greedy_taint(a, mu, bundle.config.nodes_per_group, target, cls,
                      static_cast<int>(x * a.total()));
     if (rt.check(taint.tainted, le).anomaly) ++detected;
   }
+  std::cout << "detector: " << rt.detector().describe() << "\n";
   std::cout << "benign false positives: " << benign_alarms << "/" << trials
             << " (" << format_double(100.0 * benign_alarms / trials, 2)
             << "%)\n";
   std::cout << "attacks detected (D=" << d << ", x=" << x * 100
-            << "%, " << attack_class_name(cls) << "): " << detected << "/"
+            << "%, " << attack_class_name(cls) << " vs "
+            << metric_name(target) << "): " << detected << "/"
             << trials << " ("
             << format_double(100.0 * detected / trials, 2) << "%)\n";
   return 0;
@@ -225,6 +321,11 @@ int cmd_run(const Flags& flags) {
   const ScenarioOverrides overrides = overrides_from_flags(flags);
   const std::string out = flags.get_string("out", "");
   const bool csv = flags.get_bool("csv", false);
+  const bool resume = flags.get_bool("resume", false);
+  if (resume && out.empty()) {
+    std::cerr << "run: --resume requires --out (it skips completed CSVs)\n";
+    return 2;
+  }
   if (!flags.positional().empty()) {
     std::cerr << "run: unexpected argument(s): "
               << join(flags.positional(), " ") << "\n";
@@ -234,6 +335,26 @@ int cmd_run(const Flags& flags) {
 
   const ScenarioSpec spec = apply_overrides(ScenarioSpec::load(scn), overrides);
   ScenarioRunner runner(spec);
+  if (resume) {
+    // CSVs are written atomically (tmp + rename), so a present file is a
+    // complete file; all tables present means this run (typically one
+    // shard of a fleet) already finished.
+    const std::vector<std::string> ids = runner.table_ids();
+    bool all_present = true;
+    for (const std::string& id : ids) {
+      if (!std::filesystem::is_regular_file(
+              std::filesystem::path(out) / (spec.name + "." + id + ".csv"))) {
+        all_present = false;
+        break;
+      }
+    }
+    if (all_present) {
+      std::cerr << "resume: all " << ids.size() << " table CSV(s) of '"
+                << spec.name << "' already present in " << out
+                << "; skipping\n";
+      return 0;
+    }
+  }
   const long long total = runner.num_items();
   const long long mine =
       (total - shard.index + shard.count - 1) / shard.count;
@@ -310,6 +431,7 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(flags);
     if (cmd == "check") return cmd_check(flags);
     if (cmd == "simulate") return cmd_simulate(flags);
+    if (cmd == "upgrade") return cmd_upgrade(flags);
     if (cmd == "run") return cmd_run(flags);
     if (cmd == "merge") return cmd_merge(flags);
     return usage();
