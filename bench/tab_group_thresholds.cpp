@@ -1,0 +1,9 @@
+// Thin wrapper over the checked-in spec
+// bench/scenarios/tab_group_thresholds.scn - the sweep's axes, sample
+// counts, and paper context live in the spec, and the scenario engine
+// (sim/scenario.h) does the rest.
+#include "scenario_main.h"
+
+int main(int argc, char** argv) {
+  return lad::bench::scenario_main(argc, argv, "tab_group_thresholds.scn");
+}

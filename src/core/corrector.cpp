@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/serialize.h"
 #include "stats/special.h"
 #include "util/assert.h"
 
@@ -24,12 +25,45 @@ namespace {
 constexpr double kPFloor = 1e-300;  // see BeaconlessMleLocalizer
 }
 
+void LocationCorrector::apply_group_spread(const DetectorBundle& bundle) {
+  LAD_REQUIRE_MSG(static_cast<int>(bundle.deployment_points.size()) ==
+                      model_->num_groups(),
+                  "bundle group count " << bundle.deployment_points.size()
+                                        << " does not match the corrector's "
+                                        << model_->num_groups() << " groups");
+  const DetectorSpec& primary = bundle.primary();
+  LAD_REQUIRE_MSG(primary.threshold > 0,
+                  "per-group cap conditioning needs a positive global "
+                  "threshold, got " << primary.threshold);
+  group_caps_.assign(static_cast<std::size_t>(model_->num_groups()),
+                     penalty_cap_);
+  for (const GroupThreshold& g : primary.group_overrides) {
+    LAD_REQUIRE_MSG(g.group >= 0 && g.group < model_->num_groups(),
+                    "group override " << g.group << " out of range [0, "
+                                      << model_->num_groups() << ")");
+    LAD_REQUIRE_MSG(g.threshold > 0,
+                    "per-group cap conditioning needs positive group "
+                    "thresholds; group " << g.group << " has "
+                                         << g.threshold);
+    group_caps_[static_cast<std::size_t>(g.group)] =
+        penalty_cap_ * (g.threshold / primary.threshold);
+  }
+}
+
+double LocationCorrector::cap_for_group(int group) const {
+  LAD_REQUIRE_MSG(group >= 0 && group < model_->num_groups(),
+                  "group " << group << " out of range [0, "
+                           << model_->num_groups() << ")");
+  return group_caps_.empty() ? penalty_cap_
+                             : group_caps_[static_cast<std::size_t>(group)];
+}
+
 double LocationCorrector::group_term(int count, Vec2 theta, int group) const {
   const int m = model_->config().nodes_per_group;
   double p = gz_->at(theta, model_->deployment_point(group));
   if (p < kPFloor) p = kPFloor;
   const double term = log_binomial_pmf(count, m, p);
-  return std::max(term, -penalty_cap_);
+  return std::max(term, -cap_for_group(group));
 }
 
 double LocationCorrector::robust_log_likelihood(const Observation& obs,
@@ -68,10 +102,44 @@ Vec2 LocationCorrector::pattern_search(const Observation& obs,
   return best;
 }
 
+Vec2 LocationCorrector::max_prior_deployment_point() const {
+  int best_group = 0;
+  double best_density = -1.0;
+  for (int g = 0; g < model_->num_groups(); ++g) {
+    const Vec2 dp = model_->deployment_point(g);
+    double density = 0.0;
+    for (int k = 0; k < model_->num_groups(); ++k) {
+      density += model_->pdf(k, dp);
+    }
+    if (density > best_density) {
+      best_density = density;
+      best_group = g;
+    }
+  }
+  return model_->deployment_point(best_group);
+}
+
 CorrectionResult LocationCorrector::correct(const Observation& obs) const {
   LAD_REQUIRE_MSG(obs.num_groups() ==
                       static_cast<std::size_t>(model_->num_groups()),
                   "observation size mismatch");
+
+  // Every group silenced: the observation carries no location evidence, so
+  // a likelihood search is meaningless (and the observation-weighted
+  // centroid seed is degenerate).  Defined behavior instead: fall back to
+  // the deployment prior's densest point and flag every group as capped -
+  // an all-silent neighborhood is exactly the all-groups-implausible case
+  // the diagnostics describe.
+  if (obs.total() == 0) {
+    CorrectionResult result;
+    result.corrected = max_prior_deployment_point();
+    result.robust_ll = robust_log_likelihood(obs, result.corrected);
+    result.capped_groups.resize(obs.num_groups());
+    for (std::size_t g = 0; g < obs.num_groups(); ++g) {
+      result.capped_groups[g] = static_cast<int>(g);
+    }
+    return result;
+  }
 
   // Multi-start seeds: weighted centroid + deployment points of the
   // highest-count groups (one of them sits near the true bump).
@@ -87,8 +155,7 @@ CorrectionResult LocationCorrector::correct(const Observation& obs) const {
       by_count.emplace_back(obs.counts[g], static_cast<int>(g));
     }
   }
-  starts.push_back(wt > 0 ? Vec2{wx / wt, wy / wt}
-                          : model_->config().field().center());
+  starts.push_back({wx / wt, wy / wt});
   std::sort(by_count.rbegin(), by_count.rend());
   for (int s = 0; s < seeds_ && s < static_cast<int>(by_count.size()); ++s) {
     starts.push_back(
@@ -111,7 +178,7 @@ CorrectionResult LocationCorrector::correct(const Observation& obs) const {
   result.robust_ll = best_ll;
   for (std::size_t g = 0; g < obs.num_groups(); ++g) {
     if (group_term(obs.counts[g], best, static_cast<int>(g)) <=
-        -penalty_cap_) {
+        -cap_for_group(static_cast<int>(g))) {
       result.capped_groups.push_back(static_cast<int>(g));
     }
   }

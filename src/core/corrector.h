@@ -24,6 +24,12 @@
 //  * Dec-Bounded attacks can forge an arbitrarily convincing bump at Le,
 //    so correction degrades as x grows - consistent with the paper
 //    calling correction an open problem.
+//
+// A per-group-trained detector bundle (core/serialize.h) can additionally
+// condition the cap per group: boundary groups whose benign score spread
+// is legitimately wider get a proportionally looser cap, so the
+// capped_groups diagnostic stops mistaking edge-truncated neighborhoods
+// for tainted ones (apply_group_spread).
 #pragma once
 
 #include <vector>
@@ -32,6 +38,8 @@
 #include "deploy/gz_table.h"
 
 namespace lad {
+
+struct DetectorBundle;
 
 struct CorrectionResult {
   Vec2 corrected;     ///< the re-estimated location
@@ -52,10 +60,27 @@ class LocationCorrector {
                     double penalty_cap = 25.0, int seeds = 5,
                     double tol_meters = 0.5);
 
+  /// Conditions the penalty cap on the bundle's per-group benign spread: a
+  /// group override row in the primary section scales that group's cap by
+  /// threshold_g / threshold_global, so boundary groups whose benign
+  /// scores legitimately run wider (truncated neighborhoods) get
+  /// proportionally more slack before they read as forged/silenced in
+  /// `capped_groups`.  Groups without an override keep the base cap.
+  /// Requires positive global and per-group thresholds.
+  void apply_group_spread(const DetectorBundle& bundle);
+
+  /// The penalty cap in force for `group` (base, or bundle-conditioned).
+  double cap_for_group(int group) const;
+
   CorrectionResult correct(const Observation& obs) const;
 
   /// Capped log-likelihood of obs at theta (exposed for tests).
   double robust_log_likelihood(const Observation& obs, Vec2 theta) const;
+
+  /// The deployment point where the deployment-density prior is highest -
+  /// what correct() returns for an observation with every group silenced
+  /// (ties break toward the lowest group id).
+  Vec2 max_prior_deployment_point() const;
 
  private:
   Vec2 pattern_search(const Observation& obs, Vec2 seed) const;
@@ -66,6 +91,8 @@ class LocationCorrector {
   double penalty_cap_;
   int seeds_;
   double tol_meters_;
+  /// Per-group caps; empty until apply_group_spread installs them.
+  std::vector<double> group_caps_;
 };
 
 }  // namespace lad

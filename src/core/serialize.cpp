@@ -231,13 +231,40 @@ DetectorBundle load_v2(LineReader& r) {
       if (key == "tau") {
         spec.taus.push_back(parse_tau_row(tokens, r));
       } else if (key == "group") {
-        LAD_REQUIRE_MSG(tokens.size() == 3,
+        // Two forms: the bare hand-written override `group <id> <threshold>`
+        // and the trained row `group <id> <threshold> <samples> <mean>
+        // <stddev> <trained|fallback>` per-group training emits.
+        LAD_REQUIRE_MSG(tokens.size() == 3 || tokens.size() == 7,
                         "bundle line "
                             << r.line_no()
-                            << ": group row needs 2 fields (group threshold)");
-        spec.group_overrides.push_back(
-            {static_cast<int>(parse_int_at(r, tokens[1])),
-             parse_double_at(r, tokens[2])});
+                            << ": group row needs 2 fields (group threshold) "
+                               "or 6 (group threshold samples mean stddev "
+                               "trained|fallback), got "
+                            << tokens.size() - 1);
+        GroupThreshold g;
+        g.group = static_cast<int>(parse_int_at(r, tokens[1]));
+        g.threshold = parse_double_at(r, tokens[2]);
+        if (tokens.size() == 7) {
+          const long long samples = parse_int_at(r, tokens[3]);
+          LAD_REQUIRE_MSG(samples >= 0, "bundle line "
+                                            << r.line_no()
+                                            << ": negative sample count");
+          g.samples = static_cast<std::uint64_t>(samples);
+          g.score_mean = parse_double_at(r, tokens[4]);
+          g.score_stddev = parse_double_at(r, tokens[5]);
+          if (tokens[6] == "trained") {
+            g.source = GroupOverrideSource::kTrained;
+          } else if (tokens[6] == "fallback") {
+            g.source = GroupOverrideSource::kFallback;
+          } else {
+            LAD_REQUIRE_MSG(false, "bundle line "
+                                       << r.line_no()
+                                       << ": group row provenance must be "
+                                          "'trained' or 'fallback', got '"
+                                       << tokens[6] << "'");
+          }
+        }
+        spec.group_overrides.push_back(g);
       } else if (starts_with(key, "x-") && key.size() > 2) {
         const std::size_t sp = line.find(' ');
         LAD_REQUIRE_MSG(sp != std::string::npos,
@@ -258,6 +285,15 @@ DetectorBundle load_v2(LineReader& r) {
 }
 
 }  // namespace
+
+const char* group_override_source_name(GroupOverrideSource source) {
+  switch (source) {
+    case GroupOverrideSource::kManual: return "manual";
+    case GroupOverrideSource::kTrained: return "trained";
+    case GroupOverrideSource::kFallback: return "fallback";
+  }
+  return "?";
+}
 
 double DetectorSpec::threshold_for_group(int group) const {
   for (const GroupThreshold& g : group_overrides) {
@@ -354,6 +390,12 @@ void DetectorBundle::validate() const {
                         "fused bundle group override for group " << g.group
                             << " must be positive, got " << g.threshold);
       }
+      // A trained row with zero samples is a contradiction (the min-samples
+      // floor would have recorded it as a fallback instead).
+      LAD_REQUIRE_MSG(g.source != GroupOverrideSource::kTrained ||
+                          g.samples >= 1,
+                      "trained group override for group "
+                          << g.group << " has no training samples");
       prev_group = g.group;
     }
     for (const auto& [key, value] : spec.extensions) {
@@ -419,7 +461,13 @@ void save_bundle(std::ostream& os, const DetectorBundle& bundle) {
          << num(e.score_max) << "\n";
     }
     for (const GroupThreshold& g : spec.group_overrides) {
-      os << "group " << g.group << " " << num(g.threshold) << "\n";
+      os << "group " << g.group << " " << num(g.threshold);
+      if (g.source != GroupOverrideSource::kManual) {
+        os << " " << g.samples << " " << num(g.score_mean) << " "
+           << num(g.score_stddev) << " "
+           << group_override_source_name(g.source);
+      }
+      os << "\n";
     }
     for (const auto& [key, value] : spec.extensions) {
       os << "x-" << key << " " << value << "\n";

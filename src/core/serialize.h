@@ -22,8 +22,12 @@
 //   tau 0.99 12.5 4800 3.41 1.18 0.2 19.7
 //   ...                   ^ multi-tau training provenance: tau, threshold,
 //   group 17 11.25          samples, score mean/stddev/min/max; `group`
-//   x-trained-by lad_cli    rows are per-group threshold overrides, and
-//                           `x-` keys are an extensible tail.
+//   group 3 13.5 210 4.1 1.6 trained
+//   x-trained-by lad_cli    rows are per-group threshold overrides (bare
+//                           2-field rows are hand-written; per-group
+//                           *training* appends the bucket's samples, score
+//                           mean/stddev, and a trained|fallback marker),
+//                           and `x-` keys are an extensible tail.
 //
 // Unknown sections/keys are rejected with line context (like kvconfig) -
 // only `x-<key> <value>` lines pass through, preserved verbatim, so future
@@ -60,11 +64,26 @@ struct ThresholdEntry {
   bool operator==(const ThresholdEntry&) const = default;
 };
 
+/// How a per-group threshold override row came to be: written by hand (the
+/// bare two-field row), trained on that group's benign score bucket, or a
+/// recorded fallback to the global threshold (bucket under the min-samples
+/// floor, or a fused-unusable trained value).
+enum class GroupOverrideSource { kManual, kTrained, kFallback };
+
+const char* group_override_source_name(GroupOverrideSource source);
+
 /// Per-group threshold override (e.g. boundary groups trained separately
-/// for the corrector path); `group` indexes the deployment point list.
+/// for edge-truncated neighborhoods); `group` indexes the deployment point
+/// list.  Trained/fallback rows carry their bucket's provenance (sample
+/// count, score mean/stddev); manual rows serialize as the bare
+/// `group <id> <threshold>` form.
 struct GroupThreshold {
   int group = 0;
   double threshold = 0.0;
+  GroupOverrideSource source = GroupOverrideSource::kManual;
+  std::uint64_t samples = 0;    ///< benign bucket size (trained/fallback)
+  double score_mean = 0.0;      ///< bucket score mean (trained/fallback)
+  double score_stddev = 0.0;    ///< bucket score stddev (trained/fallback)
 
   bool operator==(const GroupThreshold&) const = default;
 };

@@ -1,5 +1,8 @@
 #include "core/trainer.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "stats/quantile.h"
 #include "util/assert.h"
 
@@ -35,6 +38,74 @@ std::vector<TrainingResult> train_thresholds(MetricKind metric,
     r.num_samples = stats.count();
     r.score_stats = stats;
     out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<GroupTrainingResult> train_group_thresholds(
+    MetricKind metric, const std::vector<double>& scores,
+    const std::vector<int>& sample_groups, const GroupTrainingOptions& options,
+    double tau, double global_threshold) {
+  LAD_REQUIRE_MSG(scores.size() == sample_groups.size(),
+                  "per-group training: " << scores.size() << " scores but "
+                                         << sample_groups.size()
+                                         << " sample groups");
+  LAD_REQUIRE_MSG(tau > 0.0 && tau <= 1.0, "tau must be in (0,1]");
+  int prev = -1;
+  for (int g : options.groups) {
+    LAD_REQUIRE_MSG(g >= 0, "per-group training: negative group id " << g);
+    LAD_REQUIRE_MSG(g > prev, "per-group training: group list must be "
+                              "strictly ascending (group "
+                                  << g << " follows " << prev << ")");
+    prev = g;
+  }
+
+  // One pass over the samples, dispatching into per-group buckets (the
+  // group list is ascending, so membership is a binary search).
+  std::vector<std::vector<double>> buckets(options.groups.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const auto it = std::lower_bound(options.groups.begin(),
+                                     options.groups.end(), sample_groups[i]);
+    if (it != options.groups.end() && *it == sample_groups[i]) {
+      buckets[static_cast<std::size_t>(it - options.groups.begin())]
+          .push_back(scores[i]);
+    }
+  }
+
+  std::vector<GroupTrainingResult> out;
+  out.reserve(options.groups.size());
+  for (std::size_t gi = 0; gi < options.groups.size(); ++gi) {
+    std::vector<double>& bucket = buckets[gi];
+    GroupTrainingResult r;
+    r.group = options.groups[gi];
+    r.training.metric = metric;
+    r.training.tau = tau;
+    r.training.num_samples = bucket.size();
+    for (double s : bucket) r.training.score_stats.add(s);
+    if (!bucket.empty() && bucket.size() >= options.min_samples) {
+      r.training.threshold = quantile_inplace(bucket, tau);
+      // A non-positive trained threshold cannot ship (fused bundles
+      // normalize scores by it); keep the global one and record why.
+      r.fallback = r.training.threshold <= 0.0 && global_threshold > 0.0;
+    } else {
+      r.fallback = true;
+    }
+    if (r.fallback) r.training.threshold = global_threshold;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<int> boundary_groups(const DeploymentModel& model) {
+  const DeploymentConfig& cfg = model.config();
+  const double margin = cfg.sigma + cfg.radio_range;
+  std::vector<int> out;
+  for (int g = 0; g < model.num_groups(); ++g) {
+    const Vec2 dp = model.deployment_point(g);
+    const double edge_dist =
+        std::min(std::min(dp.x, cfg.field_side - dp.x),
+                 std::min(dp.y, cfg.field_side - dp.y));
+    if (edge_dist < margin) out.push_back(g);
   }
   return out;
 }

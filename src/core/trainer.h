@@ -5,9 +5,11 @@
 // (1 - tau) is the training false-positive rate.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/metric.h"
+#include "deploy/deployment_model.h"
 #include "stats/running_stats.h"
 
 namespace lad {
@@ -29,5 +31,47 @@ TrainingResult train_threshold(MetricKind metric, std::vector<double> scores,
 std::vector<TrainingResult> train_thresholds(MetricKind metric,
                                              std::vector<double> scores,
                                              const std::vector<double>& taus);
+
+// --- per-group threshold training ----------------------------------------
+//
+// Benign scores are not identically distributed across the field: boundary
+// groups hear truncated neighborhoods, so a single pooled tau over-fires at
+// the edge and under-fires in the interior.  The functions below bucket a
+// benign pass by the victim's nearest deployment group and fit the selected
+// groups separately; groups whose bucket is below a min-samples floor fall
+// back to the global threshold (and say so in provenance).
+
+struct GroupTrainingOptions {
+  /// Which groups to fit separately (strictly ascending group ids);
+  /// typically boundary_groups(model).
+  std::vector<int> groups;
+  /// Buckets below this floor fall back to the global threshold - a
+  /// tau-quantile of a handful of samples is noise, not a threshold.
+  std::size_t min_samples = 100;
+};
+
+struct GroupTrainingResult {
+  int group = 0;
+  /// True when the bucket missed the min-samples floor (or a fused-unusable
+  /// non-positive threshold came out) and the global threshold was kept.
+  bool fallback = false;
+  /// Per-group provenance: tau, the group's threshold (the global one when
+  /// fallback), bucket size, and the bucket's score distribution.
+  TrainingResult training;
+};
+
+/// Fits options.groups separately from one benign pass.  `scores` and
+/// `sample_groups` are index-aligned (sample i came from a victim whose
+/// nearest deployment group is sample_groups[i]); `global_threshold` is the
+/// pooled threshold fallback buckets keep.  Results come back in
+/// options.groups order.
+std::vector<GroupTrainingResult> train_group_thresholds(
+    MetricKind metric, const std::vector<double>& scores,
+    const std::vector<int>& sample_groups, const GroupTrainingOptions& options,
+    double tau, double global_threshold);
+
+/// The groups whose neighborhoods the field edge truncates: deployment
+/// point within sigma + radio_range of the field boundary.  Ascending.
+std::vector<int> boundary_groups(const DeploymentModel& model);
 
 }  // namespace lad

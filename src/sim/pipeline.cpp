@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "attack/displacement.h"
 #include "attack/greedy.h"
@@ -83,7 +84,8 @@ Pipeline::Pipeline(const PipelineConfig& config)
 }
 
 std::map<MetricKind, std::vector<double>> Pipeline::benign_scores(
-    const LocalizerFactory& factory, const std::vector<MetricKind>& metrics) {
+    const LocalizerFactory& factory, const std::vector<MetricKind>& metrics,
+    std::vector<int>* victim_groups) {
   const std::size_t nnet = networks_.size();
   const std::size_t k = static_cast<std::size_t>(config_.victims_per_network);
   const int m = config_.deploy.nodes_per_group;
@@ -94,6 +96,7 @@ std::map<MetricKind, std::vector<double>> Pipeline::benign_scores(
   // scores[metric][network * k + victim]
   std::vector<std::vector<double>> scores(
       metrics.size(), std::vector<double>(nnet * k, 0.0));
+  if (victim_groups != nullptr) victim_groups->assign(nnet * k, 0);
 
   parallel_for_items(
       nnet,
@@ -117,6 +120,10 @@ std::map<MetricKind, std::vector<double>> Pipeline::benign_scores(
           for (std::size_t mi = 0; mi < metric_impls.size(); ++mi) {
             scores[mi][ni * k + v] = metric_impls[mi]->score(obs, mu, m);
           }
+          if (victim_groups != nullptr) {
+            (*victim_groups)[ni * k + v] =
+                model_.nearest_group(net.position(victims[v]));
+          }
         }
       },
       config_.threads);
@@ -128,7 +135,8 @@ std::map<MetricKind, std::vector<double>> Pipeline::benign_scores(
   return out;
 }
 
-std::vector<double> Pipeline::attack_scores(const AttackSpec& spec) {
+std::vector<double> Pipeline::attack_scores(const AttackSpec& spec,
+                                            std::vector<int>* victim_groups) {
   LAD_REQUIRE_MSG(spec.damage >= 0, "damage must be non-negative");
   LAD_REQUIRE_MSG(spec.compromised_frac >= 0 && spec.compromised_frac <= 1,
                   "compromised fraction must be in [0,1]");
@@ -139,6 +147,7 @@ std::vector<double> Pipeline::attack_scores(const AttackSpec& spec) {
   const std::unique_ptr<Metric> metric = make_metric(spec.metric);
 
   std::vector<double> scores(nnet * k, 0.0);
+  if (victim_groups != nullptr) victim_groups->assign(nnet * k, 0);
   // The attack sub-stream is independent of the benign pass but *also*
   // independent of the spec, so different (D, x) settings see the same
   // victims - variance reduction that matches the paper's sweeps.
@@ -170,6 +179,10 @@ std::vector<double> Pipeline::attack_scores(const AttackSpec& spec) {
           const TaintResult taint =
               greedy_taint(a, mu, m, spec.metric, spec.attack_class, budget);
           scores[ni * k + v] = metric->score(taint.tainted, mu, m);
+          if (victim_groups != nullptr) {
+            (*victim_groups)[ni * k + v] =
+                model_.nearest_group(net.position(victims[v]));
+          }
         }
       },
       config_.threads);
@@ -229,18 +242,56 @@ std::map<MetricKind, std::vector<double>> Pipeline::attack_scores_cross(
 DetectorBundle Pipeline::train_bundle(const LocalizerFactory& factory,
                                       const std::vector<MetricKind>& metrics,
                                       std::vector<double> taus,
-                                      double active_tau) {
+                                      double active_tau,
+                                      const GroupTrainingSpec& grouped) {
   LAD_REQUIRE_MSG(!metrics.empty(), "need at least one metric to train");
+  LAD_REQUIRE_MSG(grouped.min_samples >= 1,
+                  "per-group training needs min_samples >= 1");
   taus.push_back(active_tau);
   std::sort(taus.begin(), taus.end());
   taus.erase(std::unique(taus.begin(), taus.end()), taus.end());
-  auto benign = benign_scores(factory, metrics);
+  std::vector<int> victim_groups;
+  auto benign = benign_scores(factory, metrics,
+                              grouped.per_group ? &victim_groups : nullptr);
+  GroupTrainingOptions options;
+  if (grouped.per_group) {
+    options.groups = boundary_groups(model_);
+    options.min_samples = static_cast<std::size_t>(grouped.min_samples);
+  }
   std::vector<DetectorSpec> specs;
   specs.reserve(metrics.size());
   for (MetricKind metric : metrics) {
-    specs.push_back(detector_spec_from_training(
-        train_thresholds(metric, std::move(benign.at(metric)), taus),
-        active_tau));
+    std::vector<double>& scores = benign.at(metric);
+    DetectorSpec spec;
+    if (grouped.per_group) {
+      // The pooled table first (it defines the global fallback threshold),
+      // then one override row per boundary group - trained on its bucket,
+      // or a recorded fallback when the bucket misses the floor.
+      spec = detector_spec_from_training(train_thresholds(metric, scores, taus),
+                                         active_tau);
+      std::size_t trained = 0;
+      for (const GroupTrainingResult& r : train_group_thresholds(
+               metric, scores, victim_groups, options, active_tau,
+               spec.threshold)) {
+        spec.group_overrides.push_back(
+            {r.group, r.training.threshold,
+             r.fallback ? GroupOverrideSource::kFallback
+                        : GroupOverrideSource::kTrained,
+             r.training.num_samples, r.training.score_stats.mean(),
+             r.training.score_stats.stddev()});
+        if (!r.fallback) ++trained;
+      }
+      std::ostringstream provenance;
+      provenance << "boundary=" << options.groups.size() << " trained="
+                 << trained << " fallback="
+                 << options.groups.size() - trained << " min_samples="
+                 << options.min_samples;
+      spec.extensions.emplace_back("group-training", provenance.str());
+    } else {
+      spec = detector_spec_from_training(
+          train_thresholds(metric, std::move(scores), taus), active_tau);
+    }
+    specs.push_back(std::move(spec));
   }
   return make_bundle(model_, config_.gz_omega, std::move(specs));
 }

@@ -76,6 +76,14 @@ struct AttackSpec {
   double compromised_frac = 0.1;  ///< x as a fraction of the neighborhood
 };
 
+/// Per-group threshold training knobs for train_bundle.
+struct GroupTrainingSpec {
+  bool per_group = false;  ///< fit boundary groups separately
+  /// Benign-bucket floor below which a group falls back to the global
+  /// threshold (recorded as such in the bundle's provenance rows).
+  int min_samples = 100;
+};
+
 class Pipeline {
  public:
   explicit Pipeline(const PipelineConfig& config);
@@ -94,11 +102,19 @@ class Pipeline {
 
   /// Benign score samples for each requested metric (one pass: the
   /// localization estimate is shared across metrics, as in training).
+  /// `victim_groups` (optional) receives each sample's victim group - the
+  /// knowledge model's nearest deployment group to the victim's true
+  /// position - index-aligned with every metric's score vector.  Filling
+  /// it never perturbs the rng stream, so scores are identical either way.
   std::map<MetricKind, std::vector<double>> benign_scores(
-      const LocalizerFactory& factory, const std::vector<MetricKind>& metrics);
+      const LocalizerFactory& factory, const std::vector<MetricKind>& metrics,
+      std::vector<int>* victim_groups = nullptr);
 
-  /// Attacked score samples for one attack specification.
-  std::vector<double> attack_scores(const AttackSpec& spec);
+  /// Attacked score samples for one attack specification.  As in
+  /// benign_scores, `victim_groups` optionally receives the per-sample
+  /// victim groups without perturbing the stream.
+  std::vector<double> attack_scores(const AttackSpec& spec,
+                                    std::vector<int>* victim_groups = nullptr);
 
   /// Cross-scoring: the taint is crafted to minimize spec.metric, but each
   /// tainted observation is scored by every metric in `scorers` (same
@@ -117,9 +133,17 @@ class Pipeline {
   /// and RuntimeDetector materializes.  `taus` is the threshold table
   /// (deduplicated, sorted; `active_tau` is added when missing) and
   /// `active_tau` selects each section's active threshold.
+  ///
+  /// With `grouped.per_group`, the same benign pass is additionally
+  /// bucketed by victim group and every boundary group (see
+  /// boundary_groups) is fitted separately at `active_tau`; the resulting
+  /// override rows - trained, or recorded fallbacks to the global
+  /// threshold for buckets under `grouped.min_samples` - land in every
+  /// section, fusion components included.
   DetectorBundle train_bundle(const LocalizerFactory& factory,
                               const std::vector<MetricKind>& metrics,
-                              std::vector<double> taus, double active_tau);
+                              std::vector<double> taus, double active_tau,
+                              const GroupTrainingSpec& grouped = {});
 
  private:
   PipelineConfig config_;

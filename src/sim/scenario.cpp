@@ -109,6 +109,23 @@ ExperimentKind experiment_kind_from_name(const std::string& name) {
   return ExperimentKind::kDrSweep;  // unreachable
 }
 
+const char* group_threshold_mode_name(GroupThresholdMode mode) {
+  switch (mode) {
+    case GroupThresholdMode::kGlobal: return "global";
+    case GroupThresholdMode::kPerGroup: return "per_group";
+  }
+  return "?";
+}
+
+GroupThresholdMode group_threshold_mode_from_name(const std::string& name) {
+  const std::string n = to_lower(name);
+  if (n == "global") return GroupThresholdMode::kGlobal;
+  if (n == "per_group") return GroupThresholdMode::kPerGroup;
+  LAD_REQUIRE_MSG(false, "unknown group-threshold mode '"
+                             << name << "' (known: global, per_group)");
+  return GroupThresholdMode::kGlobal;  // unreachable
+}
+
 bool is_known_localizer(const std::string& name) {
   if (name == "beaconless-mle" || name == "weighted-centroid" ||
       name == "dv-hop" || name == "amorphous") {
@@ -273,6 +290,20 @@ ScenarioSpec ScenarioSpec::from_config(const KvConfig& config) {
                              "'product', got '"
                                  << coupling << "'");
     }
+    if (s->has("group_thresholds")) {
+      // Only dr-sweep consumes this axis; anywhere else even a single
+      // value would be dead configuration (fail-fast contract).
+      LAD_REQUIRE_MSG(spec.kind == ExperimentKind::kDrSweep,
+                      "[sweep] group_thresholds is only swept by dr-sweep "
+                      "(this is " << experiment_kind_name(spec.kind) << ")");
+      spec.group_threshold_modes.clear();
+      for (const std::string& n : s->get_string_list("group_thresholds", {})) {
+        spec.group_threshold_modes.push_back(
+            group_threshold_mode_from_name(n));
+      }
+      LAD_REQUIRE_MSG(!spec.group_threshold_modes.empty(),
+                      "sweep list 'group_thresholds' is empty");
+    }
   }
   if (spec.kind == ExperimentKind::kDensitySweep) {
     LAD_REQUIRE_MSG(!spec.densities.empty(),
@@ -320,6 +351,14 @@ ScenarioSpec ScenarioSpec::from_config(const KvConfig& config) {
   if (const KvConfig::Section* d = config.find_section("detector")) {
     spec.fp_budget = d->get_double("fp_budget", spec.fp_budget);
     spec.tau = d->get_double("tau", spec.tau);
+    if (d->has("group_min_samples")) {
+      LAD_REQUIRE_MSG(spec.kind == ExperimentKind::kDrSweep,
+                      "[detector] group_min_samples is only consumed by "
+                      "dr-sweep (this is "
+                          << experiment_kind_name(spec.kind) << ")");
+      spec.group_min_samples = get_positive_int(*d, "group_min_samples",
+                                                spec.group_min_samples);
+    }
     spec.bundle = d->get_string("bundle", "");
     // Only metric-fusion consumes a saved bundle today; anywhere else the
     // key would be dead configuration (fail-fast contract).

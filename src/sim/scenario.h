@@ -54,6 +54,14 @@ ExperimentKind experiment_kind_from_name(const std::string& name);
 /// kProduct takes the full cartesian product.
 enum class MismatchCoupling { kAxes, kProduct };
 
+/// Threshold-training mode axis for dr-sweep: one pooled threshold for the
+/// whole field, or boundary groups fitted separately on their own benign
+/// buckets (min-samples fallback to the pooled value).
+enum class GroupThresholdMode { kGlobal, kPerGroup };
+
+const char* group_threshold_mode_name(GroupThresholdMode mode);
+GroupThresholdMode group_threshold_mode_from_name(const std::string& name);
+
 /// Reduced sample counts applied in quick (CI smoke) mode; every field is
 /// optional so specs only override what matters for their kind.
 struct QuickOverrides {
@@ -89,10 +97,19 @@ struct ScenarioSpec {
   std::vector<double> actual_sigmas;
   std::vector<double> jitters;
   MismatchCoupling mismatch_coupling = MismatchCoupling::kAxes;
+  /// dr-sweep only: `group_thresholds = global, per_group` sweeps both
+  /// training modes; when per_group appears, the dr table grows
+  /// boundary/interior DR+FP split columns.  Never empty (the runner
+  /// iterates it as an axis).
+  std::vector<GroupThresholdMode> group_threshold_modes = {
+      GroupThresholdMode::kGlobal};
 
   // [detector]
   double fp_budget = 0.01;  ///< trained-threshold experiments
   double tau = 0.99;        ///< quantile-trained experiments (fusion etc.)
+  /// Per-group benign-bucket floor for the per_group mode; buckets below
+  /// it keep the pooled threshold.
+  int group_min_samples = 100;
   /// Path to a saved detector bundle (core/serialize.h); when set, the
   /// metric-fusion experiment takes its thresholds from the artifact
   /// instead of training them inline.  Only valid for metric-fusion.
@@ -190,6 +207,15 @@ class ScenarioRunner {
   /// Runs the items of `shard`; tables always carry the full header row
   /// even when the shard holds none of their items.
   ScenarioResult run(const ShardRange& shard = {});
+
+  /// True when `dir` holds complete output for `shard`: every table CSV
+  /// exists and the union of their item tags is exactly the work-item ids
+  /// the shard owns.  Every work item emits at least one tagged row, so a
+  /// header-only CSV left by a run killed between the header write and
+  /// the first row reads as incomplete - presence of the file alone does
+  /// not.  On false, `reason` (optional) receives why.
+  bool output_complete(const std::string& dir, const ShardRange& shard,
+                       std::string* reason = nullptr) const;
 
  private:
   struct Impl;

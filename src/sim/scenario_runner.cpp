@@ -15,6 +15,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
 #include <sstream>
 
 #include "attack/displacement.h"
@@ -91,7 +94,8 @@ long long total_items(const ScenarioSpec& s) {
     case ExperimentKind::kRoc:
       return metrics * attacks * damages * xs;
     case ExperimentKind::kDrSweep:
-      return static_cast<long long>(mismatch_pairs(s).size()) *
+      return static_cast<long long>(s.group_threshold_modes.size()) *
+             static_cast<long long>(mismatch_pairs(s).size()) *
              static_cast<long long>(s.shapes.size()) *
              static_cast<long long>(s.localizers.size()) * metrics * attacks *
              xs * damages;
@@ -151,14 +155,24 @@ std::vector<std::string> table_ids_for(const ScenarioSpec& s) {
 struct ScenarioRunner::Impl {
   ScenarioSpec spec;
 
+  /// One shared benign pass: per-metric scores plus each sample's victim
+  /// group (the per-group threshold modes bucket by it).
+  struct BenignPass {
+    std::map<MetricKind, std::vector<double>> scores;
+    std::vector<int> victim_groups;
+  };
+
   // --- shared deterministic state (lazy; values never depend on which
   //     items run, only the spec) ---------------------------------------
   std::map<std::string, std::unique_ptr<Pipeline>> pipelines;
-  // (pipeline key | localizer) -> per-metric benign scores
-  std::map<std::string, std::map<MetricKind, std::vector<double>>> benign;
+  // (pipeline key | localizer) -> the shared benign pass
+  std::map<std::string, BenignPass> benign;
   std::map<std::string, double> loc_errors;
   // threshold-sensitivity: per-damage attack scores on the base pipeline
   std::map<double, std::vector<double>> attack_cache;
+  // dr-sweep per_group mode: per-(pipeline|localizer|metric) boundary-group
+  // fits - invariant across the attack/x/damage axes, so trained once.
+  std::map<std::string, std::vector<GroupTrainingResult>> group_fits;
 
   explicit Impl(const ScenarioSpec& s) : spec(s) {}
 
@@ -190,16 +204,18 @@ struct ScenarioRunner::Impl {
 
   /// Benign scores for every spec metric under one (pipeline, localizer);
   /// per-metric values are independent of which metrics share the pass.
-  const std::map<MetricKind, std::vector<double>>& benign_for(
-      Pipeline& pipeline, const std::string& localizer) {
+  const BenignPass& benign_for(Pipeline& pipeline,
+                               const std::string& localizer) {
     const std::string key =
         config_key(pipeline.config()) + "|" + localizer;
     auto it = benign.find(key);
     if (it == benign.end()) {
       const LocalizerFactory factory =
           localizer_factory_from_name(localizer, pipeline);
-      it = benign.emplace(key, pipeline.benign_scores(factory, spec.metrics))
-               .first;
+      BenignPass pass;
+      pass.scores =
+          pipeline.benign_scores(factory, spec.metrics, &pass.victim_groups);
+      it = benign.emplace(key, std::move(pass)).first;
     }
     return it->second;
   }
@@ -213,6 +229,30 @@ struct ScenarioRunner::Impl {
           localizer_factory_from_name(localizer, pipeline);
       it = loc_errors
                .emplace(key, pipeline.mean_localization_error(factory))
+               .first;
+    }
+    return it->second;
+  }
+
+  /// Boundary-group threshold fits for the per_group mode; a deterministic
+  /// function of (pipeline, localizer, metric) given the spec's fp_budget
+  /// and floor, so cached under that key.
+  const std::vector<GroupTrainingResult>& group_fit_for(
+      Pipeline& pipeline, const std::string& localizer, MetricKind metric,
+      double global_threshold) {
+    const std::string key = config_key(pipeline.config()) + "|" + localizer +
+                            "|" + metric_name(metric);
+    auto it = group_fits.find(key);
+    if (it == group_fits.end()) {
+      const BenignPass& benign = benign_for(pipeline, localizer);
+      GroupTrainingOptions options;
+      options.groups = boundary_groups(pipeline.model());
+      options.min_samples = static_cast<std::size_t>(spec.group_min_samples);
+      it = group_fits
+               .emplace(key, train_group_thresholds(
+                                 metric, benign.scores.at(metric),
+                                 benign.victim_groups, options,
+                                 1.0 - spec.fp_budget, global_threshold))
                .first;
     }
     return it->second;
@@ -262,6 +302,58 @@ long long ScenarioRunner::num_items() const {
 
 std::vector<std::string> ScenarioRunner::table_ids() const {
   return table_ids_for(impl_->spec);
+}
+
+bool ScenarioRunner::output_complete(const std::string& dir,
+                                     const ShardRange& shard,
+                                     std::string* reason) const {
+  namespace fs = std::filesystem;
+  const auto incomplete = [&](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+  const long long total = num_items();
+  std::set<long long> found;
+  for (const std::string& id : table_ids()) {
+    const fs::path path =
+        fs::path(dir) / (impl_->spec.name + "." + id + ".csv");
+    std::ifstream is(path);
+    if (!is) return incomplete("missing " + path.string());
+    std::string line;
+    if (!std::getline(is, line)) {
+      return incomplete("empty file " + path.string());
+    }
+    while (std::getline(is, line)) {
+      if (line.empty()) continue;
+      const std::size_t comma = line.find(',');
+      long long item = -1;
+      try {
+        item = parse_int(
+            comma == std::string::npos ? line : line.substr(0, comma));
+      } catch (const AssertionError&) {
+        return incomplete("malformed row in " + path.string() + ": " + line);
+      }
+      if (item < 0 || item >= total || !shard.contains(item)) {
+        return incomplete(path.string() + " holds rows for work item " +
+                          std::to_string(item) +
+                          ", which this shard does not own (different "
+                          "--shard split?)");
+      }
+      found.insert(item);
+    }
+  }
+  // Every work item emits at least one tagged row, so a shard is complete
+  // exactly when every id it owns shows up somewhere - a header-only CSV
+  // from a run killed after the header write therefore reads incomplete.
+  for (long long i = shard.index; i < total;
+       i += static_cast<long long>(shard.count)) {
+    if (!found.count(i)) {
+      return incomplete("no rows for work item " + std::to_string(i) +
+                        " (run killed between header write and first "
+                        "row?)");
+    }
+  }
+  return true;
 }
 
 ScenarioResult ScenarioRunner::run(const ShardRange& shard) {
@@ -321,7 +413,7 @@ ScenarioResult ScenarioRunner::Impl::run_roc(const ShardRange& shard) {
               group_config(spec.shapes.front(), spec.actual_sigmas.front(),
                            spec.jitters.front()));
           const std::vector<double>& benign_scores =
-              benign_for(pipeline, spec.localizers.front()).at(metric);
+              benign_for(pipeline, spec.localizers.front()).scores.at(metric);
           AttackSpec attack;
           attack.metric = metric;
           attack.attack_class = cls;
@@ -368,8 +460,18 @@ ScenarioResult ScenarioRunner::Impl::run_dr(const ShardRange& shard) {
   const bool many_locs = spec.localizers.size() > 1;
   const bool many_metrics = spec.metrics.size() > 1;
   const bool many_attacks = spec.attacks.size() > 1;
+  const bool many_modes = spec.group_threshold_modes.size() > 1;
+  // The boundary/interior split columns appear whenever the per_group mode
+  // is in play - the whole point of the sweep is comparing the edge
+  // against the (byte-identical) interior.
+  const bool split_groups =
+      std::find(spec.group_threshold_modes.begin(),
+                spec.group_threshold_modes.end(),
+                GroupThresholdMode::kPerGroup) !=
+      spec.group_threshold_modes.end();
 
   std::vector<std::string> cols;
+  if (many_modes) cols.push_back("group_mode");
   if (many_sigmas) cols.push_back("actual_sigma");
   if (many_jitters) cols.push_back("jitter");
   if (many_shapes) cols.push_back("shape");
@@ -381,49 +483,128 @@ ScenarioResult ScenarioRunner::Impl::run_dr(const ShardRange& shard) {
   cols.push_back("DR");
   cols.push_back("trained_FP");
   cols.push_back("threshold");
+  if (split_groups) {
+    cols.insert(cols.end(),
+                {"DR_interior", "DR_boundary", "FP_interior", "FP_boundary"});
+  }
   if (spec.loc_error) cols.push_back("loc_error");
 
   ScenarioResult result{spec.name, {}};
   result.tables.push_back({"dr", Table(cols), {}});
   ResultTable& dr = result.tables.front();
 
-  long long item = -1;
-  for (const auto& [actual_sigma, jitter] : pairs) {
-    for (DeploymentShape shape : spec.shapes) {
-      for (const std::string& localizer : spec.localizers) {
-        for (MetricKind metric : spec.metrics) {
-          for (AttackClass cls : spec.attacks) {
-            for (double x : spec.compromised) {
-              for (double d : spec.damages) {
-                ++item;
-                if (!shard.contains(item)) continue;
-                Pipeline& pipeline =
-                    pipeline_for(group_config(shape, actual_sigma, jitter));
-                const ThresholdFit fit = fit_threshold(
-                    metric, benign_for(pipeline, localizer).at(metric),
-                    spec.fp_budget);
-                AttackSpec attack;
-                attack.metric = metric;
-                attack.attack_class = cls;
-                attack.damage = d;
-                attack.compromised_frac = x;
-                const std::vector<double> scores =
-                    pipeline.attack_scores(attack);
+  // fraction of `scores` above its victim-group threshold, restricted to
+  // samples whose group passes `keep` (empty selection -> 0).
+  const auto rate_where = [](const std::vector<double>& scores,
+                             const std::vector<int>& groups,
+                             const std::vector<double>& thresholds,
+                             const auto& keep) {
+    std::size_t n = 0, above = 0;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      const int g = groups[i];
+      if (!keep(g)) continue;
+      ++n;
+      if (scores[i] > thresholds[static_cast<std::size_t>(g)]) ++above;
+    }
+    return n == 0 ? 0.0
+                  : static_cast<double>(above) / static_cast<double>(n);
+  };
 
-                Table& row = tagged_row(dr, item);
-                if (many_sigmas) row.add(actual_sigma, 1);
-                if (many_jitters) row.add(jitter, 1);
-                if (many_shapes) row.add(deployment_shape_name(shape));
-                if (many_locs) row.add(localizer);
-                if (many_metrics) row.add(metric_name(metric));
-                if (many_attacks) row.add(attack_class_name(cls));
-                row.add(x, 2)
-                    .add(d, 0)
-                    .add(fraction_above(scores, fit.threshold()), 4)
-                    .add(fit.realized_fp, 4)
-                    .add(fit.threshold(), 2);
-                if (spec.loc_error) {
-                  row.add(loc_error_for(pipeline, localizer), 2);
+  long long item = -1;
+  for (GroupThresholdMode mode : spec.group_threshold_modes) {
+    for (const auto& [actual_sigma, jitter] : pairs) {
+      for (DeploymentShape shape : spec.shapes) {
+        for (const std::string& localizer : spec.localizers) {
+          for (MetricKind metric : spec.metrics) {
+            for (AttackClass cls : spec.attacks) {
+              for (double x : spec.compromised) {
+                for (double d : spec.damages) {
+                  ++item;
+                  if (!shard.contains(item)) continue;
+                  Pipeline& pipeline =
+                      pipeline_for(group_config(shape, actual_sigma, jitter));
+                  const BenignPass& benign = benign_for(pipeline, localizer);
+                  const std::vector<double>& benign_scores =
+                      benign.scores.at(metric);
+                  const ThresholdFit fit =
+                      fit_threshold(metric, benign_scores, spec.fp_budget);
+                  AttackSpec attack;
+                  attack.metric = metric;
+                  attack.attack_class = cls;
+                  attack.damage = d;
+                  attack.compromised_frac = x;
+                  std::vector<int> attack_groups;
+                  const std::vector<double> scores = pipeline.attack_scores(
+                      attack, split_groups ? &attack_groups : nullptr);
+
+                  // Per-group threshold vector: the pooled fit everywhere,
+                  // boundary groups re-fitted on their own benign buckets
+                  // in per_group mode (interior groups always keep the
+                  // pooled value, which is what keeps their verdicts
+                  // byte-identical across modes).
+                  const std::size_t num_groups = static_cast<std::size_t>(
+                      pipeline.model().num_groups());
+                  std::vector<double> thresholds(num_groups,
+                                                 fit.threshold());
+                  std::vector<char> is_boundary(num_groups, 0);
+                  if (split_groups) {
+                    const std::vector<GroupTrainingResult>& fits =
+                        group_fit_for(pipeline, localizer, metric,
+                                      fit.threshold());
+                    for (const GroupTrainingResult& r : fits) {
+                      is_boundary[static_cast<std::size_t>(r.group)] = 1;
+                      if (mode == GroupThresholdMode::kPerGroup) {
+                        thresholds[static_cast<std::size_t>(r.group)] =
+                            r.training.threshold;
+                      }
+                    }
+                  }
+
+                  Table& row = tagged_row(dr, item);
+                  if (many_modes) row.add(group_threshold_mode_name(mode));
+                  if (many_sigmas) row.add(actual_sigma, 1);
+                  if (many_jitters) row.add(jitter, 1);
+                  if (many_shapes) row.add(deployment_shape_name(shape));
+                  if (many_locs) row.add(localizer);
+                  if (many_metrics) row.add(metric_name(metric));
+                  if (many_attacks) row.add(attack_class_name(cls));
+                  row.add(x, 2).add(d, 0);
+                  const auto all = [](int) { return true; };
+                  if (mode == GroupThresholdMode::kPerGroup) {
+                    row.add(rate_where(scores, attack_groups, thresholds,
+                                       all),
+                            4)
+                        .add(rate_where(benign_scores, benign.victim_groups,
+                                        thresholds, all),
+                             4);
+                  } else {
+                    row.add(fraction_above(scores, fit.threshold()), 4)
+                        .add(fit.realized_fp, 4);
+                  }
+                  row.add(fit.threshold(), 2);
+                  if (split_groups) {
+                    const auto interior = [&](int g) {
+                      return is_boundary[static_cast<std::size_t>(g)] == 0;
+                    };
+                    const auto boundary = [&](int g) {
+                      return is_boundary[static_cast<std::size_t>(g)] != 0;
+                    };
+                    row.add(rate_where(scores, attack_groups, thresholds,
+                                       interior),
+                            4)
+                        .add(rate_where(scores, attack_groups, thresholds,
+                                        boundary),
+                             4)
+                        .add(rate_where(benign_scores, benign.victim_groups,
+                                        thresholds, interior),
+                             4)
+                        .add(rate_where(benign_scores, benign.victim_groups,
+                                        thresholds, boundary),
+                             4);
+                  }
+                  if (spec.loc_error) {
+                    row.add(loc_error_for(pipeline, localizer), 2);
+                  }
                 }
               }
             }
@@ -462,7 +643,7 @@ ScenarioResult ScenarioRunner::Impl::run_density(const ShardRange& shard) {
                 pipeline_for(density_pipeline_config(spec.pipeline, m));
             const std::string& localizer = spec.localizers.front();
             const ThresholdFit fit = fit_threshold(
-                metric, benign_for(pipeline, localizer).at(metric),
+                metric, benign_for(pipeline, localizer).scores.at(metric),
                 spec.fp_budget);
             AttackSpec attack;
             attack.metric = metric;
@@ -777,7 +958,7 @@ ScenarioResult ScenarioRunner::Impl::run_fusion(const ShardRange& shard) {
   Pipeline& pipeline = pipeline_for(group_config(
       spec.shapes.front(), spec.actual_sigmas.front(), spec.jitters.front()));
   const auto& benign_scores =
-      benign_for(pipeline, spec.localizers.front());
+      benign_for(pipeline, spec.localizers.front()).scores;
 
   // Thresholds always travel through a DetectorBundle - the unit the CLI
   // ships to sensors - either loaded from the spec's saved artifact
@@ -936,7 +1117,7 @@ ScenarioResult ScenarioRunner::Impl::run_threshold(const ShardRange& shard) {
       spec.shapes.front(), spec.actual_sigmas.front(), spec.jitters.front()));
   const MetricKind metric = spec.metrics.front();
   const std::vector<double>& benign_scores =
-      benign_for(pipeline, spec.localizers.front()).at(metric);
+      benign_for(pipeline, spec.localizers.front()).scores.at(metric);
 
   auto attack_for = [&](double d) -> const std::vector<double>& {
     AttackSpec attack;

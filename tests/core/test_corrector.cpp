@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "attack/displacement.h"
 #include "attack/greedy.h"
+#include "core/serialize.h"
 #include "deploy/network.h"
 #include "stats/running_stats.h"
 #include "util/assert.h"
@@ -142,6 +146,99 @@ TEST_F(CorrectorTest, InvalidConstructionRejected) {
 
 TEST_F(CorrectorTest, SizeMismatchThrows) {
   EXPECT_THROW(corrector_.correct(Observation(3)), AssertionError);
+}
+
+TEST_F(CorrectorTest, AllZeroObservationHasDefinedBehavior) {
+  // Every group silenced: no likelihood evidence at all.  Defined result:
+  // the max-prior deployment point, every group flagged capped, no NaNs.
+  const Observation silent(static_cast<std::size_t>(model_.num_groups()));
+  const CorrectionResult r = corrector_.correct(silent);
+  EXPECT_TRUE(std::isfinite(r.corrected.x));
+  EXPECT_TRUE(std::isfinite(r.corrected.y));
+  EXPECT_TRUE(std::isfinite(r.robust_ll));
+  EXPECT_EQ(r.corrected, corrector_.max_prior_deployment_point());
+  ASSERT_EQ(r.capped_groups.size(),
+            static_cast<std::size_t>(model_.num_groups()));
+  for (int g = 0; g < model_.num_groups(); ++g) {
+    EXPECT_EQ(r.capped_groups[static_cast<std::size_t>(g)], g);
+  }
+  // Deterministic: the same silent observation yields the same point.
+  EXPECT_EQ(corrector_.correct(silent).corrected, r.corrected);
+}
+
+TEST_F(CorrectorTest, MaxPriorPointIsAnInteriorDeploymentPoint) {
+  // The deployment-density mixture peaks away from the field edge, so the
+  // fallback point must be one of the interior deployment points.
+  const Vec2 p = corrector_.max_prior_deployment_point();
+  bool is_deployment_point = false;
+  for (int g = 0; g < model_.num_groups(); ++g) {
+    if (model_.deployment_point(g) == p) is_deployment_point = true;
+  }
+  EXPECT_TRUE(is_deployment_point);
+  const double edge = std::min(std::min(p.x, cfg_.field_side - p.x),
+                               std::min(p.y, cfg_.field_side - p.y));
+  EXPECT_GT(edge, cfg_.sigma);  // not a boundary deployment point
+}
+
+TEST_F(CorrectorTest, GroupSpreadConditioningLoosensBoundaryCaps) {
+  DetectorSpec spec;
+  spec.metric = MetricKind::kDiff;
+  spec.threshold = 10.0;
+  // Group 0 trained twice as wide, group 5 half as wide.
+  spec.group_overrides = {
+      {0, 20.0, GroupOverrideSource::kTrained, 50, 4.0, 2.0},
+      {5, 5.0, GroupOverrideSource::kTrained, 50, 1.0, 0.5}};
+  const DetectorBundle bundle = make_bundle(model_, 128, {spec});
+
+  LocationCorrector conditioned(model_, gz_);
+  conditioned.apply_group_spread(bundle);
+  EXPECT_DOUBLE_EQ(conditioned.cap_for_group(0), 50.0);
+  EXPECT_DOUBLE_EQ(conditioned.cap_for_group(5), 12.5);
+  EXPECT_DOUBLE_EQ(conditioned.cap_for_group(1), 25.0);  // base cap
+  EXPECT_DOUBLE_EQ(corrector_.cap_for_group(0), 25.0);   // unconditioned
+  EXPECT_THROW(conditioned.cap_for_group(model_.num_groups()),
+               AssertionError);
+}
+
+TEST_F(CorrectorTest, ConditionedCapsChangeTheCappedDiagnostic) {
+  // Forge a far group hard enough to hit the base cap, then loosen that
+  // group's cap via a bundle: the term must now cost more than the base
+  // cap allowed (the diagnostic threshold moved with it).
+  const std::size_t node = in_field_victim();
+  Observation obs = net_.observe(node);
+  const Vec2 truth = net_.position(node);
+  int far_group = 0;
+  double far_d = 0;
+  for (int g = 0; g < model_.num_groups(); ++g) {
+    const double d = distance(model_.deployment_point(g), truth);
+    if (d > far_d) {
+      far_d = d;
+      far_group = g;
+    }
+  }
+  obs.counts[static_cast<std::size_t>(far_group)] += 40;
+  const double base_ll = corrector_.robust_log_likelihood(obs, truth);
+
+  DetectorSpec spec;
+  spec.metric = MetricKind::kDiff;
+  spec.threshold = 10.0;
+  spec.group_overrides = {
+      {far_group, 40.0, GroupOverrideSource::kTrained, 50, 8.0, 4.0}};
+  LocationCorrector conditioned(model_, gz_);
+  conditioned.apply_group_spread(make_bundle(model_, 128, {spec}));
+  // A 4x looser cap lets the forged group's true implausibility through.
+  EXPECT_LT(conditioned.robust_log_likelihood(obs, truth), base_ll);
+}
+
+TEST_F(CorrectorTest, GroupSpreadRejectsMismatchedBundle) {
+  DeploymentConfig other = cfg_;
+  other.grid_nx = 3;
+  other.grid_ny = 3;
+  const DeploymentModel other_model(other);
+  const DetectorBundle bundle =
+      make_bundle(other_model, 128, MetricKind::kDiff, 10.0);
+  LocationCorrector c(model_, gz_);
+  EXPECT_THROW(c.apply_group_spread(bundle), AssertionError);
 }
 
 }  // namespace

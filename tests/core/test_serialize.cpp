@@ -152,6 +152,63 @@ TEST(Serialize, CheckForGroupHonorsOverrides) {
                AssertionError);
 }
 
+TEST(Serialize, GroupRowProvenanceRoundTrips) {
+  const DeploymentModel model(cfg4());
+  DetectorSpec spec;
+  spec.metric = MetricKind::kDiff;
+  spec.threshold = 10.0;
+  // All three row kinds: hand-written, trained, recorded fallback.
+  spec.group_overrides = {
+      {0, 8.5},
+      {1, 7.25, GroupOverrideSource::kTrained, 120, 2.5, 1.125},
+      {3, 10.0, GroupOverrideSource::kFallback, 4, 1.5, 0.25}};
+  const DetectorBundle original = make_bundle(model, 64, {spec});
+  const std::string text = text_of(original);
+  // Manual rows keep the bare 2-field form; trained/fallback rows carry
+  // the bucket provenance and their marker.
+  EXPECT_NE(text.find("group 0 8.5\n"), std::string::npos);
+  EXPECT_NE(text.find("group 1 7.25 120 2.5 1.125 trained\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("group 3 10 4 1.5 0.25 fallback\n"),
+            std::string::npos);
+  const DetectorBundle loaded = parse(text);
+  EXPECT_EQ(loaded, original);
+  EXPECT_EQ(text_of(loaded), text);  // canonical text is a fixed point
+}
+
+TEST(Serialize, GroupRowRejectsMalformedProvenance) {
+  const DeploymentModel model(cfg4());
+  const std::string text =
+      text_of(make_bundle(model, 64, MetricKind::kDiff, 5.0));
+  // Wrong arity: 3 provenance fields without the marker.
+  EXPECT_THROW(parse(text + "group 1 2.5 10 1.0 0.5\n"), AssertionError);
+  // Unknown provenance marker.
+  EXPECT_THROW(parse(text + "group 1 2.5 10 1.0 0.5 guessed\n"),
+               AssertionError);
+  // Negative sample count.
+  EXPECT_THROW(parse(text + "group 1 2.5 -1 1.0 0.5 trained\n"),
+               AssertionError);
+  // The well-formed forms still parse.
+  EXPECT_NO_THROW(parse(text + "group 1 2.5\n"));
+  EXPECT_NO_THROW(parse(text + "group 1 2.5 10 1.0 0.5 trained\n"));
+  EXPECT_NO_THROW(parse(text + "group 1 2.5 0 0 0 fallback\n"));
+}
+
+TEST(Serialize, ValidateRejectsTrainedGroupRowWithoutSamples) {
+  const DeploymentModel model(cfg4());
+  DetectorSpec spec;
+  spec.metric = MetricKind::kDiff;
+  spec.threshold = 10.0;
+  spec.group_overrides = {
+      {1, 7.25, GroupOverrideSource::kTrained, 0, 0.0, 0.0}};
+  EXPECT_THROW(make_bundle(model, 64, {spec}), AssertionError);
+  // A zero-sample *fallback* row is fine - that is what the min-samples
+  // floor records for a group no victim landed in.
+  spec.group_overrides = {
+      {1, 10.0, GroupOverrideSource::kFallback, 0, 0.0, 0.0}};
+  EXPECT_NO_THROW(make_bundle(model, 64, {spec}));
+}
+
 TEST(Serialize, DetectorSpecFromTrainingSelectsActiveTau) {
   std::vector<TrainingResult> table;
   for (double tau : {0.99, 0.95}) {  // deliberately unsorted

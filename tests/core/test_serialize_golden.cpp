@@ -30,6 +30,7 @@ namespace {
 constexpr char kGoldenV1[] = "detector_bundle_v1.lad";
 constexpr char kGoldenV1Migrated[] = "detector_bundle_v1_migrated.lad";
 constexpr char kGoldenV2[] = "detector_bundle_v2.lad";
+constexpr char kGoldenV2Groups[] = "detector_bundle_v2_groups.lad";
 
 DeploymentConfig golden_config() {
   DeploymentConfig cfg = test::tiny_config();
@@ -76,6 +77,73 @@ DetectorBundle reference_v2_bundle() {
   prob.extensions = {{"trained-by", "golden fixture"},
                      {"note", "values are hand-picked, not trained"}};
   return make_bundle(golden_model(), 128, {diff, addall, prob});
+}
+
+/// The per-group golden: a fusion bundle whose sections carry trained and
+/// fallback group override rows (the per-group training provenance) next
+/// to a hand-written one - pinning the 7-token row format.
+DetectorBundle reference_v2_groups_bundle() {
+  DetectorSpec diff;
+  diff.metric = MetricKind::kDiff;
+  diff.threshold = 12.25;
+  diff.taus = {{0.99, 12.25, 4800, 3.5, 1.25, 0.125, 19.75}};
+  diff.group_overrides = {
+      {0, 15.125, GroupOverrideSource::kTrained, 96, 4.5, 2.25},
+      {1, 9.5},  // hand-written override keeps the bare form
+      {2, 12.25, GroupOverrideSource::kFallback, 3, 1.0 / 3.0, 0.125}};
+  diff.extensions = {{"group-training",
+                      "boundary=2 trained=1 fallback=1 min_samples=16"}};
+  DetectorSpec addall;
+  addall.metric = MetricKind::kAddAll;
+  addall.threshold = 100.5;
+  addall.group_overrides = {
+      {0, 130.75, GroupOverrideSource::kTrained, 96, 60.5, 8.75},
+      {2, 100.5, GroupOverrideSource::kFallback, 3, 55.25, 4.5}};
+  return make_bundle(golden_model(), 128, {diff, addall});
+}
+
+TEST(SerializeGolden, SavedBytesMatchV2GroupsGoldenFile) {
+  std::ostringstream os;
+  save_bundle(os, reference_v2_groups_bundle());
+  test::expect_matches_golden(os.str(), kGoldenV2Groups);
+}
+
+TEST(SerializeGolden, V2GroupsGoldenLoadsToReferenceBundle) {
+  std::istringstream is(test::read_golden(kGoldenV2Groups));
+  int version = 0;
+  const DetectorBundle loaded = load_bundle(is, &version);
+  EXPECT_EQ(version, 2);
+  EXPECT_EQ(loaded, reference_v2_groups_bundle());
+}
+
+TEST(SerializeGolden, V2GroupsGoldenUpgradeIsIdempotent) {
+  // `upgrade` on a v2 fusion bundle with group override rows is
+  // load-then-save; the bytes must be a fixed point of that map.
+  const std::string golden = test::read_golden(kGoldenV2Groups);
+  std::istringstream first(golden);
+  std::ostringstream once;
+  save_bundle(once, load_bundle(first));
+  EXPECT_EQ(once.str(), golden);
+  std::istringstream second(once.str());
+  std::ostringstream twice;
+  save_bundle(twice, load_bundle(second));
+  EXPECT_EQ(twice.str(), once.str());
+}
+
+TEST(SerializeGolden, V2GroupsGoldenGroupVerdictsUseTheOverrides) {
+  std::istringstream is(test::read_golden(kGoldenV2Groups));
+  const RuntimeDetector rt(load_bundle(is));
+  EXPECT_TRUE(rt.fused());
+  Observation o(static_cast<std::size_t>(rt.model().num_groups()));
+  o.counts[0] = 40;  // a far-from-expected observation with nonzero score
+  const Vec2 le{200.0, 200.0};
+  // Group 0 carries trained overrides in both sections, so its fused
+  // normalization must differ from the global one.
+  const Verdict global = rt.check(o, le);
+  const Verdict g0 = rt.check_for_group(o, le, 0);
+  EXPECT_TRUE(std::isfinite(global.score));
+  EXPECT_TRUE(std::isfinite(g0.score));
+  EXPECT_NE(global.score, g0.score);
 }
 
 TEST(SerializeGolden, V1GoldenLoadsAndMigratesToReferenceBundle) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "rng/rng.h"
 #include "stats/quantile.h"
 #include "util/assert.h"
@@ -62,6 +64,92 @@ TEST(Trainer, RejectsBadInputs) {
   EXPECT_THROW(train_threshold(MetricKind::kDiff, {}, 0.9), AssertionError);
   EXPECT_THROW(train_threshold(MetricKind::kDiff, {1.0}, 0.0), AssertionError);
   EXPECT_THROW(train_threshold(MetricKind::kDiff, {1.0}, 1.5), AssertionError);
+}
+
+TEST(GroupTrainer, FitsEachRequestedGroupOnItsOwnBucket) {
+  // Group 0 scores cluster low, group 2 high; group 1 is not requested.
+  const std::vector<double> scores = {1, 2, 3, 4, 50, 10, 20, 30, 40, 5};
+  const std::vector<int> groups = {0, 0, 0, 0, 1, 2, 2, 2, 2, 0};
+  GroupTrainingOptions options;
+  options.groups = {0, 2};
+  options.min_samples = 4;
+  const auto out = train_group_thresholds(MetricKind::kDiff, scores, groups,
+                                          options, 1.0, 99.0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].group, 0);
+  EXPECT_FALSE(out[0].fallback);
+  EXPECT_DOUBLE_EQ(out[0].training.threshold, 5.0);  // tau = 1 -> bucket max
+  EXPECT_EQ(out[0].training.num_samples, 5u);
+  EXPECT_DOUBLE_EQ(out[0].training.score_stats.mean(), 3.0);
+  EXPECT_EQ(out[1].group, 2);
+  EXPECT_FALSE(out[1].fallback);
+  EXPECT_DOUBLE_EQ(out[1].training.threshold, 40.0);
+  EXPECT_EQ(out[1].training.num_samples, 4u);
+}
+
+TEST(GroupTrainer, BucketBelowFloorFallsBackToGlobalThreshold) {
+  const std::vector<double> scores = {1, 2, 3};
+  const std::vector<int> groups = {0, 0, 7};
+  GroupTrainingOptions options;
+  options.groups = {0, 7};
+  options.min_samples = 2;
+  const auto out = train_group_thresholds(MetricKind::kDiff, scores, groups,
+                                          options, 0.99, 42.0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out[0].fallback);
+  EXPECT_TRUE(out[1].fallback);
+  EXPECT_DOUBLE_EQ(out[1].training.threshold, 42.0);
+  // The fallback still records the bucket's provenance.
+  EXPECT_EQ(out[1].training.num_samples, 1u);
+  EXPECT_DOUBLE_EQ(out[1].training.score_stats.mean(), 3.0);
+}
+
+TEST(GroupTrainer, EmptyBucketFallsBackEvenWithZeroFloor) {
+  GroupTrainingOptions options;
+  options.groups = {5};
+  options.min_samples = 0;
+  const auto out = train_group_thresholds(MetricKind::kDiff, {1.0}, {0},
+                                          options, 0.99, 7.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].fallback);
+  EXPECT_DOUBLE_EQ(out[0].training.threshold, 7.0);
+  EXPECT_EQ(out[0].training.num_samples, 0u);
+}
+
+TEST(GroupTrainer, RejectsMisalignedOrUnsortedInputs) {
+  GroupTrainingOptions options;
+  options.groups = {0, 1};
+  EXPECT_THROW(train_group_thresholds(MetricKind::kDiff, {1.0}, {0, 1},
+                                      options, 0.99, 1.0),
+               AssertionError);
+  options.groups = {1, 0};
+  EXPECT_THROW(train_group_thresholds(MetricKind::kDiff, {1.0, 2.0}, {0, 1},
+                                      options, 0.99, 1.0),
+               AssertionError);
+  options.groups = {-1};
+  EXPECT_THROW(train_group_thresholds(MetricKind::kDiff, {1.0}, {0}, options,
+                                      0.99, 1.0),
+               AssertionError);
+}
+
+TEST(GroupTrainer, BoundaryGroupsAreTheEdgeTruncatedOnes) {
+  // 1000m field, 10x10 grid, sigma 50, R 50: deployment points sit at
+  // 50, 150, ..., 950, so exactly the outermost ring (edge distance 50 <
+  // sigma + R = 100) is boundary - 36 of 100 groups.
+  DeploymentConfig cfg;
+  const DeploymentModel model(cfg);
+  const std::vector<int> boundary = boundary_groups(model);
+  EXPECT_EQ(boundary.size(), 36u);
+  for (std::size_t i = 1; i < boundary.size(); ++i) {
+    EXPECT_LT(boundary[i - 1], boundary[i]);  // ascending
+  }
+  // Row 0 and row 9 entirely; rows 1..8 contribute their two edge columns.
+  for (int g = 0; g < 10; ++g) {
+    EXPECT_TRUE(std::find(boundary.begin(), boundary.end(), g) !=
+                boundary.end());
+  }
+  EXPECT_TRUE(std::find(boundary.begin(), boundary.end(), 55) ==
+              boundary.end());  // interior (row 5, col 5)
 }
 
 }  // namespace

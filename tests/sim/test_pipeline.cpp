@@ -157,5 +157,106 @@ TEST(Pipeline, RejectsBadConfigs) {
   EXPECT_THROW(ok.attack_scores(bad), AssertionError);
 }
 
+TEST(Pipeline, VictimGroupsAlignWithScoresAndNeverPerturbThem) {
+  Pipeline p(small_pipeline_config());
+  const LocalizerFactory factory = truth_noise_factory(5.0);
+  const auto plain = p.benign_scores(factory, {MetricKind::kDiff});
+  std::vector<int> groups;
+  const auto with_groups =
+      p.benign_scores(factory, {MetricKind::kDiff}, &groups);
+  EXPECT_EQ(plain.at(MetricKind::kDiff), with_groups.at(MetricKind::kDiff));
+  ASSERT_EQ(groups.size(), with_groups.at(MetricKind::kDiff).size());
+  for (int g : groups) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, p.model().num_groups());
+  }
+
+  AttackSpec attack;
+  std::vector<int> attack_groups;
+  const auto scores_plain = p.attack_scores(attack);
+  const auto scores_grouped = p.attack_scores(attack, &attack_groups);
+  EXPECT_EQ(scores_plain, scores_grouped);
+  ASSERT_EQ(attack_groups.size(), scores_grouped.size());
+}
+
+TEST(Pipeline, TrainBundlePerGroupEmitsBoundaryOverrideRows) {
+  PipelineConfig cfg = small_pipeline_config();
+  cfg.victims_per_network = 150;  // enough per-group benign samples
+  Pipeline p(cfg);
+  const LocalizerFactory factory = truth_noise_factory(5.0);
+  GroupTrainingSpec grouped;
+  grouped.per_group = true;
+  grouped.min_samples = 5;
+  const DetectorBundle bundle =
+      p.train_bundle(factory, {MetricKind::kDiff}, {}, 0.95, grouped);
+  const std::vector<int> boundary = boundary_groups(p.model());
+  ASSERT_FALSE(boundary.empty());
+  const DetectorSpec& spec = bundle.primary();
+  // Exactly one override row per boundary group, in ascending order, each
+  // carrying trained-or-fallback provenance; interior groups get none.
+  ASSERT_EQ(spec.group_overrides.size(), boundary.size());
+  std::size_t trained = 0;
+  for (std::size_t i = 0; i < boundary.size(); ++i) {
+    const GroupThreshold& g = spec.group_overrides[i];
+    EXPECT_EQ(g.group, boundary[i]);
+    EXPECT_NE(g.source, GroupOverrideSource::kManual);
+    if (g.source == GroupOverrideSource::kTrained) {
+      ++trained;
+      EXPECT_GE(g.samples, 5u);
+      EXPECT_NE(g.threshold, spec.threshold);
+    } else {
+      EXPECT_EQ(g.threshold, spec.threshold);
+      EXPECT_LT(g.samples, 5u);
+    }
+  }
+  EXPECT_GT(trained, 0u);
+  // The run is recorded in the section's extension tail.
+  ASSERT_EQ(spec.extensions.size(), 1u);
+  EXPECT_EQ(spec.extensions[0].first, "group-training");
+  EXPECT_NE(spec.extensions[0].second.find("min_samples=5"),
+            std::string::npos);
+}
+
+TEST(Pipeline, TrainBundlePerGroupKeepsGlobalSectionsIdentical) {
+  PipelineConfig cfg = small_pipeline_config();
+  cfg.victims_per_network = 100;
+  const LocalizerFactory factory = truth_noise_factory(5.0);
+  Pipeline a(cfg);
+  const DetectorBundle plain =
+      a.train_bundle(factory, {MetricKind::kDiff, MetricKind::kProb}, {0.9},
+                     0.95);
+  Pipeline b(cfg);
+  GroupTrainingSpec grouped;
+  grouped.per_group = true;
+  grouped.min_samples = 8;
+  const DetectorBundle with_groups =
+      b.train_bundle(factory, {MetricKind::kDiff, MetricKind::kProb}, {0.9},
+                     0.95, grouped);
+  // Per-group mode adds rows, never changes the pooled training.
+  ASSERT_EQ(plain.detectors.size(), with_groups.detectors.size());
+  for (std::size_t i = 0; i < plain.detectors.size(); ++i) {
+    EXPECT_EQ(plain.detectors[i].threshold, with_groups.detectors[i].threshold);
+    EXPECT_EQ(plain.detectors[i].taus, with_groups.detectors[i].taus);
+    EXPECT_TRUE(plain.detectors[i].group_overrides.empty());
+    EXPECT_FALSE(with_groups.detectors[i].group_overrides.empty());
+  }
+  // Deterministic: training again reproduces the same bundle.
+  Pipeline c(cfg);
+  EXPECT_EQ(with_groups,
+            c.train_bundle(factory, {MetricKind::kDiff, MetricKind::kProb},
+                           {0.9}, 0.95, grouped));
+}
+
+TEST(Pipeline, TrainBundleRejectsBadGroupSpec) {
+  Pipeline p(small_pipeline_config());
+  const LocalizerFactory factory = truth_noise_factory(5.0);
+  GroupTrainingSpec grouped;
+  grouped.per_group = true;
+  grouped.min_samples = 0;
+  EXPECT_THROW(
+      p.train_bundle(factory, {MetricKind::kDiff}, {}, 0.95, grouped),
+      AssertionError);
+}
+
 }  // namespace
 }  // namespace lad

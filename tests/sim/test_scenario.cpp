@@ -355,6 +355,177 @@ TEST(ScenarioRunner, MergeRejectsIncompleteShardSetsUnlessPartial) {
   fs::remove_all(base);
 }
 
+// --- per-group threshold axis ------------------------------------------
+
+TEST(ScenarioSpec, GroupThresholdsAxisParsesAndDefaults) {
+  EXPECT_EQ(tiny_spec().group_threshold_modes,
+            std::vector<GroupThresholdMode>{GroupThresholdMode::kGlobal});
+  EXPECT_EQ(tiny_spec().group_min_samples, 100);
+
+  ScenarioSpec spec = ScenarioSpec::from_config(KvConfig::parse_string(
+      std::string(kTinySpec).replace(
+          std::string(kTinySpec).find("[sweep]"), 7,
+          "[sweep]\ngroup_thresholds = global, per_group")));
+  EXPECT_EQ(spec.group_threshold_modes,
+            (std::vector<GroupThresholdMode>{GroupThresholdMode::kGlobal,
+                                             GroupThresholdMode::kPerGroup}));
+
+  EXPECT_THROW(
+      ScenarioSpec::from_config(KvConfig::parse_string(
+          std::string(kTinySpec).replace(
+              std::string(kTinySpec).find("[sweep]"), 7,
+              "[sweep]\ngroup_thresholds = per_node"))),
+      AssertionError);
+}
+
+TEST(ScenarioSpec, GroupThresholdKeysRejectedOutsideDrSweep) {
+  // The axis (and its floor) are dr-sweep-only: anywhere else they would
+  // be dead configuration.
+  EXPECT_THROW(ScenarioSpec::from_config(KvConfig::parse_string(
+                   "[scenario]\nname = r\nexperiment = roc\n"
+                   "[sweep]\ngroup_thresholds = global\n")),
+               AssertionError);
+  EXPECT_THROW(ScenarioSpec::from_config(KvConfig::parse_string(
+                   "[scenario]\nname = r\nexperiment = roc\n"
+                   "[detector]\ngroup_min_samples = 10\n")),
+               AssertionError);
+  EXPECT_NO_THROW(ScenarioSpec::from_config(KvConfig::parse_string(
+      "[scenario]\nname = d\nexperiment = dr-sweep\n"
+      "[sweep]\ngroup_thresholds = per_group\n"
+      "[detector]\ngroup_min_samples = 10\n")));
+}
+
+constexpr const char* kGroupedSpec = R"([scenario]
+name = grouped
+experiment = dr-sweep
+
+[pipeline]
+seed = 7
+m = 25
+networks = 2
+victims = 200
+sigma = 30
+r = 50
+field = 600
+grid_nx = 6
+grid_ny = 6
+
+[sweep]
+group_thresholds = global, per_group
+damages = 60, 120
+compromised = 0.10
+
+[detector]
+fp_budget = 0.05
+group_min_samples = 5
+)";
+
+TEST(ScenarioRunner, PerGroupModeChangesBoundaryButNotInteriorColumns) {
+  const ScenarioSpec spec =
+      ScenarioSpec::from_config(KvConfig::parse_string(kGroupedSpec));
+  ScenarioRunner runner(spec);
+  EXPECT_EQ(runner.num_items(), 4);  // 2 modes x 2 damages
+  const ScenarioResult result = runner.run();
+  ASSERT_EQ(result.tables.size(), 1u);
+  const Table& t = result.tables[0].table;
+  EXPECT_EQ(t.columns(),
+            (std::vector<std::string>{"group_mode", "x", "D", "DR",
+                                      "trained_FP", "threshold",
+                                      "DR_interior", "DR_boundary",
+                                      "FP_interior", "FP_boundary"}));
+  ASSERT_EQ(t.num_rows(), 4u);
+  const auto col = [&](const std::string& name) {
+    const auto& cols = t.columns();
+    return static_cast<std::size_t>(
+        std::find(cols.begin(), cols.end(), name) - cols.begin());
+  };
+  bool boundary_changed = false;
+  for (std::size_t d = 0; d < 2; ++d) {
+    const std::size_t global_row = d, per_group_row = 2 + d;
+    EXPECT_EQ(t.cell(global_row, col("group_mode")), "global");
+    EXPECT_EQ(t.cell(per_group_row, col("group_mode")), "per_group");
+    EXPECT_EQ(t.cell(global_row, col("D")), t.cell(per_group_row, col("D")));
+    // Interior groups always keep the pooled threshold: byte-identical.
+    for (const char* c : {"DR_interior", "FP_interior", "threshold"}) {
+      EXPECT_EQ(t.cell(global_row, col(c)), t.cell(per_group_row, col(c)))
+          << c << " differs at D row " << d;
+    }
+    for (const char* c : {"DR_boundary", "FP_boundary"}) {
+      if (t.cell(global_row, col(c)) != t.cell(per_group_row, col(c))) {
+        boundary_changed = true;
+      }
+    }
+  }
+  EXPECT_TRUE(boundary_changed)
+      << "per_group mode should move at least one boundary column";
+}
+
+TEST(ScenarioRunner, GlobalOnlySpecKeepsTheHistoricalColumns) {
+  // No per_group in the axis -> no mode column, no split columns, and item
+  // ids identical to a spec that never mentions the axis.
+  ScenarioRunner runner(tiny_spec());
+  const ScenarioResult result = runner.run();
+  EXPECT_EQ(result.tables[0].table.columns(),
+            (std::vector<std::string>{"x", "D", "DR", "trained_FP",
+                                      "threshold"}));
+}
+
+// --- resume completeness ------------------------------------------------
+
+TEST(ScenarioRunner, OutputCompleteRequiresRowsNotJustFiles) {
+  namespace fs = std::filesystem;
+  const fs::path base =
+      fs::path(testing::TempDir()) / "lad_scenario_resume_test";
+  fs::remove_all(base);
+  const std::string dir = (base / "out").string();
+
+  ScenarioRunner runner(tiny_spec());
+  write_result_csvs(runner.run(), dir);
+  std::string reason;
+  EXPECT_TRUE(runner.output_complete(dir, ShardRange{}, &reason)) << reason;
+
+  // A header-only CSV (run killed between header write and first row)
+  // must read as incomplete even though the file exists.
+  const fs::path csv = fs::path(dir) / "tiny.dr.csv";
+  std::string header;
+  {
+    std::ifstream is(csv);
+    ASSERT_TRUE(std::getline(is, header));
+  }
+  {
+    std::ofstream os(csv, std::ios::trunc);
+    os << header << "\n";
+  }
+  EXPECT_FALSE(runner.output_complete(dir, ShardRange{}, &reason));
+  EXPECT_NE(reason.find("work item"), std::string::npos) << reason;
+
+  // A missing file is incomplete with a reason naming it.
+  fs::remove(csv);
+  EXPECT_FALSE(runner.output_complete(dir, ShardRange{}, &reason));
+  EXPECT_NE(reason.find("missing"), std::string::npos) << reason;
+  fs::remove_all(base);
+}
+
+TEST(ScenarioRunner, OutputCompleteIsShardAware) {
+  namespace fs = std::filesystem;
+  const fs::path base =
+      fs::path(testing::TempDir()) / "lad_scenario_resume_shard_test";
+  fs::remove_all(base);
+  const std::string dir = (base / "s0").string();
+
+  ScenarioRunner runner(tiny_spec());
+  write_result_csvs(runner.run(ShardRange{0, 2}), dir);
+  std::string reason;
+  // Complete for the shard that wrote it...
+  EXPECT_TRUE(runner.output_complete(dir, ShardRange{0, 2}, &reason))
+      << reason;
+  // ...but not for the other shard (its items are absent), nor for a
+  // different split (the present items are not owned).
+  EXPECT_FALSE(runner.output_complete(dir, ShardRange{1, 2}, &reason));
+  EXPECT_NE(reason.find("not own"), std::string::npos) << reason;
+  fs::remove_all(base);
+}
+
 TEST(ScenarioSpec, BundleKeyOnlyValidForMetricFusion) {
   const ScenarioSpec fusion = ScenarioSpec::from_config(KvConfig::parse_string(
       "[scenario]\nname = f\nexperiment = metric-fusion\n"

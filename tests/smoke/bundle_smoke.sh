@@ -57,6 +57,41 @@ grep -q "benign false positives:" <<<"$output" || fail "simulate: missing benign
 grep -q "attacks detected (D=120, x=10%, dec-bounded vs add-all)" <<<"$output" \
   || fail "simulate: missing detection line"
 
+# --- per-group threshold training ----------------------------------------
+run train_per_group 0 "$cli" train --out "$workdir/grouped.lad" --per-group \
+  --min-group-samples 3 --m 40 --r 45 --sigma 25 --networks 2 --victims 200 \
+  --seed 1
+grep -q "per-group: .* boundary group(s) trained" <<<"$output" \
+  || fail "train --per-group: missing per-group summary line"
+grep -Eq "^group [0-9]+ [0-9.e+-]+ [0-9]+ [0-9.e+-]+ [0-9.e+-]+ trained$" \
+  "$workdir/grouped.lad" || fail "train --per-group: no trained group rows"
+
+run inspect_grouped 0 "$cli" inspect --detector "$workdir/grouped.lad"
+grep -Eq "group [0-9]+ -> threshold .*\(trained, .* samples" <<<"$output" \
+  || fail "inspect: trained group provenance not printed"
+
+# check --group consumes the override; an unknown group id is a named
+# error (exit 1), never a silent fall-through to the global threshold.
+"$cli" check --detector "$workdir/grouped.lad" --le-x 50 --le-y 50 \
+  --obs 0:5,1:3 --group 0 >/dev/null 2>&1
+rc=$?
+[ "$rc" -eq 0 ] || [ "$rc" -eq 3 ] || fail "check --group 0 exited $rc"
+run check_unknown_group 1 "$cli" check --detector "$workdir/grouped.lad" \
+  --le-x 50 --le-y 50 --obs 0:5 --group 100
+grep -q "unknown group 100" <<<"$output" \
+  || fail "check: out-of-range group not a named error"
+
+# A per-group bundle round-trips: upgrade is byte-idempotent on it.
+run upgrade_grouped 0 "$cli" upgrade --in "$workdir/grouped.lad" \
+  --out "$workdir/grouped2.lad"
+cmp "$workdir/grouped.lad" "$workdir/grouped2.lad" \
+  || fail "upgrade: per-group bundle bytes changed"
+
+run simulate_grouped 0 "$cli" simulate --detector "$workdir/grouped.lad" \
+  --d 120 --x 0.1 --trials 20 --seed 7 --per-group
+grep -q "(per-group thresholds)" <<<"$output" \
+  || fail "simulate --per-group: detector line does not say per-group"
+
 # --- migrate the checked-in v1 golden ------------------------------------
 run inspect_v1 0 "$cli" inspect --detector "$v1_golden"
 grep -q "format:       lad-detector v1 (migrates to v2 in memory)" <<<"$output" \

@@ -84,6 +84,18 @@ run merge_resumed 0 "$cli" merge --out "$workdir/merged2" "$workdir/s0" "$workdi
 cmp "$csv" "$workdir/merged2/quickstart.dr.csv" \
   || fail "merged resumed shards differ from the unsharded run"
 
+# A shard killed right after the header flush leaves a header-only CSV.
+# Presence is not completeness: --resume must detect the missing rows,
+# re-run, and reproduce the original bytes.
+mkdir -p "$workdir/s1_headeronly"
+head -1 "$workdir/s1/quickstart.dr.csv" > "$workdir/s1_headeronly/quickstart.dr.csv"
+run resume_headeronly 0 "$cli" run --scenario "$scn" --shard 1/2 \
+  --out "$workdir/s1_headeronly" --resume
+grep -q "running" <<<"$output" || fail "--resume skipped a header-only shard CSV"
+grep -q "work item" <<<"$output" || fail "--resume did not say which items were missing"
+cmp "$workdir/s1/quickstart.dr.csv" "$workdir/s1_headeronly/quickstart.dr.csv" \
+  || fail "--resume rerun of header-only shard differs from the original"
+
 # --resume without --out is a usage error.
 run resume_no_out 2 "$cli" run --scenario "$scn" --resume
 grep -q "resume" <<<"$output" || fail "--resume without --out: error does not say why"

@@ -2,12 +2,16 @@
 //
 //   lad_cli train   --out detector.lad [--metric diff | --fusion]
 //                   [--tau 0.99] [--taus 0.95,0.99,0.999]
+//                   [--per-group] [--min-group-samples 100]
 //                   [--m 300] [--r 50] [--sigma 50] [--networks 6]
 //       Trains threshold(s) on simulated benign deployments and writes a
 //       self-contained v2 detector bundle.  --fusion trains all three
 //       metrics on one shared benign pass (the bundle materializes as a
 //       FusionDetector); --taus records a multi-tau threshold table, with
-//       --tau selecting the active operating point.
+//       --tau selecting the active operating point.  --per-group
+//       additionally fits every boundary group's threshold on its own
+//       benign bucket (min-samples floor falls back to the global value)
+//       and records the per-group rows in every section.
 //
 //   lad_cli inspect --detector detector.lad
 //       Prints a bundle's configuration and full per-section provenance
@@ -17,14 +21,18 @@
 //                   --obs g0:c0,g1:c1,... [--group g]
 //       Verdict for one (observation, estimated location) pair; --group
 //       applies the bundle's per-group threshold override for that group.
+//       A group id outside the bundle's deployment groups is a named
+//       error, never a silent fall-through to the global threshold.
 //
 //   lad_cli simulate --detector detector.lad [--d 120] [--x 0.1]
 //                    [--trials 200] [--attack dec-bounded]
-//                    [--target diff]
+//                    [--target diff] [--per-group]
 //       Deploys a fresh network, attacks `trials` sensors, and reports the
 //       detection rate of the shipped detector (plus benign FP).  The
 //       attacker's taint optimizes against --target (default: the bundle's
 //       first metric) - the interesting case for fused bundles.
+//       --per-group routes every verdict through the bundle's per-group
+//       threshold override for the victim's home group.
 //
 //   lad_cli upgrade --in old.lad --out new.lad
 //       Rewrites a bundle in the current (v2) format; v1 inputs are
@@ -39,9 +47,11 @@
 //       item-tagged CSV.  --shard i/n executes only the work items with
 //       id % n == i; shard output is placement-independent (Philox-keyed
 //       randomness), so merged shards reproduce the unsharded run.
-//       --resume skips the run when every table CSV is already present in
-//       --out (CSVs are written atomically, so present means complete) -
-//       rerun a killed shard fleet with --resume and only the dead shards
+//       --resume skips the run when the output in --out is complete:
+//       every table CSV present and their item tags covering exactly the
+//       work items this shard owns (a header-only CSV from a run killed
+//       after the header write is incomplete and re-runs).  Rerun a
+//       killed shard fleet with --resume and only the dead shards
 //       recompute.
 //
 //   lad_cli merge   --out dir [--partial] <shard_dir>...
@@ -104,13 +114,21 @@ int cmd_train(const Flags& flags) {
                    metric_from_name(flags.get_string("metric", "diff"))};
   const double tau = flags.get_double("tau", 0.99);
   const std::vector<double> taus = flags.get_double_list("taus", {});
+  GroupTrainingSpec grouped;
+  grouped.per_group = flags.get_bool("per-group", false);
+  grouped.min_samples =
+      static_cast<int>(flags.get_int("min-group-samples", 100));
+  if (!grouped.per_group && flags.has("min-group-samples")) {
+    std::cerr << "train: --min-group-samples needs --per-group\n";
+    return 2;
+  }
   const PipelineConfig cfg = pipeline_from_flags(flags);
 
   Pipeline pipeline(cfg);
   const LocalizerFactory factory =
       beaconless_mle_factory(pipeline.model(), pipeline.gz());
   const DetectorBundle bundle =
-      pipeline.train_bundle(factory, metrics, taus, tau);
+      pipeline.train_bundle(factory, metrics, taus, tau, grouped);
   for (const DetectorSpec& spec : bundle.detectors) {
     std::cout << "trained " << metric_name(spec.metric) << " threshold "
               << spec.threshold << " at tau " << tau;
@@ -121,6 +139,15 @@ int cmd_train(const Flags& flags) {
       }
     }
     std::cout << "\n";
+    if (grouped.per_group) {
+      std::size_t trained = 0, fallback = 0;
+      for (const GroupThreshold& g : spec.group_overrides) {
+        (g.source == GroupOverrideSource::kFallback ? fallback : trained)++;
+      }
+      std::cout << "  per-group: " << trained << " boundary group(s) "
+                << "trained, " << fallback << " below the "
+                << grouped.min_samples << "-sample floor (global fallback)\n";
+    }
   }
 
   std::ofstream os(out);
@@ -171,8 +198,13 @@ int cmd_inspect(const Flags& flags) {
                 << "])\n";
     }
     for (const GroupThreshold& g : spec.group_overrides) {
-      std::cout << "  group " << g.group << " -> threshold " << g.threshold
-                << "\n";
+      std::cout << "  group " << g.group << " -> threshold " << g.threshold;
+      if (g.source != GroupOverrideSource::kManual) {
+        std::cout << " (" << group_override_source_name(g.source) << ", "
+                  << g.samples << " samples, score mean " << g.score_mean
+                  << ", stddev " << g.score_stddev << ")";
+      }
+      std::cout << "\n";
     }
     for (const auto& [key, value] : spec.extensions) {
       std::cout << "  x-" << key << " " << value << "\n";
@@ -223,11 +255,21 @@ int cmd_check(const Flags& flags) {
     obs.counts[static_cast<std::size_t>(g)] =
         static_cast<int>(parse_int(kv[1]));
   }
-  const Verdict v =
-      flags.has("group")
-          ? rt.check_for_group(obs, le,
-                               static_cast<int>(flags.get_int("group", 0)))
-          : rt.check(obs, le);
+  Verdict v;
+  if (flags.has("group")) {
+    // Validate before the int cast: a group id past the bundle's last
+    // deployment group (or a wrap-around-sized one) must be a named
+    // error, not a silent fall-through to the global threshold.
+    const long long group = flags.get_int("group", 0);
+    LAD_REQUIRE_MSG(
+        group >= 0 &&
+            group < static_cast<long long>(bundle.deployment_points.size()),
+        "check: unknown group " << group << ": bundle has groups [0, "
+                                << bundle.deployment_points.size() << ")");
+    v = rt.check_for_group(obs, le, static_cast<int>(group));
+  } else {
+    v = rt.check(obs, le);
+  }
   std::cout << "detector: " << rt.detector().describe() << "\n";
   std::cout << "score " << v.score << " vs threshold " << v.threshold
             << " -> " << (v.anomaly ? "ANOMALY" : "ok") << "\n";
@@ -250,6 +292,10 @@ int cmd_simulate(const Flags& flags) {
           ? metric_from_name(flags.get_string("target", "diff"))
           : bundle.primary().metric;
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  // Route verdicts through the bundle's per-group threshold overrides for
+  // each victim's home group - what a sensor that knows its own group id
+  // would run.
+  const bool per_group = flags.get_bool("per-group", false);
 
   const GzTable gz({bundle.config.radio_range, bundle.config.sigma},
                    bundle.gz_omega);
@@ -264,8 +310,13 @@ int cmd_simulate(const Flags& flags) {
       node = static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
     } while (!bundle.config.field().contains(net.position(node)));
     const Observation a = net.observe(node);
+    const int home_group = net.group_of(node);
+    const auto verdict = [&](const Observation& obs, Vec2 at) {
+      return per_group ? rt.check_for_group(obs, at, home_group)
+                       : rt.check(obs, at);
+    };
     // Benign check.
-    if (rt.check(a, localizer.estimate(a)).anomaly) ++benign_alarms;
+    if (verdict(a, localizer.estimate(a)).anomaly) ++benign_alarms;
     // Attacked check.
     const Vec2 la = net.position(node);
     const Vec2 le = displaced_location(la, d, bundle.config.field(), rng);
@@ -273,9 +324,10 @@ int cmd_simulate(const Flags& flags) {
     const TaintResult taint =
         greedy_taint(a, mu, bundle.config.nodes_per_group, target, cls,
                      static_cast<int>(x * a.total()));
-    if (rt.check(taint.tainted, le).anomaly) ++detected;
+    if (verdict(taint.tainted, le).anomaly) ++detected;
   }
-  std::cout << "detector: " << rt.detector().describe() << "\n";
+  std::cout << "detector: " << rt.detector().describe()
+            << (per_group ? " (per-group thresholds)" : "") << "\n";
   std::cout << "benign false positives: " << benign_alarms << "/" << trials
             << " (" << format_double(100.0 * benign_alarms / trials, 2)
             << "%)\n";
@@ -336,24 +388,18 @@ int cmd_run(const Flags& flags) {
   const ScenarioSpec spec = apply_overrides(ScenarioSpec::load(scn), overrides);
   ScenarioRunner runner(spec);
   if (resume) {
-    // CSVs are written atomically (tmp + rename), so a present file is a
-    // complete file; all tables present means this run (typically one
-    // shard of a fleet) already finished.
-    const std::vector<std::string> ids = runner.table_ids();
-    bool all_present = true;
-    for (const std::string& id : ids) {
-      if (!std::filesystem::is_regular_file(
-              std::filesystem::path(out) / (spec.name + "." + id + ".csv"))) {
-        all_present = false;
-        break;
-      }
-    }
-    if (all_present) {
-      std::cerr << "resume: all " << ids.size() << " table CSV(s) of '"
-                << spec.name << "' already present in " << out
-                << "; skipping\n";
+    // CSVs are written atomically (tmp + rename), but presence alone is
+    // not completeness: a run killed between the header write and the
+    // first row leaves a header-only CSV behind.  Completeness means every
+    // table CSV exists AND the item tags in them cover exactly the work
+    // items this shard owns.
+    std::string reason;
+    if (runner.output_complete(out, shard, &reason)) {
+      std::cerr << "resume: output of '" << spec.name << "' in " << out
+                << " is complete; skipping\n";
       return 0;
     }
+    std::cerr << "resume: " << reason << "; re-running\n";
   }
   const long long total = runner.num_items();
   const long long mine =
