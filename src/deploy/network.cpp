@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "deploy/observe_kernel.h"
 #include "util/assert.h"
 
 namespace lad {
@@ -22,18 +23,22 @@ Network::Network(const DeploymentModel& model, Rng& rng) : model_(&model) {
   max_tx_range_ = cfg.radio_range;
   // Cell size = R/2: with per-row span trimming the scanned area hugs the
   // radius-R disk (~1.3 pi R^2) instead of the 3x3 bounding square (9 R^2)
-  // that cell size = R forces.  The build overload permutes the payload
-  // columns into cell order so the audibility scan reads them contiguously
-  // alongside the coordinates.
-  cell_groups_ = groups_;
-  cell_tx_override_ = tx_range_override_;
+  // that cell size = R forces.
   index_ = std::make_unique<GridIndex>(positions_, cfg.field(),
-                                       cfg.radio_range / 2.0, cell_groups_,
-                                       cell_tx_override_);
+                                       cfg.radio_range / 2.0);
+  // Gather the payload columns (group id, tx override) straight into cell
+  // order and invert the permutation in the same pass.  This replaces the
+  // copy-then-permute_in_place route (two node-sized temporaries and three
+  // extra passes) that made index construction ~20% of deployment cost.
+  cell_groups_.resize(total);
+  cell_tx_override_.resize(total);
   slot_of_.resize(total);
   const std::vector<std::uint32_t>& order = index_->permutation();
   for (std::uint32_t slot = 0; slot < order.size(); ++slot) {
-    slot_of_[order[slot]] = slot;
+    const std::uint32_t node = order[slot];
+    cell_groups_[slot] = groups_[node];
+    cell_tx_override_[slot] = tx_range_override_[node];
+    slot_of_[node] = slot;
   }
 }
 
@@ -87,23 +92,18 @@ void Network::accumulate_observation(Vec2 p, int* counts) const {
   // dist2 <= audible_radius2(R), so the whole observation is a branch-thin
   // scan over the contiguous SoA rows of the covered cells — no self-test,
   // no NaN-check, no per-candidate group indirection beyond one u16 read.
-  // The inner loop is deliberately hand-rolled over the span API rather
-  // than delegated to for_each_slot_in_disk2: keeping every pointer in a
-  // local lets the compiler hold them in registers across the scan, which
-  // measures ~25% faster than the nested-lambda form (docs/PERFORMANCE.md
-  // methodology).  GridIndex's fuzz tests plus the observe_many-vs-observe
-  // equivalence tests pin the two code paths together.
+  // The scan body is the runtime-dispatched counting kernel (AVX2 where
+  // the CPU has it, the scalar reference otherwise or under LAD_NO_AVX2);
+  // every variant is bit-identical by construction — see
+  // deploy/observe_kernel.h and tests/deploy/test_observe_kernel.cpp.
   const double R = model_->config().radio_range;
   const double a2 = audible_radius2(R);
   const double* const xs = index_->xs().data();
   const double* const ys = index_->ys().data();
   const std::uint16_t* const grp = cell_groups_.data();
+  const ObserveKernelFn kernel = observe_kernel();
   index_->for_each_slot_span(p, R, [&](std::uint32_t begin, std::uint32_t end) {
-    for (std::uint32_t k = begin; k < end; ++k) {
-      const double dx = xs[k] - p.x;
-      const double dy = ys[k] - p.y;
-      if (dx * dx + dy * dy <= a2) ++counts[grp[k]];
-    }
+    kernel(xs, ys, grp, begin, end, p.x, p.y, a2, counts);
   });
 }
 
@@ -111,8 +111,13 @@ Observation Network::observe(std::size_t node) const {
   LAD_REQUIRE(node < positions_.size());
   Observation o(static_cast<std::size_t>(num_groups()));
   accumulate_observation(positions_[node], o.counts.data());
-  // A node always hears itself (distance 0 is within any tx range);
-  // remove it rather than branching on it per candidate.
+  // A node always hears itself: distance 0 is audible at any tx range,
+  // including an override of 0 — so remove the self-count once at the end
+  // rather than branching on it per candidate.  The guard keeps a future
+  // kernel rewrite from silently underflowing the count to -1 if it ever
+  // stops counting the observer.
+  LAD_REQUIRE_MSG(o.counts[groups_[node]] > 0,
+                  "observation kernel dropped the observer's self-count");
   --o.counts[groups_[node]];
   return o;
 }
@@ -132,6 +137,9 @@ void Network::observe_many(std::span<const std::size_t> nodes,
     LAD_REQUIRE(node < positions_.size());
     int* counts = out.row(j);
     accumulate_observation(positions_[node], counts);
+    // Same self-exclusion contract (and underflow guard) as observe().
+    LAD_REQUIRE_MSG(counts[groups_[node]] > 0,
+                    "observation kernel dropped the observer's self-count");
     --counts[groups_[node]];
   }
 }

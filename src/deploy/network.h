@@ -5,8 +5,10 @@
 // computation walks positions linearly within grid cells (Per.16/Per.19).
 // Alongside the node-indexed arrays, the network keeps cell-ordered copies
 // of the payload columns the audibility filter needs (group id, tx-range
-// override), permuted by the GridIndex build, so the hot path reads
-// contiguous rows and never chases a per-candidate indirection.
+// override), gathered through the GridIndex permutation at build time, so
+// the hot path reads contiguous rows and never chases a per-candidate
+// indirection.  The counting scan itself is the runtime-dispatched SIMD
+// kernel in deploy/observe_kernel.h.
 #pragma once
 
 #include <cmath>

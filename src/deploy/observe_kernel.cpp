@@ -1,0 +1,95 @@
+#include "deploy/observe_kernel.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace lad {
+
+void observe_kernel_scalar(const double* xs, const double* ys,
+                           const std::uint16_t* grp, std::uint32_t begin,
+                           std::uint32_t end, double px, double py, double a2,
+                           int* counts) {
+  for (std::uint32_t k = begin; k < end; ++k) {
+    const double dx = xs[k] - px;
+    const double dy = ys[k] - py;
+    if (dx * dx + dy * dy <= a2) ++counts[grp[k]];
+  }
+}
+
+#if defined(LAD_HAVE_AVX2_KERNEL)
+// Defined in observe_kernel_avx2.cpp (that TU alone is compiled with
+// -mavx2, so the rest of the library stays runnable on any x86-64).
+void observe_kernel_avx2(const double* xs, const double* ys,
+                         const std::uint16_t* grp, std::uint32_t begin,
+                         std::uint32_t end, double px, double py, double a2,
+                         int* counts);
+#endif
+
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(LAD_HAVE_AVX2_KERNEL) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool no_avx2_env() {
+  const char* env = std::getenv("LAD_NO_AVX2");
+  return env != nullptr && *env != '\0';
+}
+
+ObserveKernelFn resolve_default() {
+#if defined(LAD_HAVE_AVX2_KERNEL)
+  if (cpu_has_avx2() && !no_avx2_env()) return observe_kernel_avx2;
+#endif
+  return observe_kernel_scalar;
+}
+
+// The force_observe_kernel override, nullptr when dispatch is automatic.
+ObserveKernelFn g_forced = nullptr;
+
+}  // namespace
+
+const std::vector<ObserveKernelInfo>& observe_kernels() {
+  static const std::vector<ObserveKernelInfo> kernels = [] {
+    std::vector<ObserveKernelInfo> v;
+    v.push_back({"scalar", observe_kernel_scalar, true});
+#if defined(LAD_HAVE_AVX2_KERNEL)
+    v.push_back({"avx2", observe_kernel_avx2, cpu_has_avx2()});
+#endif
+    return v;
+  }();
+  return kernels;
+}
+
+ObserveKernelFn observe_kernel() {
+  if (g_forced != nullptr) return g_forced;
+  static const ObserveKernelFn resolved = resolve_default();
+  return resolved;
+}
+
+const char* observe_kernel_name() {
+  const ObserveKernelFn active = observe_kernel();
+  for (const ObserveKernelInfo& k : observe_kernels()) {
+    if (k.fn == active) return k.name;
+  }
+  return "unknown";
+}
+
+bool force_observe_kernel(const char* name) {
+  if (name == nullptr) {
+    g_forced = nullptr;
+    return true;
+  }
+  for (const ObserveKernelInfo& k : observe_kernels()) {
+    if (std::string_view(k.name) == name && k.runtime_ok) {
+      g_forced = k.fn;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace lad

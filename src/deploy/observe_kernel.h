@@ -1,0 +1,68 @@
+// The per-group counting kernel at the bottom of every observation.
+//
+// `Network::accumulate_observation` reduces each slot span the GridIndex
+// yields to "count, per group, the points within the audible disk":
+//
+//     for k in [begin, end):  counts[grp[k]] += (dx*dx + dy*dy <= a2)
+//
+// This header names that kernel, provides the always-available scalar
+// reference implementation, and dispatches to an AVX2 variant at runtime
+// when (a) the binary was built with AVX2 support, (b) the CPU reports
+// the feature, and (c) the LAD_NO_AVX2 environment escape hatch is not
+// set.  Every variant must produce bit-identical counts to the scalar
+// reference — the distance test uses only IEEE mul/add, which round
+// identically lane-wise and scalar-wise, and the increments are integer
+// adds, so equality is exact, not approximate.  tests/deploy/
+// test_observe_kernel.cpp pins this with randomized networks; the
+// scenario CSV byte-identity sweep pins it end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lad {
+
+/// Signature shared by every kernel variant: accumulate into counts[g]
+/// the number of slots k in [begin, end) whose point (xs[k], ys[k]) lies
+/// within squared distance a2 of (px, py), where g = grp[k].  Rows are
+/// the GridIndex's cell-ordered SoA columns; no alignment is assumed.
+using ObserveKernelFn = void (*)(const double* xs, const double* ys,
+                                 const std::uint16_t* grp,
+                                 std::uint32_t begin, std::uint32_t end,
+                                 double px, double py, double a2,
+                                 int* counts);
+
+/// The scalar reference kernel (always compiled, byte-for-byte the
+/// historical loop).  Optimized variants are proven against it.
+void observe_kernel_scalar(const double* xs, const double* ys,
+                           const std::uint16_t* grp, std::uint32_t begin,
+                           std::uint32_t end, double px, double py, double a2,
+                           int* counts);
+
+/// One compiled-in kernel variant, for tests/benches that enumerate and
+/// cross-check all of them regardless of which one dispatch picked.
+struct ObserveKernelInfo {
+  const char* name;    ///< "scalar", "avx2", ...
+  ObserveKernelFn fn;  ///< callable on this CPU iff runtime_ok
+  bool runtime_ok;     ///< CPU supports the variant's ISA
+};
+
+/// Every variant compiled into this binary, scalar first.  Entries with
+/// runtime_ok == false were built but must not be called on this CPU.
+const std::vector<ObserveKernelInfo>& observe_kernels();
+
+/// The active kernel: resolved once per process from the CPU feature set
+/// and LAD_NO_AVX2 (set non-empty to pin the scalar reference), unless a
+/// force_observe_kernel() override is in effect.
+ObserveKernelFn observe_kernel();
+
+/// Name of the kernel observe_kernel() currently returns.
+const char* observe_kernel_name();
+
+/// Test/bench seam: pin the active kernel by name ("scalar", "avx2"),
+/// or pass nullptr to restore automatic dispatch.  Returns false (and
+/// changes nothing) if the name is unknown or the CPU cannot run it.
+/// Not thread-safe against concurrent observations; call between runs.
+bool force_observe_kernel(const char* name);
+
+}  // namespace lad

@@ -1,0 +1,81 @@
+// AVX2 variant of the observation counting kernel.
+//
+// This is the only translation unit compiled with -mavx2 (see
+// src/deploy/CMakeLists.txt); callers reach it through the runtime
+// dispatch in observe_kernel.cpp, which verifies the CPU actually
+// reports AVX2 before handing out the pointer.
+//
+// Bit-identity with the scalar reference is by construction, not luck:
+// the distance is dx*dx + dy*dy evaluated as two IEEE multiplies and one
+// add — vmulpd/vaddpd round each lane exactly like the scalar vmulsd/
+// vaddsd, and we never use FMA (a fused dx*dx + dy*dy keeps the product
+// unrounded and can flip the <= a2 comparison on borderline candidates).
+// The compare uses _CMP_LE_OQ, matching scalar <= (false on NaN, which
+// cannot occur here: coordinates and query points are finite).  The
+// surviving lanes feed scalar counts[grp[k]] increments in ascending slot
+// order — integer adds, so the accumulation order cannot matter either.
+#include "deploy/observe_kernel.h"
+
+#if defined(LAD_HAVE_AVX2_KERNEL)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace lad {
+
+void observe_kernel_avx2(const double* xs, const double* ys,
+                         const std::uint16_t* grp, std::uint32_t begin,
+                         std::uint32_t end, double px, double py, double a2,
+                         int* counts) {
+  const __m256d vpx = _mm256_set1_pd(px);
+  const __m256d vpy = _mm256_set1_pd(py);
+  const __m256d va2 = _mm256_set1_pd(a2);
+  std::uint32_t k = begin;
+  // 4-wide main loop over the unaligned span (the cell-sorted rows carry
+  // no alignment guarantee, so use unaligned loads throughout).
+  for (; k + 4 <= end; k += 4) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(xs + k), vpx);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(ys + k), vpy);
+    const __m256d d2 =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(d2, va2, _CMP_LE_OQ));
+    // Row-trimmed spans make all-miss vectors rare in the interior but
+    // common at the disk fringe; skipping them costs one well-predicted
+    // branch.
+    if (mask == 0) continue;
+    // Group ids are data-dependent, so no vector scatter can express
+    // counts[grp[k]] — the increments must go through scalar stores.
+    // Two shapes, picked per vector:
+    //  * All four lanes share one group id (common: the stable cell sort
+    //    keeps each cell's slots in ascending node order, and node order
+    //    is group-major, so groups come in runs): one popcount-sized add,
+    //    no read-modify-write dependency chain.  The 64-bit compare
+    //    checks all four u16 lanes at once; grp[k] == grp[k+3] alone
+    //    would NOT imply the middle lanes match when the vector straddles
+    //    a cell boundary, where group ids reset.
+    //  * Mixed groups: branchless per-lane adds — masked increments of 0
+    //    or 1 — which beat a ctz-peel loop because there is no
+    //    unpredictable per-hit branch to mispredict.
+    std::uint64_t g4;
+    std::memcpy(&g4, grp + k, sizeof g4);
+    if (g4 == UINT64_C(0x0001000100010001) * grp[k]) {
+      counts[grp[k]] += __builtin_popcount(static_cast<unsigned>(mask));
+      continue;
+    }
+    counts[grp[k]] += mask & 1;
+    counts[grp[k + 1]] += (mask >> 1) & 1;
+    counts[grp[k + 2]] += (mask >> 2) & 1;
+    counts[grp[k + 3]] += (mask >> 3) & 1;
+  }
+  // Scalar tail (span length % 4 != 0), same code as the reference.
+  for (; k < end; ++k) {
+    const double dx = xs[k] - px;
+    const double dy = ys[k] - py;
+    if (dx * dx + dy * dy <= a2) ++counts[grp[k]];
+  }
+}
+
+}  // namespace lad
+
+#endif  // LAD_HAVE_AVX2_KERNEL

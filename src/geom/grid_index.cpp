@@ -17,26 +17,31 @@ GridIndex::GridIndex(const std::vector<Vec2>& points, const Aabb& bounds,
   const std::size_t ncells = static_cast<std::size_t>(nx_) * ny_;
   // Stable counting sort of points into cells: within a cell, slots keep
   // ascending original index, so visitation order matches the historical
-  // index-list layout exactly.
-  std::vector<std::uint32_t> counts(ncells + 1, 0);
+  // index-list layout exactly.  cell_start_ serves as histogram, running
+  // scatter cursor, and final CSR offsets in turn — no separate counts /
+  // cursor temporaries (the build path is deployment-cost-critical at
+  // 10^5-10^6 nodes; see docs/PERFORMANCE.md).
+  cell_start_.assign(ncells + 1, 0);
   std::vector<std::uint32_t> cell_of_point(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
     const std::size_t c = cell_of(points[i]);
     cell_of_point[i] = static_cast<std::uint32_t>(c);
-    ++counts[c + 1];
+    ++cell_start_[c + 1];
   }
-  for (std::size_t c = 0; c < ncells; ++c) counts[c + 1] += counts[c];
-  cell_start_ = counts;
+  for (std::size_t c = 0; c < ncells; ++c) cell_start_[c + 1] += cell_start_[c];
   order_.resize(points.size());
   xs_.resize(points.size());
   ys_.resize(points.size());
-  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
   for (std::size_t i = 0; i < points.size(); ++i) {
-    const std::uint32_t k = cursor[cell_of_point[i]]++;
+    const std::uint32_t k = cell_start_[cell_of_point[i]]++;
     order_[k] = static_cast<std::uint32_t>(i);
     xs_[k] = points[i].x;
     ys_[k] = points[i].y;
   }
+  // The scatter advanced cell_start_[c] to end(c) == start(c+1); shift
+  // right one slot to restore the starts.
+  for (std::size_t c = ncells; c > 0; --c) cell_start_[c] = cell_start_[c - 1];
+  cell_start_[0] = 0;
 }
 
 void GridIndex::cell_coords(Vec2 p, int& cx, int& cy) const {

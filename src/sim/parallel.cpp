@@ -1,16 +1,48 @@
 #include "sim/parallel.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <thread>
 
 #ifdef LAD_HAVE_OPENMP
 #include <omp.h>
 #endif
 
+#include "util/assert.h"
 #include "util/thread_pool.h"
 
 namespace lad {
 
+namespace {
+
+// Upper bound on any configured thread count: generous for real machines,
+// small enough to catch garbage like LAD_THREADS=1e9 before it tries to
+// spawn that many workers.
+constexpr long kMaxThreads = 4096;
+
+// Parses the LAD_THREADS pin, or -1 when the variable is unset/empty.
+// Anything present but not an integer in [1, kMaxThreads] is a named
+// error: a mistyped pin silently falling back to all cores would defeat
+// the reproducibility the override exists for.
+int env_thread_override() {
+  const char* env = std::getenv("LAD_THREADS");
+  if (env == nullptr || *env == '\0') return -1;
+  errno = 0;
+  char* rest = nullptr;
+  const long v = std::strtol(env, &rest, 10);
+  LAD_REQUIRE_MSG(errno == 0 && rest != env && *rest == '\0' && v >= 1 &&
+                      v <= kMaxThreads,
+                  "invalid LAD_THREADS value '"
+                      << env << "' (expected an integer in [1, " << kMaxThreads
+                      << "])");
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
 int default_parallelism() {
+  const int pinned = env_thread_override();
+  if (pinned > 0) return pinned;
 #ifdef LAD_HAVE_OPENMP
   return omp_get_max_threads();
 #else
@@ -22,6 +54,13 @@ int default_parallelism() {
 void parallel_for_items(std::size_t n,
                         const std::function<void(std::size_t)>& fn,
                         int max_threads) {
+  // A negative count used to be silently treated as "use all cores" —
+  // exactly what a caller computing threads from a subtraction would
+  // least expect.  Reject it by name instead.
+  LAD_REQUIRE_MSG(max_threads >= 0,
+                  "parallel_for_items: max_threads must be >= 0 "
+                  "(0 = default parallelism), got "
+                      << max_threads);
   if (n == 0) return;
   const int threads = max_threads > 0 ? max_threads : default_parallelism();
   if (threads == 1 || n == 1) {

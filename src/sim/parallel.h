@@ -14,11 +14,16 @@ namespace lad {
 
 /// Runs fn(i) for i in [0, n) in parallel; blocks until done.
 /// Set max_threads = 1 to force serial execution (tests use this to verify
-/// scheduling-independence of results).
+/// scheduling-independence of results); 0 means default_parallelism().
+/// Negative counts are a named error (lad::AssertionError), never a
+/// silent "use all cores".
 void parallel_for_items(std::size_t n, const std::function<void(std::size_t)>& fn,
                         int max_threads = 0);
 
-/// Number of workers parallel_for_items would use by default.
+/// Number of workers parallel_for_items would use by default: the
+/// LAD_THREADS environment pin when set (an integer in [1, 4096]; any
+/// other value present is a named error — benches and CI rely on the pin
+/// for reproducible thread counts), otherwise the hardware/OpenMP count.
 int default_parallelism();
 
 }  // namespace lad

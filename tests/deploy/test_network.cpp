@@ -211,5 +211,45 @@ TEST(Network, TotalObservationEqualsNeighborCount) {
   }
 }
 
+// Self-exclusion pins: observe() removes the observer's own beacon with an
+// unconditional decrement, which relies on distance-0 audibility — the
+// observer must stay counted even when it carries a tx-range override,
+// including range 0 (a silenced node still hears itself at distance 0).
+// If a kernel rewrite ever drops the self-count, the decrement must fail
+// by name instead of underflowing a count to -1.
+TEST(Network, ObserverWithZeroRangeOverrideStillExcludesSelfCleanly) {
+  const DeploymentModel model(tiny_config());
+  Rng rng(13);
+  Network net(model, rng);
+  const std::size_t victim = 5;
+  const Observation before = net.observe(victim);
+  net.set_tx_range(victim, 0.0);
+  const Observation after = net.observe(victim);
+  after.require_valid();  // no count may underflow to -1
+  // Silencing the victim changes only what *others* hear, never its own
+  // observation: it still hears the same neighbors and still excludes
+  // itself exactly once.
+  EXPECT_EQ(after, before);
+  net.reset_tx_ranges();
+}
+
+TEST(Network, ObserveManyWithObserverRangeOverridesNeverUnderflows) {
+  const DeploymentModel model(tiny_config());
+  Rng rng(13);
+  Network net(model, rng);
+  std::vector<std::size_t> nodes;
+  for (std::size_t i = 0; i < net.num_nodes(); i += 9) nodes.push_back(i);
+  for (const std::size_t node : nodes) {
+    net.set_tx_range(node, node % 2 == 0 ? 0.0 : net.radio_range() * 2);
+  }
+  ObservationBatch batch;
+  net.observe_many(nodes, batch);
+  for (std::size_t j = 0; j < nodes.size(); ++j) {
+    batch.to_observation(j).require_valid();
+    EXPECT_EQ(batch.to_observation(j), net.observe(nodes[j]));
+  }
+  net.reset_tx_ranges();
+}
+
 }  // namespace
 }  // namespace lad

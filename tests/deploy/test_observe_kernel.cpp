@@ -1,0 +1,296 @@
+// The optimized-vs-reference harness for the observation counting kernel
+// (qubic-core style: assert bit-identical outputs while timing both
+// paths).  Every kernel variant the binary carries is driven over
+// randomized networks and query points and must reproduce the scalar
+// reference exactly — equality here is ==, never approximate: the
+// distance test is pure IEEE mul/add and the accumulation is integer.
+#include "deploy/observe_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "deploy/network.h"
+#include "geom/grid_index.h"
+#include "rng/rng.h"
+
+namespace lad {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct SoaRows {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<std::uint16_t> grp;
+};
+
+/// Random rows with cell-realistic group runs (ids ascend in short runs,
+/// resetting now and then, like the stable cell sort produces).
+SoaRows random_rows(std::mt19937_64& gen, std::size_t n, int num_groups,
+                    double extent) {
+  SoaRows rows;
+  rows.xs.resize(n);
+  rows.ys.resize(n);
+  rows.grp.resize(n);
+  std::uniform_real_distribution<double> coord(0.0, extent);
+  std::uniform_int_distribution<int> group(0, num_groups - 1);
+  std::uniform_int_distribution<int> run_len(1, 6);
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint16_t g = static_cast<std::uint16_t>(group(gen));
+    for (int r = run_len(gen); r > 0 && i < n; --r, ++i) {
+      rows.xs[i] = coord(gen);
+      rows.ys[i] = coord(gen);
+      rows.grp[i] = g;
+    }
+  }
+  return rows;
+}
+
+std::vector<int> run_kernel(const ObserveKernelInfo& kernel,
+                            const SoaRows& rows, std::uint32_t begin,
+                            std::uint32_t end, double px, double py,
+                            double a2, int num_groups) {
+  std::vector<int> counts(static_cast<std::size_t>(num_groups), 0);
+  kernel.fn(rows.xs.data(), rows.ys.data(), rows.grp.data(), begin, end, px,
+            py, a2, counts.data());
+  return counts;
+}
+
+TEST(ObserveKernel, RegistryHasScalarReferenceFirst) {
+  const std::vector<ObserveKernelInfo>& kernels = observe_kernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_STREQ(kernels.front().name, "scalar");
+  EXPECT_EQ(kernels.front().fn, &observe_kernel_scalar);
+  EXPECT_TRUE(kernels.front().runtime_ok);
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    for (std::size_t j = i + 1; j < kernels.size(); ++j) {
+      EXPECT_STRNE(kernels[i].name, kernels[j].name);
+    }
+  }
+}
+
+TEST(ObserveKernel, DispatchNamesTheActiveKernel) {
+  const ObserveKernelFn active = observe_kernel();
+  ASSERT_NE(active, nullptr);
+  bool found = false;
+  for (const ObserveKernelInfo& k : observe_kernels()) {
+    if (k.fn == active) {
+      EXPECT_TRUE(k.runtime_ok);
+      EXPECT_STREQ(observe_kernel_name(), k.name);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObserveKernel, ForceSeamPinsAndRestores) {
+  EXPECT_FALSE(force_observe_kernel("no-such-kernel"));
+  ASSERT_TRUE(force_observe_kernel("scalar"));
+  EXPECT_STREQ(observe_kernel_name(), "scalar");
+  EXPECT_EQ(observe_kernel(), &observe_kernel_scalar);
+  ASSERT_TRUE(force_observe_kernel(nullptr));
+  EXPECT_EQ(observe_kernel_name(), observe_kernel_name());  // stable again
+}
+
+// The core reference-equality sweep: randomized rows and query points,
+// every kernel vs the scalar reference, with both paths timed.  Spans
+// deliberately start/end at every alignment offset so the 4-wide main
+// loop and the scalar tail both shift through all phases.
+TEST(ObserveKernel, RandomizedEquivalenceWhileTimingBothPaths) {
+  std::mt19937_64 gen(20050404);
+  std::uniform_real_distribution<double> radius(0.0, 80.0);
+  std::vector<double> total_ns(observe_kernels().size(), 0.0);
+  std::size_t checked = 0;
+
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 32 + static_cast<std::size_t>(gen() % 700);
+    const int num_groups = 1 + static_cast<int>(gen() % 24);
+    const SoaRows rows = random_rows(gen, n, num_groups, 250.0);
+    for (int q = 0; q < 8; ++q) {
+      // Query points inside, near the edge of, and far outside the extent.
+      std::uniform_real_distribution<double> coord(-60.0, 310.0);
+      const double px = coord(gen);
+      const double py = coord(gen);
+      const double r = radius(gen);
+      const double a2 = r * r;
+      const std::uint32_t begin = static_cast<std::uint32_t>(gen() % 8);
+      const std::uint32_t end = static_cast<std::uint32_t>(
+          n - static_cast<std::size_t>(gen() % 8));
+      ASSERT_LT(begin, end);
+
+      std::vector<int> reference;
+      for (std::size_t ki = 0; ki < observe_kernels().size(); ++ki) {
+        const ObserveKernelInfo& kernel = observe_kernels()[ki];
+        if (!kernel.runtime_ok) continue;
+        const auto t0 = Clock::now();
+        const std::vector<int> counts =
+            run_kernel(kernel, rows, begin, end, px, py, a2, num_groups);
+        const auto t1 = Clock::now();
+        total_ns[ki] +=
+            std::chrono::duration<double, std::nano>(t1 - t0).count();
+        if (ki == 0) {
+          reference = counts;
+        } else {
+          ASSERT_EQ(counts, reference)
+              << "kernel '" << kernel.name << "' diverged from the scalar "
+              << "reference (round " << round << ", query " << q << ")";
+        }
+      }
+      ++checked;
+    }
+  }
+  // Timing is informational: correctness is the assertion, the numbers
+  // document the optimized-vs-reference ratio on whatever machine ran it.
+  for (std::size_t ki = 0; ki < observe_kernels().size(); ++ki) {
+    if (!observe_kernels()[ki].runtime_ok) continue;
+    std::printf("[ observe_kernel ] %-8s %10.0f ns over %zu randomized runs\n",
+                observe_kernels()[ki].name, total_ns[ki], checked);
+  }
+}
+
+TEST(ObserveKernel, EmptySpanCountsNothing) {
+  std::mt19937_64 gen(7);
+  const SoaRows rows = random_rows(gen, 64, 4, 100.0);
+  for (const ObserveKernelInfo& kernel : observe_kernels()) {
+    if (!kernel.runtime_ok) continue;
+    for (const std::uint32_t at : {0u, 5u, 64u}) {
+      const std::vector<int> counts =
+          run_kernel(kernel, rows, at, at, 50.0, 50.0, 1e6, 4);
+      EXPECT_EQ(counts, std::vector<int>(4, 0)) << kernel.name;
+    }
+  }
+}
+
+TEST(ObserveKernel, UnalignedTailsAllLengthsAgree) {
+  std::mt19937_64 gen(11);
+  const SoaRows rows = random_rows(gen, 41, 6, 120.0);
+  const ObserveKernelInfo& reference = observe_kernels().front();
+  // Every span length 0..41 from every start offset 0..7: lengths % 4
+  // cover all residues, so the vector loop + tail seam shifts through
+  // every phase.
+  for (std::uint32_t begin = 0; begin < 8; ++begin) {
+    for (std::uint32_t end = begin; end <= 41; ++end) {
+      const std::vector<int> expected =
+          run_kernel(reference, rows, begin, end, 60.0, 55.0, 45.0 * 45.0, 6);
+      for (const ObserveKernelInfo& kernel : observe_kernels()) {
+        if (!kernel.runtime_ok) continue;
+        EXPECT_EQ(run_kernel(kernel, rows, begin, end, 60.0, 55.0,
+                             45.0 * 45.0, 6),
+                  expected)
+            << kernel.name << " span [" << begin << ", " << end << ")";
+      }
+    }
+  }
+}
+
+TEST(ObserveKernel, RadiusZeroCountsOnlyExactMatches) {
+  SoaRows rows;
+  rows.xs = {10.0, 20.0, 10.0, 30.0, 10.0};
+  rows.ys = {5.0, 5.0, 5.0, 5.0, 5.0};
+  rows.grp = {0, 1, 2, 1, 2};
+  for (const ObserveKernelInfo& kernel : observe_kernels()) {
+    if (!kernel.runtime_ok) continue;
+    const std::vector<int> counts =
+        run_kernel(kernel, rows, 0, 5, 10.0, 5.0, 0.0, 3);
+    EXPECT_EQ(counts, (std::vector<int>{1, 0, 2})) << kernel.name;
+  }
+}
+
+// Network-level seams, exercised in every dispatch mode: a field smaller
+// than one grid cell (all nodes share a single cell => one long span),
+// and query points clamped from far outside the field.
+class ObserveKernelNetworkTest : public ::testing::Test {
+ protected:
+  void TearDown() override { force_observe_kernel(nullptr); }
+};
+
+TEST_F(ObserveKernelNetworkTest, SingleCellFieldAllModesAgree) {
+  DeploymentConfig cfg;
+  cfg.field_side = 30.0;  // < R/2 = 30: the whole field is one cell row
+  cfg.grid_nx = cfg.grid_ny = 1;
+  cfg.nodes_per_group = 37;  // odd count: forces a scalar tail
+  cfg.sigma = 10.0;
+  cfg.radio_range = 60.0;
+  const DeploymentModel model(cfg);
+  Rng rng(3);
+  const Network net(model, rng);
+
+  std::vector<Observation> reference;
+  for (const ObserveKernelInfo& kernel : observe_kernels()) {
+    if (!kernel.runtime_ok) continue;
+    ASSERT_TRUE(force_observe_kernel(kernel.name));
+    std::vector<Observation> got;
+    for (std::size_t node = 0; node < net.num_nodes(); ++node) {
+      got.push_back(net.observe(node));
+    }
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      EXPECT_EQ(got, reference) << kernel.name;
+    }
+  }
+}
+
+TEST_F(ObserveKernelNetworkTest, ClampedQueryPointsAllModesAgree) {
+  DeploymentConfig cfg;
+  cfg.field_side = 300.0;
+  cfg.grid_nx = cfg.grid_ny = 3;
+  cfg.nodes_per_group = 25;
+  cfg.sigma = 60.0;  // fat scatter: many residents land outside the field
+  cfg.radio_range = 50.0;
+  const DeploymentModel model(cfg);
+  Rng rng(17);
+  const Network net(model, rng);
+
+  const std::vector<Vec2> probes = {
+      {-80.0, -80.0}, {350.0, 150.0}, {150.0, 420.0}, {-25.0, 310.0},
+      {0.0, 0.0},     {299.9, 299.9}, {150.0, 150.0},
+  };
+  std::vector<Observation> reference;
+  for (const ObserveKernelInfo& kernel : observe_kernels()) {
+    if (!kernel.runtime_ok) continue;
+    ASSERT_TRUE(force_observe_kernel(kernel.name));
+    std::vector<Observation> got;
+    for (const Vec2 p : probes) got.push_back(net.observe_at(p));
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      EXPECT_EQ(got, reference) << kernel.name;
+    }
+  }
+}
+
+TEST_F(ObserveKernelNetworkTest, BatchedPathsMatchSingleInEveryMode) {
+  DeploymentConfig cfg;
+  cfg.field_side = 400.0;
+  cfg.grid_nx = cfg.grid_ny = 2;
+  cfg.nodes_per_group = 45;
+  cfg.sigma = 30.0;
+  cfg.radio_range = 60.0;
+  const DeploymentModel model(cfg);
+  Rng rng(29);
+  const Network net(model, rng);
+  std::vector<std::size_t> nodes;
+  for (std::size_t i = 0; i < net.num_nodes(); i += 7) nodes.push_back(i);
+
+  for (const ObserveKernelInfo& kernel : observe_kernels()) {
+    if (!kernel.runtime_ok) continue;
+    ASSERT_TRUE(force_observe_kernel(kernel.name));
+    ObservationBatch batch;
+    net.observe_many(nodes, batch);
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      EXPECT_EQ(batch.to_observation(j), net.observe(nodes[j]))
+          << kernel.name << " node " << nodes[j];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lad

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "util/assert.h"
 
 namespace lad {
 namespace {
@@ -48,6 +52,67 @@ TEST(ParallelForItems, PropagatesExceptions) {
 
 TEST(ParallelForItems, DefaultParallelismPositive) {
   EXPECT_GE(default_parallelism(), 1);
+}
+
+TEST(ParallelForItems, NegativeMaxThreadsIsANamedError) {
+  // A negative count used to silently mean "use all cores"; it must be
+  // rejected by name so thread-math bugs in callers surface immediately.
+  bool called = false;
+  EXPECT_THROW(
+      parallel_for_items(8, [&](std::size_t) { called = true; }, -1),
+      AssertionError);
+  EXPECT_THROW(
+      parallel_for_items(8, [&](std::size_t) { called = true; }, -128),
+      AssertionError);
+  EXPECT_FALSE(called);
+}
+
+class LadThreadsEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* old = std::getenv("LAD_THREADS");
+    if (old != nullptr) saved_ = old;
+  }
+  void TearDown() override {
+    if (saved_.empty()) {
+      unsetenv("LAD_THREADS");
+    } else {
+      setenv("LAD_THREADS", saved_.c_str(), 1);
+    }
+  }
+  std::string saved_;
+};
+
+TEST_F(LadThreadsEnvTest, PinOverridesDefaultParallelism) {
+  setenv("LAD_THREADS", "3", 1);
+  EXPECT_EQ(default_parallelism(), 3);
+  setenv("LAD_THREADS", "1", 1);
+  EXPECT_EQ(default_parallelism(), 1);
+}
+
+TEST_F(LadThreadsEnvTest, EmptyPinFallsBackToHardware) {
+  setenv("LAD_THREADS", "", 1);
+  EXPECT_GE(default_parallelism(), 1);
+}
+
+TEST_F(LadThreadsEnvTest, GarbagePinIsANamedErrorNotAllCores) {
+  for (const char* bad : {"0", "-2", "four", "2x", "1e9", "99999999"}) {
+    setenv("LAD_THREADS", bad, 1);
+    EXPECT_THROW(default_parallelism(), AssertionError) << bad;
+  }
+}
+
+TEST_F(LadThreadsEnvTest, PinnedRunMatchesUnpinnedResults) {
+  auto run = [] {
+    std::vector<double> out(64);
+    parallel_for_items(out.size(),
+                       [&](std::size_t i) { out[i] = static_cast<double>(i); });
+    return out;
+  };
+  setenv("LAD_THREADS", "2", 1);
+  const std::vector<double> pinned = run();
+  unsetenv("LAD_THREADS");
+  EXPECT_EQ(pinned, run());
 }
 
 }  // namespace

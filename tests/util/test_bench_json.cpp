@@ -1,0 +1,211 @@
+#include "util/bench_json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+BenchReport sample_report() {
+  BenchReport r;
+  r.name = "unit_bench";
+  r.threads = 2;
+  r.git_rev = "abc1234";
+  r.host = "test host / 1 core(s)";
+  r.date = "2026-08-07";
+  r.results.push_back({"observe_many/scalar", 30000, 1624.5, 20000});
+  r.results.push_back({"observe_many/avx2", 30000, 1198.0, 20000});
+  return r;
+}
+
+TEST(BenchJson, WriterOutputPassesTheValidator) {
+  const std::string text = bench_json(sample_report());
+  EXPECT_EQ(validate_bench_json(text), "") << text;
+}
+
+TEST(BenchJson, EmptyResultsStillValid) {
+  BenchReport r = sample_report();
+  r.results.clear();
+  EXPECT_EQ(validate_bench_json(bench_json(r)), "");
+}
+
+TEST(BenchJson, SerializedFieldsRoundTripVerbatim) {
+  const std::string text = bench_json(sample_report());
+  EXPECT_NE(text.find("\"schema\": \"lad-bench-1\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"unit_bench\""), std::string::npos);
+  EXPECT_NE(text.find("\"threads\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"git_rev\": \"abc1234\""), std::string::npos);
+  EXPECT_NE(text.find("observe_many/avx2"), std::string::npos);
+  EXPECT_NE(text.find("\"nodes\": 30000"), std::string::npos);
+}
+
+TEST(BenchJson, EscapesSpecialCharactersInStrings) {
+  BenchReport r = sample_report();
+  r.host = "quote \" backslash \\ newline \n tab \t";
+  const std::string text = bench_json(r);
+  EXPECT_EQ(validate_bench_json(text), "") << text;
+  EXPECT_NE(text.find("\\\""), std::string::npos);
+  EXPECT_NE(text.find("\\\\"), std::string::npos);
+  EXPECT_NE(text.find("\\n"), std::string::npos);
+}
+
+TEST(BenchJson, WriteBenchJsonRoundTripsThroughDisk) {
+  const std::string path = write_bench_json(sample_report(), "/tmp");
+  EXPECT_EQ(path, "/tmp/BENCH_unit_bench.json");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(validate_bench_json(buf.str()), "");
+  std::remove(path.c_str());
+}
+
+TEST(BenchJson, WriteRejectsEmptyName) {
+  BenchReport r = sample_report();
+  r.name.clear();
+  EXPECT_THROW(write_bench_json(r, "/tmp"), AssertionError);
+}
+
+TEST(BenchJson, FillBenchEnvironmentPopulatesProvenance) {
+  BenchReport r;
+  r.name = "env_probe";
+  fill_bench_environment(r);
+  EXPECT_FALSE(r.git_rev.empty());
+  EXPECT_FALSE(r.host.empty());
+  // UTC date is YYYY-MM-DD.
+  ASSERT_EQ(r.date.size(), 10u);
+  EXPECT_EQ(r.date[4], '-');
+  EXPECT_EQ(r.date[7], '-');
+}
+
+// ---- validator rejection paths ----------------------------------------
+
+std::string valid_text() { return bench_json(sample_report()); }
+
+TEST(BenchJsonValidate, RejectsTruncatedDocument) {
+  const std::string text = valid_text();
+  for (const std::size_t cut : {text.size() / 4, text.size() / 2,
+                                text.size() - 2, std::size_t{1}}) {
+    EXPECT_NE(validate_bench_json(text.substr(0, cut)), "") << "cut=" << cut;
+  }
+}
+
+TEST(BenchJsonValidate, RejectsTrailingGarbage) {
+  EXPECT_NE(validate_bench_json(valid_text() + "garbage"), "");
+  EXPECT_NE(validate_bench_json(valid_text() + "{}"), "");
+}
+
+TEST(BenchJsonValidate, RejectsNonObjectTopLevel) {
+  EXPECT_NE(validate_bench_json("[]"), "");
+  EXPECT_NE(validate_bench_json("\"lad-bench-1\""), "");
+  EXPECT_NE(validate_bench_json(""), "");
+  EXPECT_NE(validate_bench_json("   "), "");
+}
+
+TEST(BenchJsonValidate, RejectsWrongSchemaTag) {
+  std::string text = valid_text();
+  const std::string from = "\"lad-bench-1\"";
+  text.replace(text.find(from), from.size(), "\"lad-bench-2\"");
+  EXPECT_NE(validate_bench_json(text), "");
+}
+
+TEST(BenchJsonValidate, RejectsEachMissingRequiredKey) {
+  // Drop one required top-level key at a time by renaming it: the renamed
+  // key becomes an (allowed) extra key, so the only failure is the gap.
+  for (const char* key :
+       {"\"schema\"", "\"name\"", "\"threads\"", "\"git_rev\"", "\"host\"",
+        "\"results\""}) {
+    std::string text = valid_text();
+    const std::size_t at = text.find(key);
+    ASSERT_NE(at, std::string::npos) << key;
+    text.replace(at, 2, "\"x");
+    EXPECT_NE(validate_bench_json(text), "") << "dropped " << key;
+  }
+}
+
+TEST(BenchJsonValidate, RejectsWrongTypes) {
+  {
+    std::string text = valid_text();
+    const std::string from = "\"threads\": 2";
+    text.replace(text.find(from), from.size(), "\"threads\": \"2\"");
+    EXPECT_NE(validate_bench_json(text), "");
+  }
+  {
+    std::string text = valid_text();
+    const std::string from = "\"threads\": 2";
+    text.replace(text.find(from), from.size(), "\"threads\": 2.5");
+    EXPECT_NE(validate_bench_json(text), "");
+  }
+  {
+    std::string text = valid_text();
+    const std::string from = "\"nodes\": 30000";
+    text.replace(text.find(from), from.size(), "\"nodes\": \"30000\"");
+    EXPECT_NE(validate_bench_json(text), "");
+  }
+}
+
+TEST(BenchJsonValidate, RejectsNonPositiveThreads) {
+  std::string text = valid_text();
+  const std::string from = "\"threads\": 2";
+  text.replace(text.find(from), from.size(), "\"threads\": 0");
+  EXPECT_NE(validate_bench_json(text), "");
+}
+
+TEST(BenchJsonValidate, RejectsDuplicateKeys) {
+  EXPECT_NE(
+      validate_bench_json(
+          "{\"schema\": \"lad-bench-1\", \"schema\": \"lad-bench-1\", "
+          "\"name\": \"x\", \"threads\": 1, \"git_rev\": \"r\", "
+          "\"host\": \"h\", \"results\": []}"),
+      "");
+}
+
+TEST(BenchJsonValidate, RejectsBadResultRows) {
+  // A row missing ns_per_op.
+  EXPECT_NE(
+      validate_bench_json(
+          "{\"schema\": \"lad-bench-1\", \"name\": \"x\", \"threads\": 1, "
+          "\"git_rev\": \"r\", \"host\": \"h\", \"results\": "
+          "[{\"name\": \"a\", \"nodes\": 10, \"ops\": 5}]}"),
+      "");
+  // A row that is not an object.
+  EXPECT_NE(
+      validate_bench_json(
+          "{\"schema\": \"lad-bench-1\", \"name\": \"x\", \"threads\": 1, "
+          "\"git_rev\": \"r\", \"host\": \"h\", \"results\": [42]}"),
+      "");
+}
+
+TEST(BenchJsonValidate, AcceptsExtraKeysForForwardCompatibility) {
+  EXPECT_EQ(
+      validate_bench_json(
+          "{\"schema\": \"lad-bench-1\", \"name\": \"x\", \"threads\": 1, "
+          "\"git_rev\": \"r\", \"host\": \"h\", \"date\": \"2026-08-07\", "
+          "\"future_key\": [1, 2, {\"deep\": true}], \"results\": "
+          "[{\"name\": \"a\", \"nodes\": 10, \"ns_per_op\": 1.5, "
+          "\"ops\": 5, \"stddev\": 0.1}]}"),
+      "");
+}
+
+TEST(BenchJsonValidate, HandlesJsonEdgeCases) {
+  // Escaped characters, nested containers, negative/exponent numbers in
+  // extra keys must all parse without tripping the validator.
+  EXPECT_EQ(
+      validate_bench_json(
+          "{\"schema\": \"lad-bench-1\", \"name\": \"x\\n\\t\\\"y\\\"\", "
+          "\"threads\": 1, \"git_rev\": \"r\", \"host\": \"h\", "
+          "\"extras\": {\"neg\": -1.5e-3, \"null\": null, \"t\": true}, "
+          "\"results\": []}"),
+      "");
+  // Unterminated string.
+  EXPECT_NE(validate_bench_json("{\"schema\": \"lad-bench-1"), "");
+}
+
+}  // namespace
+}  // namespace lad

@@ -2,18 +2,49 @@
 # Fixed-seed wall-time baseline runner (the ROADMAP "perf baseline" item).
 #
 # Builds the bench binaries, runs every figure/table scenario in quick
-# mode under the default fixed seed, and prints a markdown table of
-# wall-times to paste into bench/BASELINE.md.  Scenario output itself is
-# deterministic (same seed => byte-identical CSV), so regressions show up
-# as time deltas, never value deltas.
+# mode under the default fixed seed, prints a markdown table of
+# wall-times to paste into bench/BASELINE.md, and writes the same rows
+# as machine-readable lad-bench-1 JSON (BENCH_baseline.json, the schema
+# that tools/bench_json_check validates).  Scenario output itself is
+# deterministic (same seed => byte-identical CSV), so regressions show
+# up as time deltas, never value deltas.
 #
-# usage: tools/bench_baseline.sh [build_dir]   (default: build)
+# Runs are pinned to LAD_THREADS=1 by default so numbers are comparable
+# across hosts; export LAD_THREADS to pin differently.
+#
+# Portability: works without GNU date (%N) — timing falls back to whole
+# seconds — and without nproc (getconf fallback).
+#
+# usage: tools/bench_baseline.sh [build_dir] [json_out_dir]
+#        (defaults: build, current directory)
 set -eu
 
 build="${1:-build}"
+out_dir="${2:-.}"
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 
+# Pin the thread count so wall-times are comparable run-over-run; the
+# benches honor LAD_THREADS through lad::default_parallelism().
+LAD_THREADS="${LAD_THREADS:-1}"
+export LAD_THREADS
+
 cmake --build "$build" --target benches -j >/dev/null
+
+# Nanosecond timestamps need GNU date; BSD/busybox date prints a literal
+# 'N' for %N.  Detect once and fall back to second resolution.
+case "$(date +%N 2>/dev/null)" in
+  (''|*[!0-9]*) have_ns=0 ;;
+  (*)           have_ns=1 ;;
+esac
+now_ns() {
+  if [ "$have_ns" = 1 ]; then date +%s%N; else echo "$(date +%s)000000000"; fi
+}
+
+cores="$( (command -v nproc >/dev/null 2>&1 && nproc) \
+  || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1 )"
+host="$(uname -sr) / ${cores} core(s)"
+git_rev="$(git -C "$repo" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+utc_date="$(date -u +%Y-%m-%d)"
 
 # Every figure/table bench is a thin wrapper over a checked-in spec, so
 # the spec directory is the authoritative bench list.
@@ -21,16 +52,44 @@ benches=$(cd "$repo/bench/scenarios" && ls *.scn | sed 's/\.scn$//' \
   | grep -v '^quickstart$')
 [ -n "$benches" ] || { echo "no specs found in bench/scenarios" >&2; exit 1; }
 
-host="$(uname -sr) / $(nproc) core(s)"
-echo "| bench (quick mode, default seed) | wall time (s) |"
+json="$out_dir/BENCH_baseline.json"
+{
+  printf '{\n'
+  printf '  "schema": "lad-bench-1",\n'
+  printf '  "name": "baseline",\n'
+  printf '  "threads": %s,\n' "$LAD_THREADS"
+  printf '  "git_rev": "%s",\n' "$git_rev"
+  printf '  "host": "%s",\n' "$host"
+  printf '  "date": "%s",\n' "$utc_date"
+  printf '  "results": [\n'
+} >"$json"
+
+echo "| bench (quick mode, default seed, LAD_THREADS=$LAD_THREADS) | wall time (s) |"
 echo "|---|---|"
+first=1
 for b in $benches; do
   bin="$build/bench/$b"
   [ -x "$bin" ] || { echo "missing binary $bin" >&2; exit 1; }
-  start=$(date +%s.%N)
+  start=$(now_ns)
   "$bin" --quick --csv >/dev/null
-  end=$(date +%s.%N)
-  printf "| %s | %.2f |\n" "$b" "$(echo "$end $start" | awk '{print $1 - $2}')"
+  end=$(now_ns)
+  ns=$((end - start))
+  printf "| %s | %s |\n" "$b" \
+    "$(awk "BEGIN {printf \"%.2f\", $ns / 1e9}")"
+  [ "$first" = 1 ] || printf ',\n' >>"$json"
+  first=0
+  printf '    {"name": "%s", "nodes": 0, "ns_per_op": %s.0, "ops": 1}' \
+    "$b" "$ns" >>"$json"
 done
+printf '\n  ]\n}\n' >>"$json"
+
 echo
-echo "_Measured on: $host, $(date -u +%Y-%m-%d)._"
+echo "_Measured on: $host, $utc_date (LAD_THREADS=$LAD_THREADS)._"
+echo
+echo "wrote $json" >&2
+
+# Self-check the emitted JSON when the checker is built (CI always
+# builds it; local quick runs may not have it yet).
+if [ -x "$build/tools/bench_json_check" ]; then
+  "$build/tools/bench_json_check" "$json" >&2
+fi

@@ -1,0 +1,38 @@
+// Validates BENCH_*.json artifacts against the lad-bench-1 schema
+// (util/bench_json.h).  CI runs this over every emitted file so a bench
+// that drifts from the schema — or a hand-edited artifact — fails the
+// build instead of silently breaking the perf-trajectory tooling.
+//
+//   usage: bench_json_check <file.json> [more.json ...]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/bench_json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_json_check <file.json> [...]\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in.good()) {
+      std::fprintf(stderr, "%s: cannot read file\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string error = lad::validate_bench_json(buf.str());
+    if (error.empty()) {
+      std::printf("%s: ok\n", argv[i]);
+    } else {
+      std::fprintf(stderr, "%s: %s\n", argv[i], error.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
