@@ -31,6 +31,8 @@ class AmorphousLocalizer final : public Localizer {
   void prepare(const Network& net) override;
   Vec2 localize(const Network& net, std::size_t node) override;
 
+  bool concurrent_localize() const override { return true; }
+
   double hop_distance() const { return hop_distance_; }
 
  private:

@@ -29,6 +29,8 @@ class ApitLocalizer final : public Localizer {
 
   Vec2 localize(const Network& net, std::size_t node) override;
 
+  bool concurrent_localize() const override { return true; }
+
   /// The approximate PIT test, exposed for unit testing.
   bool approximate_point_in_triangle(const Network& net, std::size_t node,
                                      Vec2 a, Vec2 b, Vec2 c) const;

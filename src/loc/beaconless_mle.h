@@ -34,6 +34,8 @@ class BeaconlessMleLocalizer final : public Localizer {
     return estimate(net.observe(node));
   }
 
+  bool concurrent_localize() const override { return true; }
+
   /// Estimates a location from an observation alone (no network needed);
   /// this is the entry point the detection pipeline uses.
   Vec2 estimate(const Observation& obs) const;

@@ -19,6 +19,8 @@ class CentroidLocalizer final : public Localizer {
 
   Vec2 localize(const Network& net, std::size_t node) override;
 
+  bool concurrent_localize() const override { return true; }
+
   /// Estimate for an arbitrary point (used by tests and examples).
   Vec2 estimate_at(Vec2 p) const;
 

@@ -33,6 +33,8 @@ class DvHopLocalizer final : public Localizer {
 
   Vec2 localize(const Network& net, std::size_t node) override;
 
+  bool concurrent_localize() const override { return true; }
+
   /// Declares a false position for anchor `anchor_idx` (attack hook).
   void compromise_anchor(std::size_t anchor_idx, Vec2 declared);
   void reset_compromises();

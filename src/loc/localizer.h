@@ -28,6 +28,15 @@ class Localizer {
 
   /// Estimated location Le of `node`.
   virtual Vec2 localize(const Network& net, std::size_t node) = 0;
+
+  /// True when localize() on a prepared instance is a pure function of
+  /// its arguments: safe to call concurrently and independent of call
+  /// order.  The scoring passes then share one prepared instance per
+  /// network across their per-victim thread fan-out.  Stateful schemes
+  /// (truth+noise advances an internal rng per call, so results depend on
+  /// call order) keep the default `false`; the passes fall back to a
+  /// per-network fan-out that localizes each network's victims in order.
+  virtual bool concurrent_localize() const { return false; }
 };
 
 }  // namespace lad

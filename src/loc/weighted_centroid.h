@@ -23,6 +23,8 @@ class WeightedCentroidLocalizer final : public Localizer {
     return weighted_centroid_estimate(*model_, net.observe(node));
   }
 
+  bool concurrent_localize() const override { return true; }
+
  private:
   const DeploymentModel* model_;
 };

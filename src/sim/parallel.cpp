@@ -81,8 +81,15 @@ void parallel_for_items(std::size_t n,
   }
   if (first_error) std::rethrow_exception(first_error);
 #else
-  ThreadPool pool(static_cast<std::size_t>(threads));
-  pool.parallel_for(0, n, fn);
+  // One process-wide pool, grown on demand and reused across calls: a
+  // scenario sweep issues thousands of these loops, and spawning/joining
+  // a fresh pool per call dominated the small passes.  The caller
+  // participates in the loop, so `threads`-wide execution needs only
+  // threads-1 pool workers, and nested loops (scenario jobs running
+  // pipeline passes) cannot deadlock.
+  ThreadPool& pool = ThreadPool::shared();
+  pool.ensure_workers(static_cast<std::size_t>(threads) - 1);
+  pool.parallel_for(0, n, fn, static_cast<std::size_t>(threads));
 #endif
 }
 

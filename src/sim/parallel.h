@@ -1,8 +1,9 @@
 // Parallel-for over independent simulation work items.
 //
 // Uses OpenMP when compiled in (dynamic schedule: network generation and
-// MLE search have variable cost per item), otherwise the internal thread
-// pool.  Work items must be independent (CP.2): callers write results into
+// MLE search have variable cost per item), otherwise the process-wide
+// shared ThreadPool (grown on demand, reused across calls, caller
+// participates).  Work items must be independent (CP.2): callers write results into
 // pre-sized slots indexed by the item id, so no synchronization is needed,
 // and determinism comes from per-item RNG streams, never from scheduling.
 #pragma once

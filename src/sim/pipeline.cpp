@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <sstream>
 
 #include "attack/displacement.h"
@@ -34,6 +35,40 @@ std::size_t draw_victim(const Network& net, const PipelineConfig& cfg,
   // Essentially unreachable (>90% of nodes are in-field); fall back to any.
   return static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
 }
+
+/// Parallel fan-out over the flat (network, victim) index space: splits
+/// [0, nnet*k) into contiguous chunks — several per thread, so uneven
+/// greedy-taint/MLE cost load-balances on the pool's dynamic cursor — and
+/// hands each chunk to `body` as per-network victim subranges that never
+/// span a network boundary (observation batches and localizers are
+/// per-network).  All rng consumption must have happened before the call;
+/// bodies write results into disjoint flat slots, so any schedule yields
+/// identical output.
+void for_each_victim_span(
+    std::size_t nnet, std::size_t k, int threads,
+    const std::function<void(std::size_t ni, std::size_t v_lo,
+                             std::size_t v_hi)>& body) {
+  const std::size_t total = nnet * k;
+  const int width = threads > 0 ? threads : default_parallelism();
+  const std::size_t nchunks =
+      std::min(total, static_cast<std::size_t>(width) * 4);
+  const std::size_t chunk = (total + nchunks - 1) / nchunks;
+  parallel_for_items(
+      nchunks,
+      [&](std::size_t c) {
+        const std::size_t lo = c * chunk;
+        const std::size_t hi = std::min(total, lo + chunk);
+        std::size_t f = lo;
+        while (f < hi) {
+          const std::size_t ni = f / k;
+          const std::size_t v_hi = std::min(hi - ni * k, k);
+          body(ni, f - ni * k, v_hi);
+          f = ni * k + v_hi;
+        }
+      },
+      threads);
+}
+
 }  // namespace
 
 LocalizerFactory beaconless_mle_factory(const DeploymentModel& model,
@@ -83,6 +118,36 @@ Pipeline::Pipeline(const PipelineConfig& config)
       config_.threads);
 }
 
+std::vector<std::unique_ptr<Localizer>> Pipeline::benign_localizers(
+    const LocalizerFactory& factory, std::vector<std::size_t>& victims) {
+  const std::size_t nnet = networks_.size();
+  const std::size_t k = static_cast<std::size_t>(config_.victims_per_network);
+
+  // Sequential rng phase: replay every network's historical stream order
+  // — localizer seed first, then the k victim draws — so the fan-out
+  // below cannot perturb any stream regardless of schedule.
+  std::vector<std::uint64_t> loc_seeds(nnet);
+  victims.resize(nnet * k);
+  for (std::size_t ni = 0; ni < nnet; ++ni) {
+    Rng rng = Rng::stream(config_.seed ^ kStreamBenign, ni);
+    loc_seeds[ni] = rng.bits();
+    for (std::size_t v = 0; v < k; ++v) {
+      victims[ni * k + v] = draw_victim(*networks_[ni], config_, rng);
+    }
+  }
+
+  // One localizer per network, prepared in parallel (hop-flooding schemes
+  // do their per-network heavy lifting in prepare()).
+  std::vector<std::unique_ptr<Localizer>> localizers(nnet);
+  for (std::size_t ni = 0; ni < nnet; ++ni) {
+    localizers[ni] = factory(loc_seeds[ni]);
+  }
+  parallel_for_items(
+      nnet, [&](std::size_t ni) { localizers[ni]->prepare(*networks_[ni]); },
+      config_.threads);
+  return localizers;
+}
+
 std::map<MetricKind, std::vector<double>> Pipeline::benign_scores(
     const LocalizerFactory& factory, const std::vector<MetricKind>& metrics,
     std::vector<int>* victim_groups) {
@@ -98,41 +163,79 @@ std::map<MetricKind, std::vector<double>> Pipeline::benign_scores(
       metrics.size(), std::vector<double>(nnet * k, 0.0));
   if (victim_groups != nullptr) victim_groups->assign(nnet * k, 0);
 
-  parallel_for_items(
-      nnet,
-      [&](std::size_t ni) {
-        const Network& net = *networks_[ni];
-        Rng rng = Rng::stream(config_.seed ^ kStreamBenign, ni);
-        std::unique_ptr<Localizer> localizer = factory(rng.bits());
-        localizer->prepare(net);
-        // Draw all victims first (same rng call order as the historical
-        // per-victim loop), then compute their observations in one batch.
-        std::vector<std::size_t> victims(k);
-        for (std::size_t v = 0; v < k; ++v) {
-          victims[v] = draw_victim(net, config_, rng);
-        }
-        ObservationBatch batch;
-        net.observe_many(victims, batch);
-        for (std::size_t v = 0; v < k; ++v) {
-          const Observation obs = batch.to_observation(v);
-          const Vec2 le = localizer->localize(net, victims[v]);
-          const ExpectedObservation mu = model_.expected_observation(le, gz_);
-          for (std::size_t mi = 0; mi < metric_impls.size(); ++mi) {
-            scores[mi][ni * k + v] = metric_impls[mi]->score(obs, mu, m);
-          }
-          if (victim_groups != nullptr) {
-            (*victim_groups)[ni * k + v] =
-                model_.nearest_group(net.position(victims[v]));
-          }
-        }
-      },
-      config_.threads);
+  std::vector<std::size_t> victims;
+  std::vector<std::unique_ptr<Localizer>> localizers =
+      benign_localizers(factory, victims);
+
+  auto score_span = [&](std::size_t ni, std::size_t v_lo, std::size_t v_hi) {
+    const Network& net = *networks_[ni];
+    Localizer& localizer = *localizers[ni];
+    ObservationBatch batch;
+    net.observe_many(std::span<const std::size_t>(
+                         victims.data() + ni * k + v_lo, v_hi - v_lo),
+                     batch);
+    for (std::size_t v = v_lo; v < v_hi; ++v) {
+      const Observation obs = batch.to_observation(v - v_lo);
+      const Vec2 le = localizer.localize(net, victims[ni * k + v]);
+      const ExpectedObservation mu = model_.expected_observation(le, gz_);
+      for (std::size_t mi = 0; mi < metric_impls.size(); ++mi) {
+        scores[mi][ni * k + v] = metric_impls[mi]->score(obs, mu, m);
+      }
+      if (victim_groups != nullptr) {
+        (*victim_groups)[ni * k + v] =
+            model_.nearest_group(net.position(victims[ni * k + v]));
+      }
+    }
+  };
+
+  if (concurrent_localize_all(localizers)) {
+    // Flat per-victim fan-out: parallelism scales with nnet*k, not nnet.
+    for_each_victim_span(nnet, k, config_.threads, score_span);
+  } else {
+    // Stateful localize (call-order-dependent): keep the per-network
+    // fan-out so each network's victims are localized in order.
+    parallel_for_items(
+        nnet, [&](std::size_t ni) { score_span(ni, 0, k); }, config_.threads);
+  }
 
   std::map<MetricKind, std::vector<double>> out;
   for (std::size_t mi = 0; mi < metrics.size(); ++mi) {
     out[metrics[mi]] = std::move(scores[mi]);
   }
   return out;
+}
+
+bool Pipeline::concurrent_localize_all(
+    const std::vector<std::unique_ptr<Localizer>>& localizers) {
+  for (const auto& l : localizers) {
+    if (!l->concurrent_localize()) return false;
+  }
+  return true;
+}
+
+void Pipeline::draw_attack_victims(const AttackSpec& spec,
+                                   std::vector<std::size_t>& victims,
+                                   std::vector<Vec2>& les) {
+  const std::size_t nnet = networks_.size();
+  const std::size_t k = static_cast<std::size_t>(config_.victims_per_network);
+  const Aabb field = config_.deploy.field();
+  // The attack sub-stream is independent of the benign pass but *also*
+  // independent of the spec, so different (D, x) settings see the same
+  // victims - variance reduction that matches the paper's sweeps.
+  // Historical call order per network: victim then Le, per victim.
+  victims.resize(nnet * k);
+  les.resize(nnet * k);
+  for (std::size_t ni = 0; ni < nnet; ++ni) {
+    const Network& net = *networks_[ni];
+    Rng rng = Rng::stream(config_.seed ^ kStreamAttack, ni);
+    for (std::size_t v = 0; v < k; ++v) {
+      // Step 1 (7.1): random victim at La.
+      victims[ni * k + v] = draw_victim(net, config_, rng);
+      // Step 2: plant Le with |Le - La| = D.
+      les[ni * k + v] = displaced_location(net.position(victims[ni * k + v]),
+                                           spec.damage, field, rng);
+    }
+  }
 }
 
 std::vector<double> Pipeline::attack_scores(const AttackSpec& spec,
@@ -143,36 +246,28 @@ std::vector<double> Pipeline::attack_scores(const AttackSpec& spec,
   const std::size_t nnet = networks_.size();
   const std::size_t k = static_cast<std::size_t>(config_.victims_per_network);
   const int m = config_.deploy.nodes_per_group;
-  const Aabb field = config_.deploy.field();
   const std::unique_ptr<Metric> metric = make_metric(spec.metric);
 
   std::vector<double> scores(nnet * k, 0.0);
   if (victim_groups != nullptr) victim_groups->assign(nnet * k, 0);
-  // The attack sub-stream is independent of the benign pass but *also*
-  // independent of the spec, so different (D, x) settings see the same
-  // victims - variance reduction that matches the paper's sweeps.
-  parallel_for_items(
-      nnet,
-      [&](std::size_t ni) {
+
+  std::vector<std::size_t> victims;
+  std::vector<Vec2> les;
+  draw_attack_victims(spec, victims, les);
+
+  // No localizer in this pass, so the flat fan-out is unconditional.
+  for_each_victim_span(
+      nnet, k, config_.threads,
+      [&](std::size_t ni, std::size_t v_lo, std::size_t v_hi) {
         const Network& net = *networks_[ni];
-        Rng rng = Rng::stream(config_.seed ^ kStreamAttack, ni);
-        // Step 1/2 draws first (victim then Le per victim, preserving the
-        // historical rng call order), then one observation batch.
-        std::vector<std::size_t> victims(k);
-        std::vector<Vec2> les(k);
-        for (std::size_t v = 0; v < k; ++v) {
-          // Step 1 (7.1): random victim at La.
-          victims[v] = draw_victim(net, config_, rng);
-          // Step 2: plant Le with |Le - La| = D.
-          les[v] = displaced_location(net.position(victims[v]), spec.damage,
-                                      field, rng);
-        }
         ObservationBatch batch;
-        net.observe_many(victims, batch);
-        for (std::size_t v = 0; v < k; ++v) {
-          const Observation a = batch.to_observation(v);
+        net.observe_many(std::span<const std::size_t>(
+                             victims.data() + ni * k + v_lo, v_hi - v_lo),
+                         batch);
+        for (std::size_t v = v_lo; v < v_hi; ++v) {
+          const Observation a = batch.to_observation(v - v_lo);
           const ExpectedObservation mu =
-              model_.expected_observation(les[v], gz_);
+              model_.expected_observation(les[ni * k + v], gz_);
           // Step 3: tainted observation minimizing the metric.
           const int budget = static_cast<int>(
               std::lround(spec.compromised_frac * a.total()));
@@ -181,11 +276,10 @@ std::vector<double> Pipeline::attack_scores(const AttackSpec& spec,
           scores[ni * k + v] = metric->score(taint.tainted, mu, m);
           if (victim_groups != nullptr) {
             (*victim_groups)[ni * k + v] =
-                model_.nearest_group(net.position(victims[v]));
+                model_.nearest_group(net.position(victims[ni * k + v]));
           }
         }
-      },
-      config_.threads);
+      });
   return scores;
 }
 
@@ -195,31 +289,28 @@ std::map<MetricKind, std::vector<double>> Pipeline::attack_scores_cross(
   const std::size_t nnet = networks_.size();
   const std::size_t k = static_cast<std::size_t>(config_.victims_per_network);
   const int m = config_.deploy.nodes_per_group;
-  const Aabb field = config_.deploy.field();
 
   std::vector<std::unique_ptr<Metric>> scorer_impls;
   for (MetricKind kind : scorers) scorer_impls.push_back(make_metric(kind));
   std::vector<std::vector<double>> scores(
       scorers.size(), std::vector<double>(nnet * k, 0.0));
 
-  parallel_for_items(
-      nnet,
-      [&](std::size_t ni) {
+  std::vector<std::size_t> victims;
+  std::vector<Vec2> les;
+  draw_attack_victims(spec, victims, les);
+
+  for_each_victim_span(
+      nnet, k, config_.threads,
+      [&](std::size_t ni, std::size_t v_lo, std::size_t v_hi) {
         const Network& net = *networks_[ni];
-        Rng rng = Rng::stream(config_.seed ^ kStreamAttack, ni);
-        std::vector<std::size_t> victims(k);
-        std::vector<Vec2> les(k);
-        for (std::size_t v = 0; v < k; ++v) {
-          victims[v] = draw_victim(net, config_, rng);
-          les[v] = displaced_location(net.position(victims[v]), spec.damage,
-                                      field, rng);
-        }
         ObservationBatch batch;
-        net.observe_many(victims, batch);
-        for (std::size_t v = 0; v < k; ++v) {
-          const Observation a = batch.to_observation(v);
+        net.observe_many(std::span<const std::size_t>(
+                             victims.data() + ni * k + v_lo, v_hi - v_lo),
+                         batch);
+        for (std::size_t v = v_lo; v < v_hi; ++v) {
+          const Observation a = batch.to_observation(v - v_lo);
           const ExpectedObservation mu =
-              model_.expected_observation(les[v], gz_);
+              model_.expected_observation(les[ni * k + v], gz_);
           const int budget = static_cast<int>(
               std::lround(spec.compromised_frac * a.total()));
           const TaintResult taint =
@@ -229,8 +320,7 @@ std::map<MetricKind, std::vector<double>> Pipeline::attack_scores_cross(
                 scorer_impls[si]->score(taint.tainted, mu, m);
           }
         }
-      },
-      config_.threads);
+      });
 
   std::map<MetricKind, std::vector<double>> out;
   for (std::size_t si = 0; si < scorers.size(); ++si) {
@@ -299,25 +389,40 @@ DetectorBundle Pipeline::train_bundle(const LocalizerFactory& factory,
 double Pipeline::mean_localization_error(const LocalizerFactory& factory) {
   const std::size_t nnet = networks_.size();
   const std::size_t k = static_cast<std::size_t>(config_.victims_per_network);
-  std::vector<double> errors(nnet, 0.0);
-  parallel_for_items(
-      nnet,
-      [&](std::size_t ni) {
-        const Network& net = *networks_[ni];
-        Rng rng = Rng::stream(config_.seed ^ kStreamBenign, ni);
-        std::unique_ptr<Localizer> localizer = factory(rng.bits());
-        localizer->prepare(net);
-        double total = 0.0;
-        for (std::size_t v = 0; v < k; ++v) {
-          const std::size_t node = draw_victim(net, config_, rng);
-          const Vec2 le = localizer->localize(net, node);
-          total += distance(le, net.position(node));
-        }
-        errors[ni] = total / static_cast<double>(k);
-      },
-      config_.threads);
+
+  // Same sub-stream as the benign pass, so the measured victims match the
+  // scored ones.
+  std::vector<std::size_t> victims;
+  std::vector<std::unique_ptr<Localizer>> localizers =
+      benign_localizers(factory, victims);
+
+  std::vector<double> dists(nnet * k, 0.0);
+  auto measure_span = [&](std::size_t ni, std::size_t v_lo, std::size_t v_hi) {
+    const Network& net = *networks_[ni];
+    Localizer& localizer = *localizers[ni];
+    for (std::size_t v = v_lo; v < v_hi; ++v) {
+      const std::size_t node = victims[ni * k + v];
+      dists[ni * k + v] = distance(localizer.localize(net, node),
+                                   net.position(node));
+    }
+  };
+  if (concurrent_localize_all(localizers)) {
+    for_each_victim_span(nnet, k, config_.threads, measure_span);
+  } else {
+    parallel_for_items(
+        nnet, [&](std::size_t ni) { measure_span(ni, 0, k); },
+        config_.threads);
+  }
+
+  // Reduce in the historical order (victims within a network, then
+  // networks) so the float-addition order — and hence the reported mean —
+  // is bit-identical to the sequential pass.
   double sum = 0.0;
-  for (double e : errors) sum += e;
+  for (std::size_t ni = 0; ni < nnet; ++ni) {
+    double total = 0.0;
+    for (std::size_t v = 0; v < k; ++v) total += dists[ni * k + v];
+    sum += total / static_cast<double>(k);
+  }
   return sum / static_cast<double>(nnet);
 }
 

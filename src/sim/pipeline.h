@@ -146,6 +146,26 @@ class Pipeline {
                               const GroupTrainingSpec& grouped = {});
 
  private:
+  /// The shared sequential rng phase of the benign-side passes: replays
+  /// every network's historical stream order (localizer seed, then the k
+  /// victim draws, filling `victims[ni*k + v]`), builds one localizer per
+  /// network, and runs prepare() in parallel.  After this returns, no pass
+  /// rng remains to be consumed — the per-victim fan-out is free to run
+  /// in any schedule.
+  std::vector<std::unique_ptr<Localizer>> benign_localizers(
+      const LocalizerFactory& factory, std::vector<std::size_t>& victims);
+
+  /// The attack passes' sequential rng phase: victim and planted-Le draws
+  /// in the historical per-network order.
+  void draw_attack_victims(const AttackSpec& spec,
+                           std::vector<std::size_t>& victims,
+                           std::vector<Vec2>& les);
+
+  /// True when every per-network localizer supports order-independent
+  /// concurrent localize() — the gate for the flat per-victim fan-out.
+  static bool concurrent_localize_all(
+      const std::vector<std::unique_ptr<Localizer>>& localizers);
+
   PipelineConfig config_;
   DeploymentModel model_;         ///< knowledge model
   DeploymentModel actual_model_;  ///< deployment reality

@@ -24,7 +24,7 @@ constexpr std::uint64_t kDefaultScenarioSeed = 20050404;  // IPDPS 2005 opened
 
 const std::vector<std::string>& common_sections() {
   static const std::vector<std::string> sections = {
-      "scenario", "pipeline", "quick", "sweep", "detector", "output"};
+      "scenario", "pipeline", "quick", "sweep", "detector", "run", "output"};
   return sections;
 }
 
@@ -372,6 +372,10 @@ ScenarioSpec ScenarioSpec::from_config(const KvConfig& config) {
   LAD_REQUIRE_MSG(spec.tau > 0 && spec.tau < 1,
                   "[detector] tau must be in (0,1)");
 
+  if (const KvConfig::Section* r = config.find_section("run")) {
+    spec.jobs = get_positive_int(*r, "jobs", 1);
+  }
+
   spec.fp_grid = {0.01, 0.02, 0.05, 0.1, 0.2, 0.5};
   if (const KvConfig::Section* o = config.find_section("output")) {
     spec.fp_grid = o->get_double_list("fp_grid", spec.fp_grid);
@@ -451,6 +455,7 @@ ScenarioSpec apply_overrides(ScenarioSpec spec, const ScenarioOverrides& o) {
   if (o.networks) spec.pipeline.networks = *o.networks;
   if (o.victims) spec.pipeline.victims_per_network = *o.victims;
   if (o.threads) spec.pipeline.threads = *o.threads;
+  if (o.jobs) spec.jobs = *o.jobs;
   if (o.r) spec.pipeline.deploy.radio_range = *o.r;
   if (o.sigma) spec.pipeline.deploy.sigma = *o.sigma;
   spec.pipeline.deploy.validate();
@@ -472,6 +477,14 @@ ScenarioOverrides overrides_from_flags(const Flags& flags) {
   }
   if (flags.has("threads")) {
     o.threads = static_cast<int>(flags.get_int("threads", 0));
+  }
+  if (flags.has("jobs")) {
+    const long long jobs = flags.get_int("jobs", 1);
+    // Rejected by name (never silently sequential or all-cores): a caller
+    // computing jobs from a subtraction must see its bug immediately.
+    LAD_REQUIRE_MSG(jobs >= 1,
+                    "--jobs must be >= 1 (1 = sequential), got " << jobs);
+    o.jobs = static_cast<int>(jobs);
   }
   if (flags.has("r")) o.r = flags.get_double("r", 0.0);
   if (flags.has("sigma")) o.sigma = flags.get_double("sigma", 0.0);

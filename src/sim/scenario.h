@@ -115,6 +115,14 @@ struct ScenarioSpec {
   /// instead of training them inline.  Only valid for metric-fusion.
   std::string bundle;
 
+  // [run]
+  /// Independent work items executed concurrently (1 = sequential).  Rows
+  /// are buffered per item and emitted in item order, so output CSVs are
+  /// byte-identical at any jobs count.  Effective thread usage is roughly
+  /// jobs x pipeline.threads; the shared pool keeps oversubscription from
+  /// spawning jobs*threads OS threads.
+  int jobs = 1;
+
   // [output]
   std::vector<double> fp_grid;  ///< ROC summary columns
   int curve_points = 60;        ///< max ROC curve rows per item; 0 = omit
@@ -148,6 +156,7 @@ struct ScenarioOverrides {
   std::optional<int> networks;
   std::optional<int> victims;
   std::optional<int> threads;
+  std::optional<int> jobs;
   std::optional<double> r;
   std::optional<double> sigma;
 };
@@ -155,8 +164,11 @@ struct ScenarioOverrides {
 ScenarioSpec apply_overrides(ScenarioSpec spec, const ScenarioOverrides& o);
 
 /// Reads the common override flags (--quick, --seed, --m, --networks,
-/// --victims, --threads, --r, --sigma) — the one flag list shared by
-/// `lad_cli run` and the bench wrappers.
+/// --victims, --threads, --jobs, --r, --sigma) — the one flag list shared
+/// by `lad_cli run` and the bench wrappers.  `--jobs` must be >= 1; zero
+/// and negative values are rejected by name (the parallel_for_items
+/// convention: a computed-jobs bug must surface, not silently serialize
+/// or grab all cores).
 ScenarioOverrides overrides_from_flags(const Flags& flags);
 
 /// One shard of a work-item list: the items with id % count == index.

@@ -15,8 +15,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <sstream>
 
@@ -31,6 +36,7 @@
 #include "loc/echo.h"
 #include "loc/mmse.h"
 #include "rng/rng.h"
+#include "sim/parallel.h"
 #include "stats/quantile.h"
 #include "stats/running_stats.h"
 #include "stats/special.h"
@@ -150,6 +156,65 @@ std::vector<std::string> table_ids_for(const ScenarioSpec& s) {
   return {};  // unreachable
 }
 
+/// Thread-safe memo map with per-key in-flight latches: the first caller
+/// for a key builds the value outside the map lock while later callers
+/// for the same key block on the entry's latch — so two concurrent work
+/// items wanting the same pipeline build it exactly once, and items
+/// wanting different pipelines never serialize on each other.  Values are
+/// deterministic functions of the key (given the spec), so which item
+/// ends up building changes wall time only, never values.  A builder that
+/// throws parks the exception in the entry; every waiter (and any later
+/// caller) rethrows it.
+template <class V>
+class LatchedCache {
+ public:
+  /// Returns the cached value for `key`, invoking `build` (which must
+  /// return std::unique_ptr<V>) on the first call for that key.
+  template <class Build>
+  V& get(const std::string& key, Build&& build) {
+    std::shared_ptr<Entry> entry;
+    bool builder = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(key);
+      if (it == entries_.end()) {
+        it = entries_.emplace(key, std::make_shared<Entry>()).first;
+        builder = true;
+      }
+      entry = it->second;
+    }
+    if (builder) {
+      try {
+        entry->value = build();
+      } catch (...) {
+        entry->error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(entry->mu);
+        entry->ready = true;
+      }
+      entry->cv.notify_all();
+    } else {
+      std::unique_lock<std::mutex> lock(entry->mu);
+      entry->cv.wait(lock, [&] { return entry->ready; });
+    }
+    if (entry->error) std::rethrow_exception(entry->error);
+    return *entry->value;
+  }
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;  ///< guarded by mu
+    std::unique_ptr<V> value;    ///< written by the builder before ready
+    std::exception_ptr error;    ///< ditto
+  };
+
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+};
+
 }  // namespace
 
 struct ScenarioRunner::Impl {
@@ -163,16 +228,18 @@ struct ScenarioRunner::Impl {
   };
 
   // --- shared deterministic state (lazy; values never depend on which
-  //     items run, only the spec) ---------------------------------------
-  std::map<std::string, std::unique_ptr<Pipeline>> pipelines;
+  //     items run, only the spec).  Latched caches: concurrent work items
+  //     (jobs > 1) wanting the same key build it exactly once, and the
+  //     sequential run fills them in the exact historical order.
+  LatchedCache<Pipeline> pipelines;
   // (pipeline key | localizer) -> the shared benign pass
-  std::map<std::string, BenignPass> benign;
-  std::map<std::string, double> loc_errors;
+  LatchedCache<BenignPass> benign;
+  LatchedCache<double> loc_errors;
   // threshold-sensitivity: per-damage attack scores on the base pipeline
-  std::map<double, std::vector<double>> attack_cache;
+  LatchedCache<std::vector<double>> attack_cache;
   // dr-sweep per_group mode: per-(pipeline|localizer|metric) boundary-group
   // fits - invariant across the attack/x/damage axes, so trained once.
-  std::map<std::string, std::vector<GroupTrainingResult>> group_fits;
+  LatchedCache<std::vector<GroupTrainingResult>> group_fits;
 
   explicit Impl(const ScenarioSpec& s) : spec(s) {}
 
@@ -194,12 +261,8 @@ struct ScenarioRunner::Impl {
   }
 
   Pipeline& pipeline_for(const PipelineConfig& cfg) {
-    const std::string key = config_key(cfg);
-    auto it = pipelines.find(key);
-    if (it == pipelines.end()) {
-      it = pipelines.emplace(key, std::make_unique<Pipeline>(cfg)).first;
-    }
-    return *it->second;
+    return pipelines.get(config_key(cfg),
+                         [&] { return std::make_unique<Pipeline>(cfg); });
   }
 
   /// Benign scores for every spec metric under one (pipeline, localizer);
@@ -208,30 +271,25 @@ struct ScenarioRunner::Impl {
                                const std::string& localizer) {
     const std::string key =
         config_key(pipeline.config()) + "|" + localizer;
-    auto it = benign.find(key);
-    if (it == benign.end()) {
+    return benign.get(key, [&] {
       const LocalizerFactory factory =
           localizer_factory_from_name(localizer, pipeline);
-      BenignPass pass;
-      pass.scores =
-          pipeline.benign_scores(factory, spec.metrics, &pass.victim_groups);
-      it = benign.emplace(key, std::move(pass)).first;
-    }
-    return it->second;
+      auto pass = std::make_unique<BenignPass>();
+      pass->scores =
+          pipeline.benign_scores(factory, spec.metrics, &pass->victim_groups);
+      return pass;
+    });
   }
 
   double loc_error_for(Pipeline& pipeline, const std::string& localizer) {
     const std::string key =
         config_key(pipeline.config()) + "|" + localizer;
-    auto it = loc_errors.find(key);
-    if (it == loc_errors.end()) {
+    return loc_errors.get(key, [&] {
       const LocalizerFactory factory =
           localizer_factory_from_name(localizer, pipeline);
-      it = loc_errors
-               .emplace(key, pipeline.mean_localization_error(factory))
-               .first;
-    }
-    return it->second;
+      return std::make_unique<double>(
+          pipeline.mean_localization_error(factory));
+    });
   }
 
   /// Boundary-group threshold fits for the per_group mode; a deterministic
@@ -242,30 +300,26 @@ struct ScenarioRunner::Impl {
       double global_threshold) {
     const std::string key = config_key(pipeline.config()) + "|" + localizer +
                             "|" + metric_name(metric);
-    auto it = group_fits.find(key);
-    if (it == group_fits.end()) {
-      const BenignPass& benign = benign_for(pipeline, localizer);
+    return group_fits.get(key, [&] {
+      const BenignPass& pass = benign_for(pipeline, localizer);
       GroupTrainingOptions options;
       options.groups = boundary_groups(pipeline.model());
       options.min_samples = static_cast<std::size_t>(spec.group_min_samples);
-      it = group_fits
-               .emplace(key, train_group_thresholds(
-                                 metric, benign.scores.at(metric),
-                                 benign.victim_groups, options,
-                                 1.0 - spec.fp_budget, global_threshold))
-               .first;
-    }
-    return it->second;
+      return std::make_unique<std::vector<GroupTrainingResult>>(
+          train_group_thresholds(metric, pass.scores.at(metric),
+                                 pass.victim_groups, options,
+                                 1.0 - spec.fp_budget, global_threshold));
+    });
   }
 
   const std::vector<double>& attack_scores_cached(Pipeline& pipeline,
                                                   const AttackSpec& spec_) {
-    auto it = attack_cache.find(spec_.damage);
-    if (it == attack_cache.end()) {
-      it = attack_cache.emplace(spec_.damage, pipeline.attack_scores(spec_))
-               .first;
-    }
-    return it->second;
+    std::ostringstream key;
+    key << spec_.damage;
+    return attack_cache.get(key.str(), [&] {
+      return std::make_unique<std::vector<double>>(
+          pipeline.attack_scores(spec_));
+    });
   }
 
   // --- per-kind execution ----------------------------------------------
@@ -288,6 +342,77 @@ Table& tagged_row(ResultTable& t, long long item) {
   t.row_items.push_back(item);
   return t.table.new_row();
 }
+
+/// Where one work item's closure emits its rows: a private fragment table
+/// per result table, spliced back by the scheduler.  util/csv.h stores
+/// cells pre-formatted, so the splice is byte-exact.
+class ItemSink {
+ public:
+  explicit ItemSink(std::vector<Table>& fragments) : fragments_(&fragments) {}
+
+  /// Starts a row destined for result table `table` (index in the
+  /// ScenarioResult's emission-order table list).
+  Table& row(std::size_t table) { return (*fragments_)[table].new_row(); }
+
+ private:
+  std::vector<Table>* fragments_;
+};
+
+/// Executes a kind's shard-owned work items, up to `jobs` concurrently,
+/// then splices each item's buffered rows into the shared result tables in
+/// schedule order — so every table CSV is byte-identical to the
+/// sequential run no matter how items interleave.  jobs = 1 runs the
+/// closures serially in schedule order, reproducing the historical
+/// execution (including the order caches fill in) exactly.
+class ItemScheduler {
+ public:
+  ItemScheduler(ScenarioResult& result, int jobs)
+      : result_(&result), jobs_(jobs) {}
+
+  /// Schedules `work` for `item`; runs at run() time.  Closures must be
+  /// independent across items (keyed rng, latched caches) and emit rows
+  /// only through their sink.
+  void add(long long item, std::function<void(ItemSink&)> work) {
+    Entry entry;
+    entry.item = item;
+    entry.work = std::move(work);
+    entry.fragments.reserve(result_->tables.size());
+    for (const ResultTable& t : result_->tables) {
+      entry.fragments.emplace_back(t.table.columns());
+    }
+    entries_.push_back(std::move(entry));
+  }
+
+  void run() {
+    parallel_for_items(
+        entries_.size(),
+        [&](std::size_t i) {
+          ItemSink sink(entries_[i].fragments);
+          entries_[i].work(sink);
+        },
+        jobs_);
+    for (const Entry& entry : entries_) {
+      for (std::size_t t = 0; t < entry.fragments.size(); ++t) {
+        const Table& fragment = entry.fragments[t];
+        for (std::size_t r = 0; r < fragment.num_rows(); ++r) {
+          Table& row = tagged_row(result_->tables[t], entry.item);
+          for (const std::string& cell : fragment.row(r)) row.add(cell);
+        }
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    long long item = 0;
+    std::function<void(ItemSink&)> work;
+    std::vector<Table> fragments;  ///< parallel to the result's tables
+  };
+
+  ScenarioResult* result_;
+  int jobs_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace
 
@@ -400,8 +525,8 @@ ScenarioResult ScenarioRunner::Impl::run_roc(const ShardRange& shard) {
   if (spec.curve_points > 0) {
     result.tables.push_back({"curves", Table(curve_cols), {}});
   }
-  ResultTable& summary = result.tables.front();
 
+  ItemScheduler sched(result, spec.jobs);
   long long item = -1;
   for (MetricKind metric : spec.metrics) {
     for (AttackClass cls : spec.attacks) {
@@ -409,46 +534,50 @@ ScenarioResult ScenarioRunner::Impl::run_roc(const ShardRange& shard) {
         for (double x : spec.compromised) {
           ++item;
           if (!shard.contains(item)) continue;
-          Pipeline& pipeline = pipeline_for(
-              group_config(spec.shapes.front(), spec.actual_sigmas.front(),
-                           spec.jitters.front()));
-          const std::vector<double>& benign_scores =
-              benign_for(pipeline, spec.localizers.front()).scores.at(metric);
-          AttackSpec attack;
-          attack.metric = metric;
-          attack.attack_class = cls;
-          attack.damage = d;
-          attack.compromised_frac = x;
-          const RocCurve curve(benign_scores,
-                               pipeline.attack_scores(attack));
+          sched.add(item, [this, metric, cls, d, x, many_metrics,
+                           many_attacks, many_xs](ItemSink& sink) {
+            Pipeline& pipeline = pipeline_for(
+                group_config(spec.shapes.front(), spec.actual_sigmas.front(),
+                             spec.jitters.front()));
+            const std::vector<double>& benign_scores =
+                benign_for(pipeline, spec.localizers.front())
+                    .scores.at(metric);
+            AttackSpec attack;
+            attack.metric = metric;
+            attack.attack_class = cls;
+            attack.damage = d;
+            attack.compromised_frac = x;
+            const RocCurve curve(benign_scores,
+                                 pipeline.attack_scores(attack));
 
-          auto add_dims = [&](Table& t) -> Table& {
-            if (many_metrics) t.add(metric_name(metric));
-            if (many_attacks) t.add(attack_class_name(cls));
-            t.add(d, 0);
-            if (many_xs) t.add(x, 2);
-            return t;
-          };
-          Table& row = add_dims(tagged_row(summary, item));
-          row.add(curve.auc(), 4);
-          for (double fp : spec.fp_grid) {
-            row.add(curve.detection_rate_at_fp(fp), 4);
-          }
-          if (spec.curve_points > 0) {
-            ResultTable& curves = result.tables.back();
-            const auto& pts = curve.points();
-            const std::size_t stride = std::max<std::size_t>(
-                1, pts.size() / static_cast<std::size_t>(spec.curve_points));
-            for (std::size_t i = 0; i < pts.size(); i += stride) {
-              add_dims(tagged_row(curves, item))
-                  .add(pts[i].false_positive_rate, 5)
-                  .add(pts[i].detection_rate, 5);
+            auto add_dims = [&](Table& t) -> Table& {
+              if (many_metrics) t.add(metric_name(metric));
+              if (many_attacks) t.add(attack_class_name(cls));
+              t.add(d, 0);
+              if (many_xs) t.add(x, 2);
+              return t;
+            };
+            Table& row = add_dims(sink.row(0));
+            row.add(curve.auc(), 4);
+            for (double fp : spec.fp_grid) {
+              row.add(curve.detection_rate_at_fp(fp), 4);
             }
-          }
+            if (spec.curve_points > 0) {
+              const auto& pts = curve.points();
+              const std::size_t stride = std::max<std::size_t>(
+                  1, pts.size() / static_cast<std::size_t>(spec.curve_points));
+              for (std::size_t i = 0; i < pts.size(); i += stride) {
+                add_dims(sink.row(1))
+                    .add(pts[i].false_positive_rate, 5)
+                    .add(pts[i].detection_rate, 5);
+              }
+            }
+          });
         }
       }
     }
   }
+  sched.run();
   return result;
 }
 
@@ -491,7 +620,6 @@ ScenarioResult ScenarioRunner::Impl::run_dr(const ShardRange& shard) {
 
   ScenarioResult result{spec.name, {}};
   result.tables.push_back({"dr", Table(cols), {}});
-  ResultTable& dr = result.tables.front();
 
   // fraction of `scores` above its victim-group threshold, restricted to
   // samples whose group passes `keep` (empty selection -> 0).
@@ -510,9 +638,12 @@ ScenarioResult ScenarioRunner::Impl::run_dr(const ShardRange& shard) {
                   : static_cast<double>(above) / static_cast<double>(n);
   };
 
+  ItemScheduler sched(result, spec.jobs);
   long long item = -1;
   for (GroupThresholdMode mode : spec.group_threshold_modes) {
-    for (const auto& [actual_sigma, jitter] : pairs) {
+    for (const auto& pair : pairs) {
+      const double actual_sigma = pair.first;
+      const double jitter = pair.second;
       for (DeploymentShape shape : spec.shapes) {
         for (const std::string& localizer : spec.localizers) {
           for (MetricKind metric : spec.metrics) {
@@ -521,90 +652,98 @@ ScenarioResult ScenarioRunner::Impl::run_dr(const ShardRange& shard) {
                 for (double d : spec.damages) {
                   ++item;
                   if (!shard.contains(item)) continue;
-                  Pipeline& pipeline =
-                      pipeline_for(group_config(shape, actual_sigma, jitter));
-                  const BenignPass& benign = benign_for(pipeline, localizer);
-                  const std::vector<double>& benign_scores =
-                      benign.scores.at(metric);
-                  const ThresholdFit fit =
-                      fit_threshold(metric, benign_scores, spec.fp_budget);
-                  AttackSpec attack;
-                  attack.metric = metric;
-                  attack.attack_class = cls;
-                  attack.damage = d;
-                  attack.compromised_frac = x;
-                  std::vector<int> attack_groups;
-                  const std::vector<double> scores = pipeline.attack_scores(
-                      attack, split_groups ? &attack_groups : nullptr);
+                  sched.add(item, [this, mode, actual_sigma, jitter, shape,
+                                   localizer, metric, cls, x, d, many_modes,
+                                   many_sigmas, many_jitters, many_shapes,
+                                   many_locs, many_metrics, many_attacks,
+                                   split_groups,
+                                   &rate_where](ItemSink& sink) {
+                    Pipeline& pipeline = pipeline_for(
+                        group_config(shape, actual_sigma, jitter));
+                    const BenignPass& benign =
+                        benign_for(pipeline, localizer);
+                    const std::vector<double>& benign_scores =
+                        benign.scores.at(metric);
+                    const ThresholdFit fit =
+                        fit_threshold(metric, benign_scores, spec.fp_budget);
+                    AttackSpec attack;
+                    attack.metric = metric;
+                    attack.attack_class = cls;
+                    attack.damage = d;
+                    attack.compromised_frac = x;
+                    std::vector<int> attack_groups;
+                    const std::vector<double> scores = pipeline.attack_scores(
+                        attack, split_groups ? &attack_groups : nullptr);
 
-                  // Per-group threshold vector: the pooled fit everywhere,
-                  // boundary groups re-fitted on their own benign buckets
-                  // in per_group mode (interior groups always keep the
-                  // pooled value, which is what keeps their verdicts
-                  // byte-identical across modes).
-                  const std::size_t num_groups = static_cast<std::size_t>(
-                      pipeline.model().num_groups());
-                  std::vector<double> thresholds(num_groups,
-                                                 fit.threshold());
-                  std::vector<char> is_boundary(num_groups, 0);
-                  if (split_groups) {
-                    const std::vector<GroupTrainingResult>& fits =
-                        group_fit_for(pipeline, localizer, metric,
-                                      fit.threshold());
-                    for (const GroupTrainingResult& r : fits) {
-                      is_boundary[static_cast<std::size_t>(r.group)] = 1;
-                      if (mode == GroupThresholdMode::kPerGroup) {
-                        thresholds[static_cast<std::size_t>(r.group)] =
-                            r.training.threshold;
+                    // Per-group threshold vector: the pooled fit everywhere,
+                    // boundary groups re-fitted on their own benign buckets
+                    // in per_group mode (interior groups always keep the
+                    // pooled value, which is what keeps their verdicts
+                    // byte-identical across modes).
+                    const std::size_t num_groups = static_cast<std::size_t>(
+                        pipeline.model().num_groups());
+                    std::vector<double> thresholds(num_groups,
+                                                   fit.threshold());
+                    std::vector<char> is_boundary(num_groups, 0);
+                    if (split_groups) {
+                      const std::vector<GroupTrainingResult>& fits =
+                          group_fit_for(pipeline, localizer, metric,
+                                        fit.threshold());
+                      for (const GroupTrainingResult& r : fits) {
+                        is_boundary[static_cast<std::size_t>(r.group)] = 1;
+                        if (mode == GroupThresholdMode::kPerGroup) {
+                          thresholds[static_cast<std::size_t>(r.group)] =
+                              r.training.threshold;
+                        }
                       }
                     }
-                  }
 
-                  Table& row = tagged_row(dr, item);
-                  if (many_modes) row.add(group_threshold_mode_name(mode));
-                  if (many_sigmas) row.add(actual_sigma, 1);
-                  if (many_jitters) row.add(jitter, 1);
-                  if (many_shapes) row.add(deployment_shape_name(shape));
-                  if (many_locs) row.add(localizer);
-                  if (many_metrics) row.add(metric_name(metric));
-                  if (many_attacks) row.add(attack_class_name(cls));
-                  row.add(x, 2).add(d, 0);
-                  const auto all = [](int) { return true; };
-                  if (mode == GroupThresholdMode::kPerGroup) {
-                    row.add(rate_where(scores, attack_groups, thresholds,
-                                       all),
-                            4)
-                        .add(rate_where(benign_scores, benign.victim_groups,
-                                        thresholds, all),
-                             4);
-                  } else {
-                    row.add(fraction_above(scores, fit.threshold()), 4)
-                        .add(fit.realized_fp, 4);
-                  }
-                  row.add(fit.threshold(), 2);
-                  if (split_groups) {
-                    const auto interior = [&](int g) {
-                      return is_boundary[static_cast<std::size_t>(g)] == 0;
-                    };
-                    const auto boundary = [&](int g) {
-                      return is_boundary[static_cast<std::size_t>(g)] != 0;
-                    };
-                    row.add(rate_where(scores, attack_groups, thresholds,
-                                       interior),
-                            4)
-                        .add(rate_where(scores, attack_groups, thresholds,
-                                        boundary),
-                             4)
-                        .add(rate_where(benign_scores, benign.victim_groups,
-                                        thresholds, interior),
-                             4)
-                        .add(rate_where(benign_scores, benign.victim_groups,
-                                        thresholds, boundary),
-                             4);
-                  }
-                  if (spec.loc_error) {
-                    row.add(loc_error_for(pipeline, localizer), 2);
-                  }
+                    Table& row = sink.row(0);
+                    if (many_modes) row.add(group_threshold_mode_name(mode));
+                    if (many_sigmas) row.add(actual_sigma, 1);
+                    if (many_jitters) row.add(jitter, 1);
+                    if (many_shapes) row.add(deployment_shape_name(shape));
+                    if (many_locs) row.add(localizer);
+                    if (many_metrics) row.add(metric_name(metric));
+                    if (many_attacks) row.add(attack_class_name(cls));
+                    row.add(x, 2).add(d, 0);
+                    const auto all = [](int) { return true; };
+                    if (mode == GroupThresholdMode::kPerGroup) {
+                      row.add(rate_where(scores, attack_groups, thresholds,
+                                         all),
+                              4)
+                          .add(rate_where(benign_scores, benign.victim_groups,
+                                          thresholds, all),
+                               4);
+                    } else {
+                      row.add(fraction_above(scores, fit.threshold()), 4)
+                          .add(fit.realized_fp, 4);
+                    }
+                    row.add(fit.threshold(), 2);
+                    if (split_groups) {
+                      const auto interior = [&](int g) {
+                        return is_boundary[static_cast<std::size_t>(g)] == 0;
+                      };
+                      const auto boundary = [&](int g) {
+                        return is_boundary[static_cast<std::size_t>(g)] != 0;
+                      };
+                      row.add(rate_where(scores, attack_groups, thresholds,
+                                         interior),
+                              4)
+                          .add(rate_where(scores, attack_groups, thresholds,
+                                          boundary),
+                               4)
+                          .add(rate_where(benign_scores, benign.victim_groups,
+                                          thresholds, interior),
+                               4)
+                          .add(rate_where(benign_scores, benign.victim_groups,
+                                          thresholds, boundary),
+                               4);
+                    }
+                    if (spec.loc_error) {
+                      row.add(loc_error_for(pipeline, localizer), 2);
+                    }
+                  });
                 }
               }
             }
@@ -613,6 +752,7 @@ ScenarioResult ScenarioRunner::Impl::run_dr(const ShardRange& shard) {
       }
     }
   }
+  sched.run();
   return result;
 }
 
@@ -627,8 +767,8 @@ ScenarioResult ScenarioRunner::Impl::run_density(const ShardRange& shard) {
 
   ScenarioResult result{spec.name, {}};
   result.tables.push_back({"density", Table(cols), {}});
-  ResultTable& density = result.tables.front();
 
+  ItemScheduler sched(result, spec.jobs);
   long long item = -1;
   for (int m : spec.densities) {
     for (MetricKind metric : spec.metrics) {
@@ -637,35 +777,40 @@ ScenarioResult ScenarioRunner::Impl::run_density(const ShardRange& shard) {
           for (double d : spec.damages) {
             ++item;
             if (!shard.contains(item)) continue;
-            // Each density re-deploys with the decorrelated per-m seed the
-            // Fig. 9 sweep uses (density_pipeline_config).
-            Pipeline& pipeline =
-                pipeline_for(density_pipeline_config(spec.pipeline, m));
-            const std::string& localizer = spec.localizers.front();
-            const ThresholdFit fit = fit_threshold(
-                metric, benign_for(pipeline, localizer).scores.at(metric),
-                spec.fp_budget);
-            AttackSpec attack;
-            attack.metric = metric;
-            attack.attack_class = cls;
-            attack.damage = d;
-            attack.compromised_frac = x;
-            const std::vector<double> scores = pipeline.attack_scores(attack);
+            sched.add(item, [this, m, metric, cls, x, d, many_metrics,
+                             many_attacks](ItemSink& sink) {
+              // Each density re-deploys with the decorrelated per-m seed the
+              // Fig. 9 sweep uses (density_pipeline_config).
+              Pipeline& pipeline =
+                  pipeline_for(density_pipeline_config(spec.pipeline, m));
+              const std::string& localizer = spec.localizers.front();
+              const ThresholdFit fit = fit_threshold(
+                  metric, benign_for(pipeline, localizer).scores.at(metric),
+                  spec.fp_budget);
+              AttackSpec attack;
+              attack.metric = metric;
+              attack.attack_class = cls;
+              attack.damage = d;
+              attack.compromised_frac = x;
+              const std::vector<double> scores =
+                  pipeline.attack_scores(attack);
 
-            Table& row = tagged_row(density, item);
-            row.add(m);
-            if (many_metrics) row.add(metric_name(metric));
-            if (many_attacks) row.add(attack_class_name(cls));
-            row.add(x, 2)
-                .add(d, 0)
-                .add(fraction_above(scores, fit.threshold()), 4)
-                .add(loc_error_for(pipeline, localizer), 2)
-                .add(fit.threshold(), 2);
+              Table& row = sink.row(0);
+              row.add(m);
+              if (many_metrics) row.add(metric_name(metric));
+              if (many_attacks) row.add(attack_class_name(cls));
+              row.add(x, 2)
+                  .add(d, 0)
+                  .add(fraction_above(scores, fit.threshold()), 4)
+                  .add(loc_error_for(pipeline, localizer), 2)
+                  .add(fit.threshold(), 2);
+            });
           }
         }
       }
     }
   }
+  sched.run();
   return result;
 }
 
@@ -680,28 +825,32 @@ ScenarioResult ScenarioRunner::Impl::run_pdf(const ShardRange& shard) {
   const double sigma = spec.pipeline.deploy.sigma;
   const Vec2 dp{150.0, 150.0};  // the paper's Figure 2 group
 
+  ItemScheduler sched(result, spec.jobs);
   if (shard.contains(0)) {
-    ResultTable& surface = result.tables[0];
-    const int grid = spec.pdf_grid;
-    for (int i = 0; i < grid; ++i) {
-      for (int j = 0; j < grid; ++j) {
-        const Vec2 p{300.0 * i / (grid - 1), 300.0 * j / (grid - 1)};
-        tagged_row(surface, 0)
-            .add(p.x, 1)
-            .add(p.y, 1)
-            .add(gaussian2d_pdf_radial(distance(p, dp), sigma), 9);
+    sched.add(0, [this, sigma, dp](ItemSink& sink) {
+      const int grid = spec.pdf_grid;
+      for (int i = 0; i < grid; ++i) {
+        for (int j = 0; j < grid; ++j) {
+          const Vec2 p{300.0 * i / (grid - 1), 300.0 * j / (grid - 1)};
+          sink.row(0)
+              .add(p.x, 1)
+              .add(p.y, 1)
+              .add(gaussian2d_pdf_radial(distance(p, dp), sigma), 9);
+        }
       }
-    }
+    });
   }
   if (shard.contains(1)) {
-    ResultTable& radial = result.tables[1];
-    for (double r = 0.0; r <= 250.0; r += 25.0) {
-      tagged_row(radial, 1)
-          .add(r, 0)
-          .add(gaussian2d_pdf_radial(r, sigma), 9)
-          .add(rayleigh_cdf(r, sigma), 6);
-    }
+    sched.add(1, [sigma](ItemSink& sink) {
+      for (double r = 0.0; r <= 250.0; r += 25.0) {
+        sink.row(1)
+            .add(r, 0)
+            .add(gaussian2d_pdf_radial(r, sigma), 9)
+            .add(rayleigh_cdf(r, sigma), 6);
+      }
+    });
   }
+  sched.run();
   return result;
 }
 
@@ -711,23 +860,25 @@ ScenarioResult ScenarioRunner::Impl::run_gz(const ShardRange& shard) {
       {"gz", Table({"omega", "max_abs_error", "max_mu_error_nodes",
                     "table_bytes"}),
        {}});
-  ResultTable& gz_table = result.tables.front();
-
   const GzParams params{spec.pipeline.deploy.radio_range,
                         spec.pipeline.deploy.sigma};
   const int m = spec.pipeline.deploy.nodes_per_group;
+  ItemScheduler sched(result, spec.jobs);
   for (std::size_t i = 0; i < spec.omegas.size(); ++i) {
     const long long item = static_cast<long long>(i);
     if (!shard.contains(item)) continue;
     const int omega = static_cast<int>(spec.omegas[i]);
-    const GzTable table(params, omega);
-    const double err = table.max_abs_error(2000);
-    tagged_row(gz_table, item)
-        .add(omega)
-        .add(err, 8)
-        .add(err * m, 5)
-        .add(static_cast<long long>((omega + 1) * sizeof(double)));
+    sched.add(item, [params, m, omega](ItemSink& sink) {
+      const GzTable table(params, omega);
+      const double err = table.max_abs_error(2000);
+      sink.row(0)
+          .add(omega)
+          .add(err, 8)
+          .add(err * m, 5)
+          .add(static_cast<long long>((omega + 1) * sizeof(double)));
+    });
   }
+  sched.run();
   return result;
 }
 
@@ -765,24 +916,31 @@ ScenarioResult ScenarioRunner::Impl::run_correction(const ShardRange& shard) {
     return node;
   };
 
+  ItemScheduler sched(result, spec.jobs);
   if (shard.contains(0)) {
-    RunningStats floor;
-    // Draw every floor sample first (identical rng call order), then one
-    // observation batch over all of them.
-    std::vector<std::size_t> nodes(static_cast<std::size_t>(trials));
-    for (std::size_t t = 0; t < nodes.size(); ++t) {
-      nodes[t] = draw_in_field(rng);
-    }
-    ObservationBatch batch;
-    net.observe_many(nodes, batch);
-    for (std::size_t t = 0; t < nodes.size(); ++t) {
-      floor.add(distance(corrector.correct(batch.to_observation(t)).corrected,
-                         net.position(nodes[t])));
-    }
-    tagged_row(result.tables[0], 0)
-        .add(floor.mean(), 1)
-        .add(floor.max(), 1)
-        .add(trials);
+    // The benign-floor item continues the shared rng from its
+    // post-Network-construction state; the closure owns a value copy so
+    // the draw sequence matches the historical sequential run no matter
+    // when (or on which thread) the item executes.
+    sched.add(0, [rng, trials, &net, &corrector,
+                  &draw_in_field](ItemSink& sink) {
+      Rng floor_rng = rng;
+      RunningStats floor;
+      // Draw every floor sample first (identical rng call order), then one
+      // observation batch over all of them.
+      std::vector<std::size_t> nodes(static_cast<std::size_t>(trials));
+      for (std::size_t t = 0; t < nodes.size(); ++t) {
+        nodes[t] = draw_in_field(floor_rng);
+      }
+      ObservationBatch batch;
+      net.observe_many(nodes, batch);
+      for (std::size_t t = 0; t < nodes.size(); ++t) {
+        floor.add(
+            distance(corrector.correct(batch.to_observation(t)).corrected,
+                     net.position(nodes[t])));
+      }
+      sink.row(0).add(floor.mean(), 1).add(floor.max(), 1).add(trials);
+    });
   }
 
   long long item = 0;
@@ -790,49 +948,55 @@ ScenarioResult ScenarioRunner::Impl::run_correction(const ShardRange& shard) {
     for (double d : spec.damages) {
       ++item;
       if (!shard.contains(item)) continue;
-      std::vector<double> errs;
-      // Keyed by item id, not by the (possibly fractional) damage value,
-      // so distinct cells never share a stream.
-      Rng trial_rng = Rng::stream(seed, static_cast<std::uint64_t>(item));
-      // Victim + Le draws first (same rng call order as the historical
-      // per-trial loop), then a single observation batch.
-      std::vector<std::size_t> nodes(static_cast<std::size_t>(trials));
-      std::vector<Vec2> les(nodes.size());
-      for (std::size_t t = 0; t < nodes.size(); ++t) {
-        nodes[t] = draw_in_field(trial_rng);
-        les[t] = displaced_location(net.position(nodes[t]), d, dcfg.field(),
-                                    trial_rng);
-      }
-      ObservationBatch batch;
-      net.observe_many(nodes, batch);
-      for (std::size_t t = 0; t < nodes.size(); ++t) {
-        const Observation a = batch.to_observation(t);
-        const ExpectedObservation mu = model.expected_observation(les[t], gz);
-        const TaintResult taint =
-            greedy_taint(a, mu, dcfg.nodes_per_group, target, cls,
-                         static_cast<int>(x * a.total()));
-        errs.push_back(distance(corrector.correct(taint.tainted).corrected,
-                                net.position(nodes[t])));
-      }
-      double mean = 0.0;
-      int recovered = 0;
-      for (double e : errs) {
-        mean += e;
-        if (e < d / 2.0) ++recovered;  // "recovered": below half the damage
-      }
-      mean /= static_cast<double>(errs.size());
-      std::sort(errs.begin(), errs.end());
-      const double p90 =
-          errs[static_cast<std::size_t>(0.9 * (errs.size() - 1))];
-      tagged_row(result.tables[1], item)
-          .add(attack_class_name(cls))
-          .add(d, 0)
-          .add(d, 0)
-          .add(mean, 1)
-          .add(p90, 1)
-          .add(static_cast<double>(recovered) / trials, 3);
+      sched.add(item, [item, cls, d, seed, trials, x, target, &net, &model,
+                       &gz, &corrector, &dcfg,
+                       &draw_in_field](ItemSink& sink) {
+        std::vector<double> errs;
+        // Keyed by item id, not by the (possibly fractional) damage value,
+        // so distinct cells never share a stream.
+        Rng trial_rng = Rng::stream(seed, static_cast<std::uint64_t>(item));
+        // Victim + Le draws first (same rng call order as the historical
+        // per-trial loop), then a single observation batch.
+        std::vector<std::size_t> nodes(static_cast<std::size_t>(trials));
+        std::vector<Vec2> les(nodes.size());
+        for (std::size_t t = 0; t < nodes.size(); ++t) {
+          nodes[t] = draw_in_field(trial_rng);
+          les[t] = displaced_location(net.position(nodes[t]), d, dcfg.field(),
+                                      trial_rng);
+        }
+        ObservationBatch batch;
+        net.observe_many(nodes, batch);
+        for (std::size_t t = 0; t < nodes.size(); ++t) {
+          const Observation a = batch.to_observation(t);
+          const ExpectedObservation mu =
+              model.expected_observation(les[t], gz);
+          const TaintResult taint =
+              greedy_taint(a, mu, dcfg.nodes_per_group, target, cls,
+                           static_cast<int>(x * a.total()));
+          errs.push_back(distance(corrector.correct(taint.tainted).corrected,
+                                  net.position(nodes[t])));
+        }
+        double mean = 0.0;
+        int recovered = 0;
+        for (double e : errs) {
+          mean += e;
+          if (e < d / 2.0) ++recovered;  // "recovered": below half the damage
+        }
+        mean /= static_cast<double>(errs.size());
+        std::sort(errs.begin(), errs.end());
+        const double p90 =
+            errs[static_cast<std::size_t>(0.9 * (errs.size() - 1))];
+        sink.row(1)
+            .add(attack_class_name(cls))
+            .add(d, 0)
+            .add(d, 0)
+            .add(mean, 1)
+            .add(p90, 1)
+            .add(static_cast<double>(recovered) / trials, 3);
+      });
     }
   }
+  sched.run();
   return result;
 }
 
@@ -880,66 +1044,71 @@ ScenarioResult ScenarioRunner::Impl::run_echo(const ShardRange& shard) {
       train_threshold(metric, benign_scores, spec.tau).threshold;
   const Detector detector(model, gz, metric, threshold);
 
+  ItemScheduler sched(result, spec.jobs);
   if (shard.contains(0)) {
-    tagged_row(result.tables[0], 0)
-        .add(echo.coverage(dcfg.field()), 3)
-        .add(threshold, 2);
+    sched.add(0, [threshold, &echo, &dcfg](ItemSink& sink) {
+      sink.row(0).add(echo.coverage(dcfg.field()), 3).add(threshold, 2);
+    });
   }
 
   long long item = 0;
   for (double d : spec.damages) {
     ++item;
     if (!shard.contains(item)) continue;
-    int rejected = 0, accepted = 0, uncovered = 0, lad_detected = 0;
-    // Keyed by item id (see run_correction): damage values never collide
-    // with each other or with the shared training stream.
-    Rng trial_rng = Rng::stream(seed, static_cast<std::uint64_t>(item));
-    // Victim + claimed-location draws first (same rng call order), then
-    // one observation batch over the trials.
-    std::vector<std::size_t> nodes(static_cast<std::size_t>(spec.trials));
-    std::vector<Vec2> claims(nodes.size());
-    for (std::size_t t = 0; t < nodes.size(); ++t) {
-      std::size_t node;
-      do {
-        node =
-            static_cast<std::size_t>(trial_rng.uniform_int(net.num_nodes()));
-      } while (!dcfg.field().contains(net.position(node)));
-      nodes[t] = node;
-      claims[t] =
-          displaced_location(net.position(node), d, dcfg.field(), trial_rng);
-    }
-    ObservationBatch batch;
-    net.observe_many(nodes, batch);
-    for (std::size_t t = 0; t < nodes.size(); ++t) {
-      const Vec2 la = net.position(nodes[t]);
-      const Vec2 claimed = claims[t];
-
-      // The attacker may stretch the echo (delay >= 0) but never shrink
-      // it; testing the honest echo plus one large delay covers the
-      // attacker's whole strategy space.
-      int verdict = echo.verify(claimed, la, 0.0);
-      if (verdict == -1) {
-        verdict = echo.verify(claimed, la, 10.0) == 1 ? 1 : -1;
+    sched.add(item, [this, item, d, seed, metric, x, &net, &model, &gz,
+                     &echo, &detector, &dcfg](ItemSink& sink) {
+      int rejected = 0, accepted = 0, uncovered = 0, lad_detected = 0;
+      // Keyed by item id (see run_correction): damage values never collide
+      // with each other or with the shared training stream.
+      Rng trial_rng = Rng::stream(seed, static_cast<std::uint64_t>(item));
+      // Victim + claimed-location draws first (same rng call order), then
+      // one observation batch over the trials.
+      std::vector<std::size_t> nodes(static_cast<std::size_t>(spec.trials));
+      std::vector<Vec2> claims(nodes.size());
+      for (std::size_t t = 0; t < nodes.size(); ++t) {
+        std::size_t node;
+        do {
+          node =
+              static_cast<std::size_t>(trial_rng.uniform_int(net.num_nodes()));
+        } while (!dcfg.field().contains(net.position(node)));
+        nodes[t] = node;
+        claims[t] =
+            displaced_location(net.position(node), d, dcfg.field(), trial_rng);
       }
-      if (verdict == 0) ++uncovered;
-      else if (verdict == 1) ++accepted;
-      else ++rejected;
+      ObservationBatch batch;
+      net.observe_many(nodes, batch);
+      for (std::size_t t = 0; t < nodes.size(); ++t) {
+        const Vec2 la = net.position(nodes[t]);
+        const Vec2 claimed = claims[t];
 
-      const Observation a = batch.to_observation(t);
-      const ExpectedObservation mu = model.expected_observation(claimed, gz);
-      const TaintResult taint = greedy_taint(
-          a, mu, dcfg.nodes_per_group, metric, spec.attacks.front(),
-          static_cast<int>(x * a.total()));
-      if (detector.check(taint.tainted, claimed).anomaly) ++lad_detected;
-    }
-    tagged_row(result.tables[1], item)
-        .add(d, 0)
-        .add(rejected)
-        .add(accepted)
-        .add(uncovered)
-        .add(static_cast<double>(rejected) / spec.trials, 3)
-        .add(static_cast<double>(lad_detected) / spec.trials, 3);
+        // The attacker may stretch the echo (delay >= 0) but never shrink
+        // it; testing the honest echo plus one large delay covers the
+        // attacker's whole strategy space.
+        int verdict = echo.verify(claimed, la, 0.0);
+        if (verdict == -1) {
+          verdict = echo.verify(claimed, la, 10.0) == 1 ? 1 : -1;
+        }
+        if (verdict == 0) ++uncovered;
+        else if (verdict == 1) ++accepted;
+        else ++rejected;
+
+        const Observation a = batch.to_observation(t);
+        const ExpectedObservation mu = model.expected_observation(claimed, gz);
+        const TaintResult taint = greedy_taint(
+            a, mu, dcfg.nodes_per_group, metric, spec.attacks.front(),
+            static_cast<int>(x * a.total()));
+        if (detector.check(taint.tainted, claimed).anomaly) ++lad_detected;
+      }
+      sink.row(1)
+          .add(d, 0)
+          .add(rejected)
+          .add(accepted)
+          .add(uncovered)
+          .add(static_cast<double>(rejected) / spec.trials, 3)
+          .add(static_cast<double>(lad_detected) / spec.trials, 3);
+    });
   }
+  sched.run();
   return result;
 }
 
@@ -1001,46 +1170,54 @@ ScenarioResult ScenarioRunner::Impl::run_fusion(const ShardRange& shard) {
   const double d = spec.damages.front();
   const double x = spec.compromised.front();
 
+  ItemScheduler sched(result, spec.jobs);
   if (shard.contains(0)) {
-    const std::size_t n = benign_scores.begin()->second.size();
-    int fused_fp = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      bool any = false;
-      for (MetricKind k : spec.metrics) {
-        if (benign_scores.at(k)[i] > thresholds[k]) any = true;
+    sched.add(0, [this, &benign_scores, &thresholds](ItemSink& sink) {
+      const std::size_t n = benign_scores.begin()->second.size();
+      int fused_fp = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        bool any = false;
+        for (MetricKind k : spec.metrics) {
+          if (benign_scores.at(k)[i] > thresholds.at(k)) any = true;
+        }
+        if (any) ++fused_fp;
       }
-      if (any) ++fused_fp;
-    }
-    tagged_row(result.tables[0], 0)
-        .add(static_cast<double>(fused_fp) / static_cast<double>(n), 4)
-        .add(spec.tau, 3);
+      sink.row(0)
+          .add(static_cast<double>(fused_fp) / static_cast<double>(n), 4)
+          .add(spec.tau, 3);
+    });
   }
 
   long long item = 0;
   for (MetricKind target : spec.metrics) {
     ++item;
     if (!shard.contains(item)) continue;
-    AttackSpec attack;
-    attack.metric = target;
-    attack.attack_class = spec.attacks.front();
-    attack.damage = d;
-    attack.compromised_frac = x;
-    const auto cross = pipeline.attack_scores_cross(attack, spec.metrics);
+    sched.add(item, [this, target, d, x, &pipeline,
+                     &thresholds](ItemSink& sink) {
+      AttackSpec attack;
+      attack.metric = target;
+      attack.attack_class = spec.attacks.front();
+      attack.damage = d;
+      attack.compromised_frac = x;
+      const auto cross = pipeline.attack_scores_cross(attack, spec.metrics);
 
-    Table& row = tagged_row(result.tables[1], item).add(metric_name(target));
-    std::vector<char> fused_hit(cross.begin()->second.size(), 0);
-    for (MetricKind scorer : spec.metrics) {
-      const auto& scores = cross.at(scorer);
-      row.add(fraction_above(scores, thresholds[scorer]), 4);
-      for (std::size_t i = 0; i < scores.size(); ++i) {
-        if (scores[i] > thresholds[scorer]) fused_hit[i] = 1;
+      Table& row = sink.row(1).add(metric_name(target));
+      std::vector<char> fused_hit(cross.begin()->second.size(), 0);
+      for (MetricKind scorer : spec.metrics) {
+        const auto& scores = cross.at(scorer);
+        row.add(fraction_above(scores, thresholds.at(scorer)), 4);
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+          if (scores[i] > thresholds.at(scorer)) fused_hit[i] = 1;
+        }
       }
-    }
-    int hits = 0;
-    for (char h : fused_hit) hits += h;
-    row.add(static_cast<double>(hits) / static_cast<double>(fused_hit.size()),
-            4);
+      int hits = 0;
+      for (char h : fused_hit) hits += h;
+      row.add(
+          static_cast<double>(hits) / static_cast<double>(fused_hit.size()),
+          4);
+    });
   }
+  sched.run();
   return result;
 }
 
@@ -1052,28 +1229,28 @@ ScenarioResult ScenarioRunner::Impl::run_mmse(const ShardRange& shard) {
 
   const std::uint64_t seed = spec.pipeline.seed;
 
+  ItemScheduler sched(result, spec.jobs);
   long long item = -1;
   for (double lie : spec.lies) {
     ++item;
     if (!shard.contains(item)) continue;
-    // Per-item keyed stream: shard placement cannot perturb the draws.
-    Rng rng = Rng::stream(seed, static_cast<std::uint64_t>(item));
-    RunningStats err;
-    for (int trial = 0; trial < spec.trials; ++trial) {
-      const Vec2 truth{rng.uniform(100, 900), rng.uniform(100, 900)};
-      std::vector<Vec2> refs = {
-          {100, 100}, {900, 100}, {100, 900}, {900, 900}};
-      std::vector<double> dists;
-      for (const Vec2& r : refs) dists.push_back(distance(truth, r));
-      const double theta = rng.uniform(0.0, 2 * M_PI);
-      refs[0] = polar_offset(refs[0], lie, theta);
-      const auto res = mmse_multilaterate(refs, dists);
-      if (res) err.add(distance(res->position, truth));
-    }
-    tagged_row(result.tables[0], item)
-        .add(lie, 0)
-        .add(err.mean(), 2)
-        .add(err.max(), 2);
+    sched.add(item, [this, item, lie, seed](ItemSink& sink) {
+      // Per-item keyed stream: shard placement cannot perturb the draws.
+      Rng rng = Rng::stream(seed, static_cast<std::uint64_t>(item));
+      RunningStats err;
+      for (int trial = 0; trial < spec.trials; ++trial) {
+        const Vec2 truth{rng.uniform(100, 900), rng.uniform(100, 900)};
+        std::vector<Vec2> refs = {
+            {100, 100}, {900, 100}, {100, 900}, {900, 900}};
+        std::vector<double> dists;
+        for (const Vec2& r : refs) dists.push_back(distance(truth, r));
+        const double theta = rng.uniform(0.0, 2 * M_PI);
+        refs[0] = polar_offset(refs[0], lie, theta);
+        const auto res = mmse_multilaterate(refs, dists);
+        if (res) err.add(distance(res->position, truth));
+      }
+      sink.row(0).add(lie, 0).add(err.mean(), 2).add(err.max(), 2);
+    });
   }
 
   // DV-Hop end-to-end on one deployed network (deterministic shared state).
@@ -1083,20 +1260,26 @@ ScenarioResult ScenarioRunner::Impl::run_mmse(const ShardRange& shard) {
   for (double lie : spec.dvhop_lies) {
     ++item;
     if (!shard.contains(item)) continue;
-    DvHopLocalizer dvhop(3, 3);
-    dvhop.prepare(net);
-    if (lie > 0) {
-      dvhop.compromise_anchor(0, polar_offset({167, 167}, lie, 0.7));
-    }
-    RunningStats err;
-    Rng pick(seed + 2);
-    for (int trial = 0; trial < spec.dvhop_trials; ++trial) {
-      const std::size_t node =
-          static_cast<std::size_t>(pick.uniform_int(net.num_nodes()));
-      err.add(distance(dvhop.localize(net, node), net.position(node)));
-    }
-    tagged_row(result.tables[1], item).add(lie, 0).add(err.mean(), 2);
+    sched.add(item, [this, lie, seed, &net](ItemSink& sink) {
+      // Each item owns its DvHopLocalizer (prepare/compromise mutate it)
+      // and re-rolls the same victim picks from seed + 2, exactly like the
+      // historical per-lie loop.
+      DvHopLocalizer dvhop(3, 3);
+      dvhop.prepare(net);
+      if (lie > 0) {
+        dvhop.compromise_anchor(0, polar_offset({167, 167}, lie, 0.7));
+      }
+      RunningStats err;
+      Rng pick(seed + 2);
+      for (int trial = 0; trial < spec.dvhop_trials; ++trial) {
+        const std::size_t node =
+            static_cast<std::size_t>(pick.uniform_int(net.num_nodes()));
+        err.add(distance(dvhop.localize(net, node), net.position(node)));
+      }
+      sink.row(1).add(lie, 0).add(err.mean(), 2);
+    });
   }
+  sched.run();
   return result;
 }
 
@@ -1134,12 +1317,15 @@ ScenarioResult ScenarioRunner::Impl::run_threshold(const ShardRange& shard) {
     }
   };
 
+  ItemScheduler sched(result, spec.jobs);
   long long item = -1;
   for (double tau : spec.taus) {
     ++item;
     if (!shard.contains(item)) continue;
-    const TrainingResult r = train_threshold(metric, benign_scores, tau);
-    emit(tagged_row(result.tables[0], item).add(tau, 3), r.threshold);
+    sched.add(item, [tau, metric, &benign_scores, &emit](ItemSink& sink) {
+      const TrainingResult r = train_threshold(metric, benign_scores, tau);
+      emit(sink.row(0).add(tau, 3), r.threshold);
+    });
   }
   const double base =
       spec.fudges.empty()
@@ -1148,8 +1334,11 @@ ScenarioResult ScenarioRunner::Impl::run_threshold(const ShardRange& shard) {
   for (double fudge : spec.fudges) {
     ++item;
     if (!shard.contains(item)) continue;
-    emit(tagged_row(result.tables[1], item).add(fudge, 2), base * fudge);
+    sched.add(item, [fudge, base, &emit](ItemSink& sink) {
+      emit(sink.row(1).add(fudge, 2), base * fudge);
+    });
   }
+  sched.run();
   return result;
 }
 

@@ -7,13 +7,32 @@
 
 namespace lad {
 
+// std::lgamma writes the process-global `signgam`, which is a data race
+// once the scoring passes evaluate the Probability metric from multiple
+// threads.  The reentrant variant returns the same bits and keeps the
+// sign in a local.  Declared by hand because <cmath> hides it under
+// strict -std=c++20 (CMAKE_CXX_EXTENSIONS OFF).
+#if defined(__GLIBC__) || defined(__APPLE__)
+extern "C" double lgamma_r(double, int*);
+#define LAD_HAVE_LGAMMA_R 1
+#endif
+
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+double lgamma_threadsafe(double x) {
+#ifdef LAD_HAVE_LGAMMA_R
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
 }
+}  // namespace
 
 double log_factorial(int n) {
   LAD_REQUIRE_MSG(n >= 0, "factorial of a negative number");
-  return std::lgamma(static_cast<double>(n) + 1.0);
+  return lgamma_threadsafe(static_cast<double>(n) + 1.0);
 }
 
 double log_binomial_coefficient(int n, int k) {

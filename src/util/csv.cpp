@@ -45,6 +45,11 @@ const std::string& Table::cell(std::size_t row, std::size_t col) const {
   return rows_[row][col];
 }
 
+const std::vector<std::string>& Table::row(std::size_t row) const {
+  LAD_REQUIRE(row < rows_.size());
+  return rows_[row];
+}
+
 void Table::print(std::ostream& os) const {
   std::vector<std::size_t> width(columns_.size());
   for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();

@@ -35,6 +35,12 @@ class Table {
   /// Cell as rendered text (row/col bounds-checked).
   const std::string& cell(std::size_t row, std::size_t col) const;
 
+  /// One row's rendered cells (bounds-checked).  Values are stored
+  /// pre-formatted at add() time, so copying cells between tables with
+  /// add(string) is byte-exact — the scenario runner splices per-item row
+  /// fragments back into the shared tables through this.
+  const std::vector<std::string>& row(std::size_t row) const;
+
   /// Aligned human-readable rendering.
   void print(std::ostream& os) const;
   /// RFC-4180-ish CSV rendering (quotes cells containing comma/quote).

@@ -1,8 +1,5 @@
 #include "util/thread_pool.h"
 
-#include <atomic>
-#include <exception>
-
 #include "util/assert.h"
 
 namespace lad {
@@ -12,10 +9,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     num_threads = std::thread::hardware_concurrency();
     if (num_threads == 0) num_threads = 1;
   }
-  workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
+  ensure_workers(num_threads);
 }
 
 ThreadPool::~ThreadPool() {
@@ -25,6 +19,23 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ensure_workers(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LAD_REQUIRE_MSG(!stop_, "ensure_workers() on a stopped pool");
+  while (workers_.size() < n) {
+    workers_.emplace_back([this] { worker_loop(); });
+    count_.store(workers_.size(), std::memory_order_release);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  // Starts at one worker; parallel_for_items grows it to the requested
+  // width per call (LAD_THREADS is re-checked there, so a pin raised
+  // mid-process takes effect on the next loop).
+  static ThreadPool pool(1);
+  return pool;
 }
 
 void ThreadPool::worker_loop() {
@@ -50,39 +61,61 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+void ThreadPool::drive(const std::shared_ptr<Loop>& loop) {
+  // active is raised *before* the first cursor grab: once a completion
+  // waiter observes active == 0 after the cursor closed, no thread can
+  // still be about to execute an iteration — a helper dequeued later
+  // sees the closed cursor and leaves without touching fn.
+  loop->active.fetch_add(1, std::memory_order_acq_rel);
+  while (true) {
+    const std::size_t i = loop->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= loop->end) break;
+    try {
+      loop->fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(loop->mu);
+      if (!loop->error) loop->error = std::current_exception();
+      // Close the cursor: iterations already grabbed finish, the rest
+      // are abandoned.
+      loop->next.store(loop->end, std::memory_order_relaxed);
+    }
+  }
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(loop->mu);
+    last = loop->active.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+  if (last) loop->cv.notify_all();
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t max_workers) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t nchunks = std::min(n, workers_.size());
 
-  std::atomic<std::size_t> remaining(nchunks);
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  auto loop = std::make_shared<Loop>();
+  loop->fn = fn;
+  loop->next.store(begin, std::memory_order_relaxed);
+  loop->end = end;
 
-  const std::size_t chunk = (n + nchunks - 1) / nchunks;
-  for (std::size_t c = 0; c < nchunks; ++c) {
-    const std::size_t lo = begin + c * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    submit([&, lo, hi] {
-      try {
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_all();
-      }
-    });
+  // The caller is one of the loop's workers, so only width-1 helpers are
+  // needed; never more helpers than there are extra iterations.
+  const std::size_t width = max_workers == 0 ? num_threads() : max_workers;
+  const std::size_t helpers = std::min(width > 0 ? width - 1 : 0, n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([loop] { drive(loop); });
   }
 
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+  drive(loop);
+
+  // The caller drained the cursor, so next >= end permanently; once no
+  // thread is inside drive(), every grabbed iteration has finished and
+  // late helpers can only no-op.
+  std::unique_lock<std::mutex> lock(loop->mu);
+  loop->cv.wait(lock,
+                [&] { return loop->active.load(std::memory_order_acquire) == 0; });
+  if (loop->error) std::rethrow_exception(loop->error);
 }
 
 }  // namespace lad

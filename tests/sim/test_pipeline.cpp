@@ -4,7 +4,10 @@
 
 #include "util/assert.h"
 #include <cmath>
+#include <sstream>
 
+#include "core/serialize.h"
+#include "deploy/observe_kernel.h"
 #include "loc/truth_noise.h"
 #include "stats/quantile.h"
 
@@ -245,6 +248,68 @@ TEST(Pipeline, TrainBundlePerGroupKeepsGlobalSectionsIdentical) {
   EXPECT_EQ(with_groups,
             c.train_bundle(factory, {MetricKind::kDiff, MetricKind::kProb},
                            {0.9}, 0.95, grouped));
+}
+
+TEST(Pipeline, PassesBitIdenticalAcrossThreadsAndKernels) {
+  // The determinism contract of the per-victim fan-out: every scoring
+  // pass and the trained bundle are bit-identical at any thread count,
+  // under every compiled-in observe kernel this CPU can run.
+  struct KernelGuard {
+    ~KernelGuard() { force_observe_kernel(nullptr); }
+  } guard;
+
+  const std::vector<MetricKind> metrics = {MetricKind::kDiff,
+                                           MetricKind::kProb};
+  AttackSpec attack;
+  attack.damage = 120.0;
+  attack.compromised_frac = 0.2;
+
+  ASSERT_TRUE(force_observe_kernel("scalar"));
+  PipelineConfig cfg = small_pipeline_config();
+  cfg.threads = 1;
+  Pipeline baseline(cfg);
+  const LocalizerFactory base_factory =
+      beaconless_mle_factory(baseline.model(), baseline.gz());
+  const auto base_benign = baseline.benign_scores(base_factory, metrics);
+  const auto base_attack = baseline.attack_scores(attack);
+  const auto base_cross = baseline.attack_scores_cross(attack, metrics);
+  std::ostringstream base_bundle;
+  save_bundle(base_bundle, baseline.train_bundle(base_factory, metrics,
+                                                 {0.95, 0.99}, 0.99));
+
+  for (const ObserveKernelInfo& kernel : observe_kernels()) {
+    if (!kernel.runtime_ok) continue;
+    for (int threads : {1, 2, 7}) {
+      SCOPED_TRACE(std::string(kernel.name) + " threads=" +
+                   std::to_string(threads));
+      ASSERT_TRUE(force_observe_kernel(kernel.name));
+      cfg.threads = threads;
+      Pipeline p(cfg);
+      const LocalizerFactory factory =
+          beaconless_mle_factory(p.model(), p.gz());
+      EXPECT_TRUE(p.benign_scores(factory, metrics) == base_benign);
+      EXPECT_TRUE(p.attack_scores(attack) == base_attack);
+      EXPECT_TRUE(p.attack_scores_cross(attack, metrics) == base_cross);
+      std::ostringstream bundle;
+      save_bundle(bundle,
+                  p.train_bundle(factory, metrics, {0.95, 0.99}, 0.99));
+      EXPECT_EQ(bundle.str(), base_bundle.str());
+    }
+  }
+}
+
+TEST(Pipeline, StatefulLocalizerFallsBackDeterministically) {
+  // truth-noise draws from internal call-order-dependent state, so the
+  // benign pass must take the per-network fallback instead of the flat
+  // per-victim fan-out - and still match the serial run exactly.
+  PipelineConfig cfg = small_pipeline_config();
+  cfg.threads = 1;
+  Pipeline serial(cfg);
+  cfg.threads = 7;
+  Pipeline wide(cfg);
+  const auto factory = truth_noise_factory(5.0);
+  EXPECT_TRUE(serial.benign_scores(factory, {MetricKind::kDiff}) ==
+              wide.benign_scores(factory, {MetricKind::kDiff}));
 }
 
 TEST(Pipeline, TrainBundleRejectsBadGroupSpec) {

@@ -323,6 +323,64 @@ TEST(ScenarioRunner, MergedShardCsvsAreByteIdenticalToTheFullRun) {
   fs::remove_all(base);
 }
 
+TEST(ScenarioSpec, JobsParsesAppliesAndRejectsBadValues) {
+  ScenarioSpec spec = tiny_spec();
+  EXPECT_EQ(spec.jobs, 1);  // default: sequential
+
+  const ScenarioSpec with_run = ScenarioSpec::from_config(
+      KvConfig::parse_string(std::string(kTinySpec) + "\n[run]\njobs = 3\n"));
+  EXPECT_EQ(with_run.jobs, 3);
+
+  EXPECT_THROW(ScenarioSpec::from_config(KvConfig::parse_string(
+                   std::string(kTinySpec) + "\n[run]\njobs = 0\n")),
+               AssertionError);
+
+  ScenarioOverrides o;
+  o.jobs = 4;
+  EXPECT_EQ(apply_overrides(tiny_spec(), o).jobs, 4);
+}
+
+TEST(ScenarioOverrides, JobsFlagRejectsZeroAndNegativeByName) {
+  auto flags_for = [](const char* jobs) {
+    std::vector<const char*> argv = {"prog", "--jobs", jobs};
+    return Flags::parse(static_cast<int>(argv.size()), argv.data());
+  };
+  EXPECT_EQ(overrides_from_flags(flags_for("4")).jobs, 4);
+  for (const char* bad : {"0", "-2"}) {
+    const Flags flags = flags_for(bad);
+    try {
+      overrides_from_flags(flags);
+      FAIL() << "--jobs " << bad << " accepted";
+    } catch (const AssertionError& e) {
+      EXPECT_NE(std::string(e.what()).find("--jobs"), std::string::npos);
+    }
+  }
+}
+
+TEST(ScenarioRunner, ConcurrentJobsMatchSequentialByteForByte) {
+  namespace fs = std::filesystem;
+  const fs::path base =
+      fs::path(testing::TempDir()) / "lad_scenario_jobs_test";
+  fs::remove_all(base);
+
+  ScenarioSpec spec = tiny_spec();
+  spec.jobs = 1;
+  {
+    ScenarioRunner runner(spec);
+    write_result_csvs(runner.run(), (base / "j1").string());
+  }
+  spec.jobs = 4;
+  {
+    ScenarioRunner runner(spec);
+    write_result_csvs(runner.run(), (base / "j4").string());
+  }
+  const std::string sequential = read_file(base / "j1" / "tiny.dr.csv");
+  const std::string concurrent = read_file(base / "j4" / "tiny.dr.csv");
+  EXPECT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, concurrent);
+  fs::remove_all(base);
+}
+
 TEST(ScenarioRunner, MergeRejectsOverlappingShards) {
   namespace fs = std::filesystem;
   const fs::path base =

@@ -61,5 +61,63 @@ TEST(ThreadPool, ZeroRequestsDefaultsToHardwareConcurrency) {
   EXPECT_GE(pool.num_threads(), 1u);
 }
 
+TEST(ThreadPool, DynamicChunkingSurvivesImbalancedWork) {
+  // One pathological item 1000x heavier than the rest: the atomic-cursor
+  // grab means the other workers drain the remaining items instead of
+  // idling behind a static partition.  Correctness check: every item
+  // still runs exactly once.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+    if (i == 0) {
+      volatile double sink = 0;
+      for (int k = 0; k < 2000000; ++k) sink = sink + 1.0;
+    }
+    ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // The scenario runner nests loops on the shared pool (jobs -> pipeline
+  // passes).  The caller participates in its own loop, so progress is
+  // guaranteed even when every worker is parked inside the outer level.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, EnsureWorkersGrowsButNeverShrinks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  pool.ensure_workers(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  pool.ensure_workers(2);  // no-op: never shrinks
+  EXPECT_EQ(pool.num_threads(), 3u);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SharedPoolIsAProcessSingleton) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> count{0};
+  a.ensure_workers(2);
+  a.parallel_for(0, 10, [&](std::size_t) { ++count; }, 2);
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, MaxWorkersCapsParticipationNotCoverage) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; }, 2);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 }  // namespace
 }  // namespace lad

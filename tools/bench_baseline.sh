@@ -9,8 +9,10 @@
 # deterministic (same seed => byte-identical CSV), so regressions show
 # up as time deltas, never value deltas.
 #
-# Runs are pinned to LAD_THREADS=1 by default so numbers are comparable
-# across hosts; export LAD_THREADS to pin differently.
+# Each bench is timed twice: pinned to LAD_THREADS=1 (comparable across
+# hosts) and at a multithread count (default 4; export LAD_BASELINE_MT
+# to change it), so the table shows what the shared-pool fan-out buys
+# on the measuring host.  Export LAD_THREADS to change the pinned leg.
 #
 # Portability: works without GNU date (%N) — timing falls back to whole
 # seconds — and without nproc (getconf fallback).
@@ -25,8 +27,8 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 
 # Pin the thread count so wall-times are comparable run-over-run; the
 # benches honor LAD_THREADS through lad::default_parallelism().
-LAD_THREADS="${LAD_THREADS:-1}"
-export LAD_THREADS
+pinned="${LAD_THREADS:-1}"
+mt="${LAD_BASELINE_MT:-4}"
 
 cmake --build "$build" --target benches -j >/dev/null
 
@@ -57,34 +59,43 @@ json="$out_dir/BENCH_baseline.json"
   printf '{\n'
   printf '  "schema": "lad-bench-1",\n'
   printf '  "name": "baseline",\n'
-  printf '  "threads": %s,\n' "$LAD_THREADS"
+  printf '  "threads": %s,\n' "$pinned"
   printf '  "git_rev": "%s",\n' "$git_rev"
   printf '  "host": "%s",\n' "$host"
   printf '  "date": "%s",\n' "$utc_date"
   printf '  "results": [\n'
 } >"$json"
 
-echo "| bench (quick mode, default seed, LAD_THREADS=$LAD_THREADS) | wall time (s) |"
-echo "|---|---|"
+# time_bench <binary> <threads> -> elapsed ns on stdout
+time_bench() {
+  start=$(now_ns)
+  LAD_THREADS="$2" "$1" --quick --csv >/dev/null
+  end=$(now_ns)
+  echo $((end - start))
+}
+
+echo "| bench (quick mode, default seed) | LAD_THREADS=$pinned (s) | LAD_THREADS=$mt (s) |"
+echo "|---|---|---|"
 first=1
 for b in $benches; do
   bin="$build/bench/$b"
   [ -x "$bin" ] || { echo "missing binary $bin" >&2; exit 1; }
-  start=$(now_ns)
-  "$bin" --quick --csv >/dev/null
-  end=$(now_ns)
-  ns=$((end - start))
-  printf "| %s | %s |\n" "$b" \
-    "$(awk "BEGIN {printf \"%.2f\", $ns / 1e9}")"
+  ns=$(time_bench "$bin" "$pinned")
+  ns_mt=$(time_bench "$bin" "$mt")
+  printf "| %s | %s | %s |\n" "$b" \
+    "$(awk "BEGIN {printf \"%.2f\", $ns / 1e9}")" \
+    "$(awk "BEGIN {printf \"%.2f\", $ns_mt / 1e9}")"
   [ "$first" = 1 ] || printf ',\n' >>"$json"
   first=0
-  printf '    {"name": "%s", "nodes": 0, "ns_per_op": %s.0, "ops": 1}' \
+  printf '    {"name": "%s", "nodes": 0, "ns_per_op": %s.0, "ops": 1},\n' \
     "$b" "$ns" >>"$json"
+  printf '    {"name": "%s/t%s", "nodes": 0, "ns_per_op": %s.0, "ops": 1}' \
+    "$b" "$mt" "$ns_mt" >>"$json"
 done
 printf '\n  ]\n}\n' >>"$json"
 
 echo
-echo "_Measured on: $host, $utc_date (LAD_THREADS=$LAD_THREADS)._"
+echo "_Measured on: $host, $utc_date (pinned LAD_THREADS=$pinned vs $mt)._"
 echo
 echo "wrote $json" >&2
 

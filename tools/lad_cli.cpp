@@ -4,6 +4,7 @@
 //                   [--tau 0.99] [--taus 0.95,0.99,0.999]
 //                   [--per-group] [--min-group-samples 100]
 //                   [--m 300] [--r 50] [--sigma 50] [--networks 6]
+//                   [--threads N]
 //       Trains threshold(s) on simulated benign deployments and writes a
 //       self-contained v2 detector bundle.  --fusion trains all three
 //       metrics on one shared benign pass (the bundle materializes as a
@@ -26,7 +27,7 @@
 //
 //   lad_cli simulate --detector detector.lad [--d 120] [--x 0.1]
 //                    [--trials 200] [--attack dec-bounded]
-//                    [--target diff] [--per-group]
+//                    [--target diff] [--per-group] [--threads N]
 //       Deploys a fresh network, attacks `trials` sensors, and reports the
 //       detection rate of the shipped detector (plus benign FP).  The
 //       attacker's taint optimizes against --target (default: the bundle's
@@ -40,13 +41,17 @@
 //
 //   lad_cli run     --scenario file.scn [--shard i/n] [--out dir]
 //                   [--resume] [--quick] [--csv] [--seed S] [--threads N]
-//                   [--m M] [--networks N] [--victims K] [--r R] [--sigma S]
+//                   [--jobs J] [--m M] [--networks N] [--victims K]
+//                   [--r R] [--sigma S]
 //       Runs a declarative scenario (see bench/scenarios/*.scn and the
 //       README's "Scenario files" section).  Without --out the result
 //       tables print to stdout; with --out each table is written as an
 //       item-tagged CSV.  --shard i/n executes only the work items with
 //       id % n == i; shard output is placement-independent (Philox-keyed
 //       randomness), so merged shards reproduce the unsharded run.
+//       --jobs J runs up to J work items concurrently (on top of the
+//       per-pass --threads fan-out); rows are buffered per item and
+//       emitted in item order, so the CSVs stay byte-identical.
 //       --resume skips the run when the output in --out is complete:
 //       every table CSV present and their item tags covering exactly the
 //       work items this shard owns (a header-only CSV from a run killed
@@ -67,6 +72,7 @@
 #include "attack/greedy.h"
 #include "core/lad.h"
 #include "loc/beaconless_mle.h"
+#include "sim/parallel.h"
 #include "sim/pipeline.h"
 #include "sim/scenario.h"
 #include "stats/quantile.h"
@@ -93,6 +99,10 @@ PipelineConfig pipeline_from_flags(const Flags& flags) {
   cfg.networks = static_cast<int>(flags.get_int("networks", 6));
   cfg.victims_per_network = static_cast<int>(flags.get_int("victims", 150));
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  // 0 = default parallelism; negative values are rejected by name inside
+  // parallel_for_items, and the trained bundle is bit-identical at every
+  // thread count (the pipeline's determinism contract).
+  cfg.threads = static_cast<int>(flags.get_int("threads", 0));
   return cfg;
 }
 
@@ -297,34 +307,59 @@ int cmd_simulate(const Flags& flags) {
   // would run.
   const bool per_group = flags.get_bool("per-group", false);
 
+  const int threads = static_cast<int>(flags.get_int("threads", 0));
+
   const GzTable gz({bundle.config.radio_range, bundle.config.sigma},
                    bundle.gz_omega);
   Rng rng(seed);
   const Network net(rt.model(), rng);
   const BeaconlessMleLocalizer localizer(rt.model(), gz);
 
-  int benign_alarms = 0, detected = 0;
-  for (int t = 0; t < trials; ++t) {
+  // Sequential rng phase first (the historical per-trial draw order:
+  // victim rejection draws, then the planted Le), so the verdict fan-out
+  // below is free to run in any schedule without perturbing a single
+  // draw - counts are identical at every --threads value.
+  std::vector<std::size_t> nodes(static_cast<std::size_t>(trials));
+  std::vector<Vec2> les(nodes.size());
+  for (std::size_t t = 0; t < nodes.size(); ++t) {
     std::size_t node;
     do {
       node = static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
     } while (!bundle.config.field().contains(net.position(node)));
-    const Observation a = net.observe(node);
-    const int home_group = net.group_of(node);
-    const auto verdict = [&](const Observation& obs, Vec2 at) {
-      return per_group ? rt.check_for_group(obs, at, home_group)
-                       : rt.check(obs, at);
-    };
-    // Benign check.
-    if (verdict(a, localizer.estimate(a)).anomaly) ++benign_alarms;
-    // Attacked check.
-    const Vec2 la = net.position(node);
-    const Vec2 le = displaced_location(la, d, bundle.config.field(), rng);
-    const ExpectedObservation mu = rt.model().expected_observation(le, gz);
-    const TaintResult taint =
-        greedy_taint(a, mu, bundle.config.nodes_per_group, target, cls,
-                     static_cast<int>(x * a.total()));
-    if (verdict(taint.tainted, le).anomaly) ++detected;
+    nodes[t] = node;
+    les[t] = displaced_location(net.position(node), d, bundle.config.field(),
+                                rng);
+  }
+
+  // Parallel trial fan-out into per-trial verdict slots; the reduction
+  // below is a schedule-independent count.
+  std::vector<char> benign_hit(nodes.size(), 0);
+  std::vector<char> attack_hit(nodes.size(), 0);
+  parallel_for_items(
+      nodes.size(),
+      [&](std::size_t t) {
+        const std::size_t node = nodes[t];
+        const Observation a = net.observe(node);
+        const int home_group = net.group_of(node);
+        const auto verdict = [&](const Observation& obs, Vec2 at) {
+          return per_group ? rt.check_for_group(obs, at, home_group)
+                           : rt.check(obs, at);
+        };
+        // Benign check.
+        if (verdict(a, localizer.estimate(a)).anomaly) benign_hit[t] = 1;
+        // Attacked check.
+        const ExpectedObservation mu =
+            rt.model().expected_observation(les[t], gz);
+        const TaintResult taint =
+            greedy_taint(a, mu, bundle.config.nodes_per_group, target, cls,
+                         static_cast<int>(x * a.total()));
+        if (verdict(taint.tainted, les[t]).anomaly) attack_hit[t] = 1;
+      },
+      threads);
+  int benign_alarms = 0, detected = 0;
+  for (std::size_t t = 0; t < nodes.size(); ++t) {
+    benign_alarms += benign_hit[t];
+    detected += attack_hit[t];
   }
   std::cout << "detector: " << rt.detector().describe()
             << (per_group ? " (per-group thresholds)" : "") << "\n";
