@@ -1,0 +1,8 @@
+// Thin wrapper over the checked-in spec bench/scenarios/tab_in_network.scn -
+// the voting radius/majority, sample counts, and context live in the spec,
+// and the scenario engine (sim/scenario.h) does the rest.
+#include "scenario_main.h"
+
+int main(int argc, char** argv) {
+  return lad::bench::scenario_main(argc, argv, "tab_in_network.scn");
+}

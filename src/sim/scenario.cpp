@@ -39,6 +39,8 @@ const char* kind_section(ExperimentKind kind) {
     case ExperimentKind::kEchoComparison: return "echo";
     case ExperimentKind::kMmseVulnerability: return "mmse";
     case ExperimentKind::kThresholdSensitivity: return "threshold";
+    case ExperimentKind::kTimeEvolving: return "evolve";
+    case ExperimentKind::kInNetwork: return "coop";
     default: return nullptr;
   }
 }
@@ -90,6 +92,8 @@ const char* experiment_kind_name(ExperimentKind kind) {
     case ExperimentKind::kMetricFusion: return "metric-fusion";
     case ExperimentKind::kMmseVulnerability: return "mmse-vulnerability";
     case ExperimentKind::kThresholdSensitivity: return "threshold-sensitivity";
+    case ExperimentKind::kTimeEvolving: return "time-evolving";
+    case ExperimentKind::kInNetwork: return "in-network";
   }
   return "?";
 }
@@ -102,7 +106,8 @@ ExperimentKind experiment_kind_from_name(const std::string& name) {
         ExperimentKind::kGzAccuracy, ExperimentKind::kCorrection,
         ExperimentKind::kEchoComparison, ExperimentKind::kMetricFusion,
         ExperimentKind::kMmseVulnerability,
-        ExperimentKind::kThresholdSensitivity}) {
+        ExperimentKind::kThresholdSensitivity, ExperimentKind::kTimeEvolving,
+        ExperimentKind::kInNetwork}) {
     if (n == experiment_kind_name(kind)) return kind;
   }
   LAD_REQUIRE_MSG(false, "unknown experiment kind: '" << name << "'");
@@ -202,7 +207,8 @@ ScenarioSpec ScenarioSpec::from_config(const KvConfig& config) {
          {ExperimentKind::kDeploymentPdf, ExperimentKind::kGzAccuracy,
           ExperimentKind::kCorrection, ExperimentKind::kEchoComparison,
           ExperimentKind::kMmseVulnerability,
-          ExperimentKind::kThresholdSensitivity}) {
+          ExperimentKind::kThresholdSensitivity,
+          ExperimentKind::kTimeEvolving, ExperimentKind::kInNetwork}) {
       LAD_REQUIRE_MSG(s.name() != kind_section(k),
                       config.origin()
                           << ": section [" << s.name()
@@ -337,12 +343,15 @@ ScenarioSpec ScenarioSpec::from_config(const KvConfig& config) {
     if (!grid_kind && k != ExperimentKind::kMetricFusion) {
       require_single(spec.metrics.size(), "metrics");
     }
-    if (!grid_kind && k != ExperimentKind::kCorrection) {
+    if (!grid_kind && k != ExperimentKind::kCorrection &&
+        k != ExperimentKind::kTimeEvolving) {
       require_single(spec.attacks.size(), "attacks");
     }
     if (!grid_kind && k != ExperimentKind::kCorrection &&
         k != ExperimentKind::kEchoComparison &&
-        k != ExperimentKind::kThresholdSensitivity) {
+        k != ExperimentKind::kThresholdSensitivity &&
+        k != ExperimentKind::kTimeEvolving &&
+        k != ExperimentKind::kInNetwork) {
       require_single(spec.damages.size(), "damages");
     }
     if (!grid_kind) require_single(spec.compromised.size(), "compromised");
@@ -425,6 +434,29 @@ ScenarioSpec ScenarioSpec::from_config(const KvConfig& config) {
   if (const KvConfig::Section* p = config.find_section("pdf")) {
     spec.pdf_grid = get_positive_int(*p, "grid", spec.pdf_grid);
     LAD_REQUIRE_MSG(spec.pdf_grid >= 2, "[pdf] grid must be >= 2");
+  }
+  if (const KvConfig::Section* e = config.find_section("evolve")) {
+    spec.trials = get_positive_int(*e, "trials", spec.trials);
+    spec.evolve_rounds = get_positive_int(*e, "rounds", spec.evolve_rounds);
+    spec.evolve_step = get_positive_int(*e, "step", spec.evolve_step);
+    const long long initial = e->get_int("initial", spec.evolve_initial);
+    LAD_REQUIRE_MSG(initial >= 0,
+                    "[evolve] initial must be >= 0, got " << initial);
+    spec.evolve_initial = static_cast<int>(initial);
+    spec.evolve_train_samples =
+        get_positive_int(*e, "train_samples", spec.evolve_train_samples);
+  }
+  if (const KvConfig::Section* c = config.find_section("coop")) {
+    spec.trials = get_positive_int(*c, "trials", spec.trials);
+    spec.coop_radius = c->get_double("radius", spec.coop_radius);
+    LAD_REQUIRE_MSG(spec.coop_radius > 0, "[coop] radius must be > 0, got "
+                                              << spec.coop_radius);
+    spec.coop_majority = c->get_double("majority", spec.coop_majority);
+    LAD_REQUIRE_MSG(spec.coop_majority > 0 && spec.coop_majority <= 1,
+                    "[coop] majority must be in (0,1], got "
+                        << spec.coop_majority);
+    spec.coop_train_samples =
+        get_positive_int(*c, "train_samples", spec.coop_train_samples);
   }
 
   const std::vector<std::string> unknown = config.unused();

@@ -44,6 +44,8 @@ enum class ExperimentKind {
   kMetricFusion,          ///< attacker-vs-detector fusion matrix
   kMmseVulnerability,     ///< MMSE / DV-Hop single-anchor lies
   kThresholdSensitivity,  ///< tau + miscalibration sweeps
+  kTimeEvolving,          ///< attacker corrupts k more beacons each round
+  kInNetwork,             ///< neighbors exchange verdicts, local majority
 };
 
 const char* experiment_kind_name(ExperimentKind kind);
@@ -141,6 +143,20 @@ struct ScenarioSpec {
   int echo_train_samples = 400;
   std::vector<double> taus;
   std::vector<double> fudges;
+
+  // [evolve] - time-evolving compromise: the attacker corrupts
+  // `initial + round * step` beacons in round 0..rounds-1.
+  int evolve_rounds = 8;
+  int evolve_step = 2;
+  int evolve_initial = 0;
+  int evolve_train_samples = 400;
+
+  // [coop] - in-network detection: nodes within `radius` of a claimed
+  // location vote on it; the claim is flagged when at least `majority`
+  // (fraction) of the voters call it anomalous.
+  double coop_radius = 150.0;
+  double coop_majority = 0.5;
+  int coop_train_samples = 400;
 
   /// Builds a spec from parsed config text.  Rejects unknown sections and
   /// keys, bad enum values, and empty sweep lists with precise messages.

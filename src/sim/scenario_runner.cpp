@@ -15,13 +15,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <sstream>
 
@@ -36,6 +34,8 @@
 #include "loc/echo.h"
 #include "loc/mmse.h"
 #include "rng/rng.h"
+#include "sim/item_scheduler.h"
+#include "sim/latched_cache.h"
 #include "sim/parallel.h"
 #include "stats/quantile.h"
 #include "stats/running_stats.h"
@@ -124,6 +124,10 @@ long long total_items(const ScenarioSpec& s) {
     case ExperimentKind::kThresholdSensitivity:
       return static_cast<long long>(s.taus.size()) +
              static_cast<long long>(s.fudges.size());
+    case ExperimentKind::kTimeEvolving:
+      return 1 + attacks * damages;
+    case ExperimentKind::kInNetwork:
+      return 1 + damages;
   }
   return 0;
 }
@@ -151,69 +155,12 @@ std::vector<std::string> table_ids_for(const ScenarioSpec& s) {
     case ExperimentKind::kMetricFusion: return {"benign", "fusion"};
     case ExperimentKind::kMmseVulnerability: return {"mmse", "dvhop"};
     case ExperimentKind::kThresholdSensitivity: return {"tau", "fudge"};
+    case ExperimentKind::kTimeEvolving: return {"meta", "evolve"};
+    case ExperimentKind::kInNetwork: return {"fp", "coop"};
   }
   LAD_REQUIRE_MSG(false, "invalid experiment kind");
   return {};  // unreachable
 }
-
-/// Thread-safe memo map with per-key in-flight latches: the first caller
-/// for a key builds the value outside the map lock while later callers
-/// for the same key block on the entry's latch — so two concurrent work
-/// items wanting the same pipeline build it exactly once, and items
-/// wanting different pipelines never serialize on each other.  Values are
-/// deterministic functions of the key (given the spec), so which item
-/// ends up building changes wall time only, never values.  A builder that
-/// throws parks the exception in the entry; every waiter (and any later
-/// caller) rethrows it.
-template <class V>
-class LatchedCache {
- public:
-  /// Returns the cached value for `key`, invoking `build` (which must
-  /// return std::unique_ptr<V>) on the first call for that key.
-  template <class Build>
-  V& get(const std::string& key, Build&& build) {
-    std::shared_ptr<Entry> entry;
-    bool builder = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = entries_.find(key);
-      if (it == entries_.end()) {
-        it = entries_.emplace(key, std::make_shared<Entry>()).first;
-        builder = true;
-      }
-      entry = it->second;
-    }
-    if (builder) {
-      try {
-        entry->value = build();
-      } catch (...) {
-        entry->error = std::current_exception();
-      }
-      {
-        std::lock_guard<std::mutex> lock(entry->mu);
-        entry->ready = true;
-      }
-      entry->cv.notify_all();
-    } else {
-      std::unique_lock<std::mutex> lock(entry->mu);
-      entry->cv.wait(lock, [&] { return entry->ready; });
-    }
-    if (entry->error) std::rethrow_exception(entry->error);
-    return *entry->value;
-  }
-
- private:
-  struct Entry {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool ready = false;  ///< guarded by mu
-    std::unique_ptr<V> value;    ///< written by the builder before ready
-    std::exception_ptr error;    ///< ditto
-  };
-
-  std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Entry>> entries_;
-};
 
 }  // namespace
 
@@ -333,88 +280,9 @@ struct ScenarioRunner::Impl {
   ScenarioResult run_fusion(const ShardRange& shard);
   ScenarioResult run_mmse(const ShardRange& shard);
   ScenarioResult run_threshold(const ShardRange& shard);
+  ScenarioResult run_evolve(const ShardRange& shard);
+  ScenarioResult run_coop(const ShardRange& shard);
 };
-
-namespace {
-
-/// Starts a row tagged with the work item that produces it.
-Table& tagged_row(ResultTable& t, long long item) {
-  t.row_items.push_back(item);
-  return t.table.new_row();
-}
-
-/// Where one work item's closure emits its rows: a private fragment table
-/// per result table, spliced back by the scheduler.  util/csv.h stores
-/// cells pre-formatted, so the splice is byte-exact.
-class ItemSink {
- public:
-  explicit ItemSink(std::vector<Table>& fragments) : fragments_(&fragments) {}
-
-  /// Starts a row destined for result table `table` (index in the
-  /// ScenarioResult's emission-order table list).
-  Table& row(std::size_t table) { return (*fragments_)[table].new_row(); }
-
- private:
-  std::vector<Table>* fragments_;
-};
-
-/// Executes a kind's shard-owned work items, up to `jobs` concurrently,
-/// then splices each item's buffered rows into the shared result tables in
-/// schedule order — so every table CSV is byte-identical to the
-/// sequential run no matter how items interleave.  jobs = 1 runs the
-/// closures serially in schedule order, reproducing the historical
-/// execution (including the order caches fill in) exactly.
-class ItemScheduler {
- public:
-  ItemScheduler(ScenarioResult& result, int jobs)
-      : result_(&result), jobs_(jobs) {}
-
-  /// Schedules `work` for `item`; runs at run() time.  Closures must be
-  /// independent across items (keyed rng, latched caches) and emit rows
-  /// only through their sink.
-  void add(long long item, std::function<void(ItemSink&)> work) {
-    Entry entry;
-    entry.item = item;
-    entry.work = std::move(work);
-    entry.fragments.reserve(result_->tables.size());
-    for (const ResultTable& t : result_->tables) {
-      entry.fragments.emplace_back(t.table.columns());
-    }
-    entries_.push_back(std::move(entry));
-  }
-
-  void run() {
-    parallel_for_items(
-        entries_.size(),
-        [&](std::size_t i) {
-          ItemSink sink(entries_[i].fragments);
-          entries_[i].work(sink);
-        },
-        jobs_);
-    for (const Entry& entry : entries_) {
-      for (std::size_t t = 0; t < entry.fragments.size(); ++t) {
-        const Table& fragment = entry.fragments[t];
-        for (std::size_t r = 0; r < fragment.num_rows(); ++r) {
-          Table& row = tagged_row(result_->tables[t], entry.item);
-          for (const std::string& cell : fragment.row(r)) row.add(cell);
-        }
-      }
-    }
-  }
-
- private:
-  struct Entry {
-    long long item = 0;
-    std::function<void(ItemSink&)> work;
-    std::vector<Table> fragments;  ///< parallel to the result's tables
-  };
-
-  ScenarioResult* result_;
-  int jobs_;
-  std::vector<Entry> entries_;
-};
-
-}  // namespace
 
 ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec)
     : impl_(std::make_unique<Impl>(spec)) {}
@@ -497,6 +365,8 @@ ScenarioResult ScenarioRunner::run(const ShardRange& shard) {
     case ExperimentKind::kMmseVulnerability: return impl_->run_mmse(shard);
     case ExperimentKind::kThresholdSensitivity:
       return impl_->run_threshold(shard);
+    case ExperimentKind::kTimeEvolving: return impl_->run_evolve(shard);
+    case ExperimentKind::kInNetwork: return impl_->run_coop(shard);
   }
   LAD_REQUIRE_MSG(false, "invalid experiment kind");
   return {};  // unreachable
@@ -1336,6 +1206,252 @@ ScenarioResult ScenarioRunner::Impl::run_threshold(const ShardRange& shard) {
     if (!shard.contains(item)) continue;
     sched.add(item, [fudge, base, &emit](ItemSink& sink) {
       emit(sink.row(1).add(fudge, 2), base * fudge);
+    });
+  }
+  sched.run();
+  return result;
+}
+
+ScenarioResult ScenarioRunner::Impl::run_evolve(const ShardRange& shard) {
+  ScenarioResult result{spec.name, {}};
+  result.tables.push_back(
+      {"meta", Table({"lad_threshold", "rounds", "trials"}), {}});
+  result.tables.push_back(
+      {"evolve", Table({"attack", "D", "round", "corrupted", "DR"}), {}});
+  if (shard_is_empty(shard, spec)) return result;
+
+  const DeploymentConfig& dcfg = spec.pipeline.deploy;
+  const std::uint64_t seed = spec.pipeline.seed;
+  const MetricKind metric = spec.metrics.front();
+
+  const DeploymentModel model(dcfg);
+  const GzTable gz({dcfg.radio_range, dcfg.sigma});
+  Rng rng(seed);
+  const Network net(model, rng);
+  const BeaconlessMleLocalizer localizer(model, gz);
+
+  // Train LAD on benign samples (continues the shared rng, like run_echo);
+  // the threshold stays fixed across rounds - only the attacker evolves.
+  const std::unique_ptr<Metric> scorer = make_metric(metric);
+  std::vector<double> benign_scores;
+  std::vector<std::size_t> train_nodes(
+      static_cast<std::size_t>(spec.evolve_train_samples));
+  for (std::size_t i = 0; i < train_nodes.size(); ++i) {
+    train_nodes[i] = static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
+  }
+  ObservationBatch train_batch;
+  net.observe_many(train_nodes, train_batch);
+  for (std::size_t i = 0; i < train_nodes.size(); ++i) {
+    const Observation obs = train_batch.to_observation(i);
+    benign_scores.push_back(
+        scorer->score(obs,
+                      model.expected_observation(localizer.estimate(obs), gz),
+                      dcfg.nodes_per_group));
+  }
+  const double threshold =
+      train_threshold(metric, benign_scores, spec.tau).threshold;
+  const Detector detector(model, gz, metric, threshold);
+
+  ItemScheduler sched(result, spec.jobs);
+  if (shard.contains(0)) {
+    sched.add(0, [this, threshold](ItemSink& sink) {
+      sink.row(0).add(threshold, 2).add(spec.evolve_rounds).add(spec.trials);
+    });
+  }
+
+  long long item = 0;
+  for (AttackClass cls : spec.attacks) {
+    for (double d : spec.damages) {
+      ++item;
+      if (!shard.contains(item)) continue;
+      sched.add(item, [this, item, cls, d, seed, metric, &net, &model, &gz,
+                       &detector, &dcfg](ItemSink& sink) {
+        // Keyed by item id (see run_correction): (attack, damage) cells
+        // never share a stream with each other or with training.
+        Rng trial_rng = Rng::stream(seed, static_cast<std::uint64_t>(item));
+        // Victim + claimed-location draws first (one rng call order no
+        // matter how rounds interleave), then one observation batch.
+        std::vector<std::size_t> nodes(static_cast<std::size_t>(spec.trials));
+        std::vector<Vec2> claims(nodes.size());
+        for (std::size_t t = 0; t < nodes.size(); ++t) {
+          std::size_t node;
+          do {
+            node = static_cast<std::size_t>(
+                trial_rng.uniform_int(net.num_nodes()));
+          } while (!dcfg.field().contains(net.position(node)));
+          nodes[t] = node;
+          claims[t] = displaced_location(net.position(node), d, dcfg.field(),
+                                         trial_rng);
+        }
+        ObservationBatch batch;
+        net.observe_many(nodes, batch);
+        std::vector<ExpectedObservation> mus;
+        mus.reserve(claims.size());
+        for (const Vec2& claim : claims) {
+          mus.push_back(model.expected_observation(claim, gz));
+        }
+        // Round r: the same victims re-assert the same claim, but the
+        // attacker has corrupted `initial + r * step` beacons by now (the
+        // greedy taint with a growing absolute budget is monotone, so
+        // round r+1's taint extends round r's).
+        for (int round = 0; round < spec.evolve_rounds; ++round) {
+          const int corrupted = spec.evolve_initial + round * spec.evolve_step;
+          int detected = 0;
+          for (std::size_t t = 0; t < nodes.size(); ++t) {
+            const TaintResult taint =
+                greedy_taint(batch.to_observation(t), mus[t],
+                             dcfg.nodes_per_group, metric, cls, corrupted);
+            if (detector.check(taint.tainted, claims[t]).anomaly) ++detected;
+          }
+          sink.row(1)
+              .add(attack_class_name(cls))
+              .add(d, 0)
+              .add(round)
+              .add(corrupted)
+              .add(static_cast<double>(detected) / spec.trials, 3);
+        }
+      });
+    }
+  }
+  sched.run();
+  return result;
+}
+
+ScenarioResult ScenarioRunner::Impl::run_coop(const ShardRange& shard) {
+  ScenarioResult result{spec.name, {}};
+  result.tables.push_back(
+      {"fp",
+       Table({"solo_FP", "node_FP", "coop_FP", "mean_voters"}),
+       {}});
+  result.tables.push_back(
+      {"coop",
+       Table({"D", "solo_DR", "node_DR", "coop_DR", "mean_voters"}),
+       {}});
+  if (shard_is_empty(shard, spec)) return result;
+
+  const DeploymentConfig& dcfg = spec.pipeline.deploy;
+  const std::uint64_t seed = spec.pipeline.seed;
+  const MetricKind metric = spec.metrics.front();
+  const AttackClass cls = spec.attacks.front();
+  const double x = spec.compromised.front();
+
+  const DeploymentModel model(dcfg);
+  const GzTable gz({dcfg.radio_range, dcfg.sigma});
+  Rng rng(seed);
+  const Network net(model, rng);
+  const BeaconlessMleLocalizer localizer(model, gz);
+
+  // Train the solo LAD detector (continues the shared rng, like run_echo).
+  const std::unique_ptr<Metric> scorer = make_metric(metric);
+  std::vector<double> benign_scores;
+  std::vector<std::size_t> train_nodes(
+      static_cast<std::size_t>(spec.coop_train_samples));
+  for (std::size_t i = 0; i < train_nodes.size(); ++i) {
+    train_nodes[i] = static_cast<std::size_t>(rng.uniform_int(net.num_nodes()));
+  }
+  ObservationBatch train_batch;
+  net.observe_many(train_nodes, train_batch);
+  for (std::size_t i = 0; i < train_nodes.size(); ++i) {
+    const Observation obs = train_batch.to_observation(i);
+    benign_scores.push_back(
+        scorer->score(obs,
+                      model.expected_observation(localizer.estimate(obs), gz),
+                      dcfg.nodes_per_group));
+  }
+  const double threshold =
+      train_threshold(metric, benign_scores, spec.tau).threshold;
+  const Detector detector(model, gz, metric, threshold);
+
+  // One trial batch shared by the benign and every attack item: draw the
+  // victims, observe, then vote.  `d < 0` means benign (claim = truth,
+  // untainted observation).  Nodes within coop_radius of the CLAIMED
+  // location vote, but only those with radio standing: a node expects to
+  // hear the claimer when the claim is within the claimer's tx range
+  // (receiver-perspective unit disk, deploy/network.h), and actually
+  // hears it when the true position is.  Expectation != reality is an
+  // anomalous vote; a node with neither (outside both disks) has no
+  // evidence and abstains.  An honest claim makes the two disks coincide,
+  // so the vote-level FP rate is exactly zero by construction, while a
+  // displaced claim leaves both disks' occupants testifying against it.
+  const auto run_trials = [this, seed, metric, cls, x, &net, &model, &gz,
+                           &detector,
+                           &dcfg](long long item, double d, Table& row) {
+    Rng trial_rng = Rng::stream(seed, static_cast<std::uint64_t>(item));
+    std::vector<std::size_t> nodes(static_cast<std::size_t>(spec.trials));
+    std::vector<Vec2> claims(nodes.size());
+    for (std::size_t t = 0; t < nodes.size(); ++t) {
+      std::size_t node;
+      do {
+        node =
+            static_cast<std::size_t>(trial_rng.uniform_int(net.num_nodes()));
+      } while (!dcfg.field().contains(net.position(node)));
+      nodes[t] = node;
+      claims[t] = d < 0 ? net.position(node)
+                        : displaced_location(net.position(node), d,
+                                             dcfg.field(), trial_rng);
+    }
+    ObservationBatch batch;
+    net.observe_many(nodes, batch);
+
+    int solo = 0, coop = 0;
+    long long votes = 0, anomalous_votes = 0, voters_total = 0;
+    for (std::size_t t = 0; t < nodes.size(); ++t) {
+      const Observation a = batch.to_observation(t);
+      if (d < 0) {
+        if (detector.check(a, claims[t]).anomaly) ++solo;
+      } else {
+        const ExpectedObservation mu =
+            model.expected_observation(claims[t], gz);
+        const TaintResult taint =
+            greedy_taint(a, mu, dcfg.nodes_per_group, metric, cls,
+                         static_cast<int>(x * a.total()));
+        if (detector.check(taint.tainted, claims[t]).anomaly) ++solo;
+      }
+      const std::vector<std::size_t> nearby =
+          net.nodes_within(claims[t], spec.coop_radius, nodes[t]);
+      long long standing = 0, bad = 0;
+      for (std::size_t v : nearby) {
+        const double range = net.tx_range(nodes[t]);
+        const bool expected =
+            distance(net.position(v), claims[t]) <= range;
+        const bool actual =
+            distance(net.position(v), net.position(nodes[t])) <= range;
+        if (!expected && !actual) continue;  // no evidence either way
+        ++standing;
+        if (expected != actual) ++bad;
+      }
+      votes += standing;
+      anomalous_votes += bad;
+      voters_total += standing;
+      if (standing > 0 &&
+          static_cast<double>(bad) >=
+              spec.coop_majority * static_cast<double>(standing)) {
+        ++coop;
+      }
+    }
+    const double trials = static_cast<double>(spec.trials);
+    if (d >= 0) row.add(d, 0);
+    row.add(solo / trials, 3)
+        .add(votes == 0 ? 0.0
+                        : static_cast<double>(anomalous_votes) /
+                              static_cast<double>(votes),
+             3)
+        .add(coop / trials, 3)
+        .add(static_cast<double>(voters_total) / trials, 1);
+  };
+
+  ItemScheduler sched(result, spec.jobs);
+  if (shard.contains(0)) {
+    sched.add(0, [&run_trials](ItemSink& sink) {
+      run_trials(0, -1.0, sink.row(0));
+    });
+  }
+  long long item = 0;
+  for (double d : spec.damages) {
+    ++item;
+    if (!shard.contains(item)) continue;
+    sched.add(item, [item, d, &run_trials](ItemSink& sink) {
+      run_trials(item, d, sink.row(1));
     });
   }
   sched.run();

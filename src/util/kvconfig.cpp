@@ -19,11 +19,23 @@ bool is_comment_or_blank(std::string_view line) {
 
 }  // namespace
 
-const std::string* KvConfig::Section::find(const std::string& key) const {
-  for (const auto& [k, v] : entries_) {
-    if (k == key) return &v;
+const KvConfig::Section::Entry* KvConfig::Section::find(
+    const std::string& key) const {
+  for (const Entry& e : entries_) {
+    if (e.key == key) return &e;
   }
   return nullptr;
+}
+
+int KvConfig::Section::line_of(const std::string& key) const {
+  const Entry* e = find(key);
+  return e ? e->line : 0;
+}
+
+std::string KvConfig::Section::context(const std::string& key) const {
+  std::ostringstream os;
+  os << origin_ << ":" << line_of(key) << ": [" << name_ << "] " << key;
+  return os.str();
 }
 
 bool KvConfig::Section::has(const std::string& key) const {
@@ -34,20 +46,20 @@ bool KvConfig::Section::has(const std::string& key) const {
 std::string KvConfig::Section::get_string(const std::string& key,
                                           const std::string& def) const {
   read_[key] = true;
-  const std::string* v = find(key);
-  return v ? *v : def;
+  const Entry* e = find(key);
+  return e ? e->value : def;
 }
 
 double KvConfig::Section::get_double(const std::string& key,
                                      double def) const {
   read_[key] = true;
-  const std::string* v = find(key);
-  if (!v) return def;
+  const Entry* e = find(key);
+  if (!e) return def;
   try {
-    return parse_double(*v);
+    return parse_double(e->value);
   } catch (const AssertionError&) {
-    LAD_REQUIRE_MSG(false, "[" << name_ << "] " << key << ": '" << *v
-                              << "' is not a number");
+    LAD_REQUIRE_MSG(false, context(key) << ": '" << e->value
+                                        << "' is not a number");
   }
   return def;  // unreachable
 }
@@ -55,44 +67,44 @@ double KvConfig::Section::get_double(const std::string& key,
 long long KvConfig::Section::get_int(const std::string& key,
                                      long long def) const {
   read_[key] = true;
-  const std::string* v = find(key);
-  if (!v) return def;
+  const Entry* e = find(key);
+  if (!e) return def;
   try {
-    return parse_int(*v);
+    return parse_int(e->value);
   } catch (const AssertionError&) {
-    LAD_REQUIRE_MSG(false, "[" << name_ << "] " << key << ": '" << *v
-                              << "' is not an integer");
+    LAD_REQUIRE_MSG(false, context(key) << ": '" << e->value
+                                        << "' is not an integer");
   }
   return def;  // unreachable
 }
 
 bool KvConfig::Section::get_bool(const std::string& key, bool def) const {
   read_[key] = true;
-  const std::string* v = find(key);
-  if (!v) return def;
-  const std::string lower = to_lower(*v);
+  const Entry* e = find(key);
+  if (!e) return def;
+  const std::string lower = to_lower(e->value);
   if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
     return true;
   }
   if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
     return false;
   }
-  LAD_REQUIRE_MSG(false, "[" << name_ << "] " << key << ": '" << *v
-                            << "' is not a boolean");
+  LAD_REQUIRE_MSG(false, context(key) << ": '" << e->value
+                                      << "' is not a boolean");
   return def;  // unreachable
 }
 
 std::vector<double> KvConfig::Section::get_double_list(
     const std::string& key, const std::vector<double>& def) const {
   read_[key] = true;
-  const std::string* v = find(key);
-  if (!v) return def;
+  const Entry* e = find(key);
+  if (!e) return def;
   std::vector<double> out;
-  for (const std::string& tok : split(*v, ',')) {
+  for (const std::string& tok : split(e->value, ',')) {
     try {
       for (double d : expand_double_range(trim(tok))) out.push_back(d);
-    } catch (const AssertionError& e) {
-      LAD_REQUIRE_MSG(false, "[" << name_ << "] " << key << ": " << e.what());
+    } catch (const AssertionError& ex) {
+      LAD_REQUIRE_MSG(false, context(key) << ": " << ex.what());
     }
   }
   return out;
@@ -101,14 +113,14 @@ std::vector<double> KvConfig::Section::get_double_list(
 std::vector<long long> KvConfig::Section::get_int_list(
     const std::string& key, const std::vector<long long>& def) const {
   read_[key] = true;
-  const std::string* v = find(key);
-  if (!v) return def;
+  const Entry* e = find(key);
+  if (!e) return def;
   std::vector<long long> out;
-  for (const std::string& tok : split(*v, ',')) {
+  for (const std::string& tok : split(e->value, ',')) {
     try {
       for (long long i : expand_int_range(trim(tok))) out.push_back(i);
-    } catch (const AssertionError& e) {
-      LAD_REQUIRE_MSG(false, "[" << name_ << "] " << key << ": " << e.what());
+    } catch (const AssertionError& ex) {
+      LAD_REQUIRE_MSG(false, context(key) << ": " << ex.what());
     }
   }
   return out;
@@ -117,10 +129,10 @@ std::vector<long long> KvConfig::Section::get_int_list(
 std::vector<std::string> KvConfig::Section::get_string_list(
     const std::string& key, const std::vector<std::string>& def) const {
   read_[key] = true;
-  const std::string* v = find(key);
-  if (!v) return def;
+  const Entry* e = find(key);
+  if (!e) return def;
   std::vector<std::string> out;
-  for (const std::string& tok : split(*v, ',')) {
+  for (const std::string& tok : split(e->value, ',')) {
     out.emplace_back(trim(tok));
   }
   return out;
@@ -128,15 +140,15 @@ std::vector<std::string> KvConfig::Section::get_string_list(
 
 std::vector<std::string> KvConfig::Section::unused() const {
   std::vector<std::string> out;
-  for (const auto& [k, v] : entries_) {
-    if (!read_.count(k)) out.push_back(k);
+  for (const Entry& e : entries_) {
+    if (!read_.count(e.key)) out.push_back(e.key);
   }
   return out;
 }
 
 std::vector<std::string> KvConfig::Section::keys() const {
   std::vector<std::string> out;
-  for (const auto& [k, v] : entries_) out.push_back(k);
+  for (const Entry& e : entries_) out.push_back(e.key);
   return out;
 }
 
@@ -170,7 +182,7 @@ KvConfig KvConfig::parse_string(std::string_view text,
                                << name << "] (first at line " << s.line()
                                << ")");
       }
-      cfg.sections_.emplace_back(name, line_no);
+      cfg.sections_.emplace_back(name, line_no, origin);
       current = &cfg.sections_.back();
       continue;
     }
@@ -188,7 +200,7 @@ KvConfig KvConfig::parse_string(std::string_view text,
     LAD_REQUIRE_MSG(current->find(key) == nullptr,
                     origin << ":" << line_no << ": duplicate key '" << key
                            << "' in section [" << current->name() << "]");
-    current->entries_.emplace_back(key, value);
+    current->entries_.push_back({key, value, line_no});
   }
   return cfg;
 }
@@ -238,8 +250,16 @@ std::vector<double> expand_double_range(std::string_view token) {
   const double lo = parse_double(parts[0]);
   const double hi = parse_double(parts[1]);
   const double step = parse_double(parts[2]);
+  LAD_REQUIRE_MSG(std::isfinite(lo) && std::isfinite(hi) && std::isfinite(step),
+                  "range '" << token << "': bounds and step must be finite");
   LAD_REQUIRE_MSG(step > 0, "range '" << token << "': step must be > 0");
   LAD_REQUIRE_MSG(lo <= hi, "range '" << token << "': lo must be <= hi");
+  // A tiny (e.g. denormal) step over a wide span would expand to an
+  // astronomically large list - reject by size before generating anything.
+  const double approx = (hi - lo) / step + 1.0;
+  LAD_REQUIRE_MSG(approx <= static_cast<double>(kMaxRangeValues),
+                  "range '" << token << "': expands to ~" << approx
+                            << " values (limit " << kMaxRangeValues << ")");
   std::vector<double> out;
   // Index-based stepping avoids drift; the endpoint is included when it
   // lies on the grid (within a relative tolerance of one part in 1e9).
@@ -262,8 +282,24 @@ std::vector<long long> expand_int_range(std::string_view token) {
   const long long step = parse_int(parts[2]);
   LAD_REQUIRE_MSG(step > 0, "range '" << token << "': step must be > 0");
   LAD_REQUIRE_MSG(lo <= hi, "range '" << token << "': lo must be <= hi");
+  // Unsigned arithmetic: hi - lo may overflow long long when the bounds
+  // straddle the full 64-bit span, and `v += step` near LLONG_MAX is UB.
+  const unsigned long long span = static_cast<unsigned long long>(hi) -
+                                  static_cast<unsigned long long>(lo);
+  // span / step alone (not +1) so the check itself cannot wrap when the
+  // bounds straddle the whole 64-bit range.
+  const unsigned long long steps = span / static_cast<unsigned long long>(step);
+  LAD_REQUIRE_MSG(steps < static_cast<unsigned long long>(kMaxRangeValues),
+                  "range '" << token << "': expands to " << steps
+                            << "+1 values (limit " << kMaxRangeValues << ")");
+  const unsigned long long count = steps + 1;
   std::vector<long long> out;
-  for (long long v = lo; v <= hi; v += step) out.push_back(v);
+  out.reserve(static_cast<std::size_t>(count));
+  for (unsigned long long i = 0; i < count; ++i) {
+    out.push_back(static_cast<long long>(
+        static_cast<unsigned long long>(lo) +
+        i * static_cast<unsigned long long>(step)));
+  }
   return out;
 }
 

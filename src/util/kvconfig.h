@@ -31,10 +31,15 @@ class KvConfig {
  public:
   class Section {
    public:
-    Section(std::string name, int line) : name_(std::move(name)), line_(line) {}
+    Section(std::string name, int line, std::string origin = "<string>")
+        : name_(std::move(name)), line_(line), origin_(std::move(origin)) {}
 
     const std::string& name() const { return name_; }
     int line() const { return line_; }
+    const std::string& origin() const { return origin_; }
+
+    /// Source line of a key (0 when absent) - error messages cite it.
+    int line_of(const std::string& key) const;
 
     bool has(const std::string& key) const;
 
@@ -63,12 +68,21 @@ class KvConfig {
    private:
     friend class KvConfig;
 
+    struct Entry {
+      std::string key;
+      std::string value;
+      int line = 0;  // source line in origin(); 0 when synthesized
+    };
+
     std::string name_;
     int line_ = 0;
-    std::vector<std::pair<std::string, std::string>> entries_;  // file order
+    std::string origin_;
+    std::vector<Entry> entries_;  // file order
     mutable std::map<std::string, bool> read_;
 
-    const std::string* find(const std::string& key) const;
+    const Entry* find(const std::string& key) const;
+    /// "origin:line: [section] key" - the prefix every accessor error uses.
+    std::string context(const std::string& key) const;
   };
 
   /// Parses configuration text; `origin` names the source in errors.
@@ -100,6 +114,9 @@ class KvConfig {
 /// Expands one list token: either a scalar ("42") or an inclusive range
 /// "lo:hi:step" (step > 0, lo <= hi; the endpoint is included when it lies
 /// on the grid within a relative tolerance).  Shared by the list accessors.
+/// A range that would expand to more than kMaxRangeValues elements (e.g. a
+/// denormal step) is a named error, not an effectively-infinite loop.
+inline constexpr long long kMaxRangeValues = 1'000'000;
 std::vector<double> expand_double_range(std::string_view token);
 std::vector<long long> expand_int_range(std::string_view token);
 

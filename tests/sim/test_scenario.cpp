@@ -638,6 +638,14 @@ TEST(ScenarioRunner, TableIdsMatchTheEmittedTables) {
       "[pipeline]\nnetworks = 1\nvictims = 5\nm = 25\nsigma = 30\n"
       "field = 600\ngrid_nx = 6\ngrid_ny = 6\n"
       "[output]\ncurve_points = 0\n",
+      "[scenario]\nname = e\nexperiment = time-evolving\n"
+      "[pipeline]\nm = 25\nsigma = 30\nfield = 600\ngrid_nx = 6\n"
+      "grid_ny = 6\n"
+      "[evolve]\ntrials = 4\nrounds = 2\ntrain_samples = 40\n",
+      "[scenario]\nname = n\nexperiment = in-network\n"
+      "[pipeline]\nm = 25\nsigma = 30\nfield = 600\ngrid_nx = 6\n"
+      "grid_ny = 6\n"
+      "[coop]\ntrials = 4\ntrain_samples = 40\n",
   };
   for (const std::string& text : specs) {
     const ScenarioSpec spec =
@@ -753,7 +761,7 @@ TEST(ScenarioSpecFiles, AllCheckedInSpecsParse) {
     EXPECT_GT(ScenarioRunner(spec).num_items(), 0);
     ++count;
   }
-  EXPECT_GE(count, 17);  // 16 figure/table specs + quickstart
+  EXPECT_GE(count, 20);  // 19 figure/table specs + quickstart
 #endif
 }
 

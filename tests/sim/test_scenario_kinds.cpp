@@ -1,0 +1,296 @@
+// The two adversarial/cooperative experiment kinds (time-evolving,
+// in-network): spec validation, item accounting, run semantics, and the
+// golden CSVs for their checked-in specs (quick mode).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+#include "support/golden.h"
+#include "util/assert.h"
+
+namespace lad {
+namespace {
+
+// Small deployment shared by the inline specs (900 nodes, cheap to
+// observe); the new kinds ignore networks/victims, so only the field
+// matters.
+constexpr const char* kPipeline = R"(
+[pipeline]
+seed = 5
+m = 25
+sigma = 30
+r = 50
+field = 600
+grid_nx = 6
+grid_ny = 6
+)";
+
+ScenarioSpec parse(const std::string& text) {
+  return ScenarioSpec::from_config(KvConfig::parse_string(text));
+}
+
+std::string evolve_spec(const std::string& kind_section) {
+  return "[scenario]\nname = e\nexperiment = time-evolving\n" +
+         std::string(kPipeline) + kind_section;
+}
+
+std::string coop_spec(const std::string& kind_section) {
+  return "[scenario]\nname = c\nexperiment = in-network\n" +
+         std::string(kPipeline) + kind_section;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+// --- spec parsing ------------------------------------------------------
+
+TEST(ScenarioSpecKinds, EvolveSectionParsesWithDefaults) {
+  const ScenarioSpec defaults = parse(evolve_spec(""));
+  EXPECT_EQ(defaults.kind, ExperimentKind::kTimeEvolving);
+  EXPECT_EQ(defaults.evolve_rounds, 8);
+  EXPECT_EQ(defaults.evolve_step, 2);
+  EXPECT_EQ(defaults.evolve_initial, 0);
+  EXPECT_EQ(defaults.evolve_train_samples, 400);
+
+  const ScenarioSpec spec = parse(evolve_spec(
+      "[evolve]\ntrials = 9\nrounds = 3\nstep = 5\ninitial = 2\n"
+      "train_samples = 50\n"));
+  EXPECT_EQ(spec.trials, 9);
+  EXPECT_EQ(spec.evolve_rounds, 3);
+  EXPECT_EQ(spec.evolve_step, 5);
+  EXPECT_EQ(spec.evolve_initial, 2);
+  EXPECT_EQ(spec.evolve_train_samples, 50);
+}
+
+TEST(ScenarioSpecKinds, CoopSectionParsesWithDefaults) {
+  const ScenarioSpec defaults = parse(coop_spec(""));
+  EXPECT_EQ(defaults.kind, ExperimentKind::kInNetwork);
+  EXPECT_EQ(defaults.coop_radius, 150.0);
+  EXPECT_EQ(defaults.coop_majority, 0.5);
+  EXPECT_EQ(defaults.coop_train_samples, 400);
+
+  const ScenarioSpec spec = parse(coop_spec(
+      "[coop]\ntrials = 7\nradius = 99\nmajority = 0.75\n"
+      "train_samples = 60\n"));
+  EXPECT_EQ(spec.trials, 7);
+  EXPECT_EQ(spec.coop_radius, 99.0);
+  EXPECT_EQ(spec.coop_majority, 0.75);
+  EXPECT_EQ(spec.coop_train_samples, 60);
+}
+
+TEST(ScenarioSpecKinds, BadEvolveValuesAreRejectedByName) {
+  EXPECT_THROW(parse(evolve_spec("[evolve]\nrounds = 0\n")), AssertionError);
+  EXPECT_THROW(parse(evolve_spec("[evolve]\nstep = 0\n")), AssertionError);
+  EXPECT_THROW(parse(evolve_spec("[evolve]\ntrials = -1\n")), AssertionError);
+  EXPECT_THROW(parse(evolve_spec("[evolve]\ntrain_samples = 0\n")),
+               AssertionError);
+  try {
+    parse(evolve_spec("[evolve]\ninitial = -3\n"));
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    EXPECT_NE(std::string(e.what()).find("initial must be >= 0"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioSpecKinds, BadCoopValuesAreRejectedByName) {
+  EXPECT_THROW(parse(coop_spec("[coop]\nradius = 0\n")), AssertionError);
+  EXPECT_THROW(parse(coop_spec("[coop]\nradius = -10\n")), AssertionError);
+  EXPECT_THROW(parse(coop_spec("[coop]\nmajority = 0\n")), AssertionError);
+  EXPECT_THROW(parse(coop_spec("[coop]\ntrials = 0\n")), AssertionError);
+  try {
+    parse(coop_spec("[coop]\nmajority = 1.5\n"));
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    EXPECT_NE(std::string(e.what()).find("majority must be in (0,1]"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioSpecKinds, KindSectionsAreRejectedOnForeignKinds) {
+  // [evolve] on in-network, [coop] on time-evolving, and either on a
+  // plain dr-sweep: all dead configuration, all fail-fast by name.
+  EXPECT_THROW(parse(coop_spec("[evolve]\nrounds = 2\n")), AssertionError);
+  EXPECT_THROW(parse(evolve_spec("[coop]\nradius = 100\n")), AssertionError);
+  try {
+    parse("[scenario]\nname = d\nexperiment = dr-sweep\n"
+          "[evolve]\nrounds = 2\n");
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    EXPECT_NE(std::string(e.what()).find("only valid for experiment = "
+                                         "time-evolving"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioSpecKinds, SweepAxesMatchWhatTheKindsExpand) {
+  // time-evolving expands attacks x damages; in-network expands damages
+  // only.  Anything else multi-valued is rejected.
+  EXPECT_NO_THROW(parse(evolve_spec(
+      "[sweep]\nattacks = dec-bounded, dec-only\ndamages = 60, 120\n")));
+  EXPECT_THROW(parse(evolve_spec("[sweep]\ncompromised = 0.1, 0.2\n")),
+               AssertionError);
+  EXPECT_NO_THROW(parse(coop_spec("[sweep]\ndamages = 60, 120, 240\n")));
+  EXPECT_THROW(parse(coop_spec("[sweep]\nattacks = dec-bounded, dec-only\n")),
+               AssertionError);
+  EXPECT_THROW(parse(coop_spec("[sweep]\nmetrics = diff, prob\n")),
+               AssertionError);
+}
+
+// --- item accounting and run semantics ---------------------------------
+
+TEST(ScenarioRunnerKinds, NumItemsCountsTheMetaRowAndTheGrid) {
+  const ScenarioSpec evolve = parse(evolve_spec(
+      "[sweep]\nattacks = dec-bounded, dec-only\ndamages = 60, 120\n"));
+  EXPECT_EQ(ScenarioRunner(evolve).num_items(), 5);  // meta + 2 x 2
+
+  const ScenarioSpec coop =
+      parse(coop_spec("[sweep]\ndamages = 60, 120, 240\n"));
+  EXPECT_EQ(ScenarioRunner(coop).num_items(), 4);  // benign fp + 3 D
+}
+
+TEST(ScenarioRunnerKinds, EvolveEmitsOneRowPerRoundWithTheBudgetSchedule) {
+  const ScenarioSpec spec = parse(evolve_spec(
+      "[sweep]\nattacks = dec-bounded\ndamages = 120\n"
+      "[evolve]\ntrials = 6\nrounds = 3\nstep = 4\ninitial = 1\n"
+      "train_samples = 50\n"));
+  const ScenarioResult result = ScenarioRunner(spec).run();
+  ASSERT_EQ(result.tables.size(), 2u);
+  EXPECT_EQ(result.tables[0].id, "meta");
+  EXPECT_EQ(result.tables[1].id, "evolve");
+  const Table& evolve = result.tables[1].table;
+  EXPECT_EQ(evolve.columns(),
+            (std::vector<std::string>{"attack", "D", "round", "corrupted",
+                                      "DR"}));
+  ASSERT_EQ(evolve.num_rows(), 3u);  // one per round
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(evolve.cell(r, 2), std::to_string(r));
+    // Budget schedule: initial + round * step = 1, 5, 9.
+    EXPECT_EQ(evolve.cell(r, 3), std::to_string(1 + 4 * r));
+  }
+}
+
+TEST(ScenarioRunnerKinds, CoopEmitsBenignFpRowAndPerDamageRows) {
+  const ScenarioSpec spec = parse(coop_spec(
+      "[sweep]\ndamages = 60, 240\ncompromised = 0.10\n"
+      "[coop]\ntrials = 20\nradius = 120\ntrain_samples = 50\n"));
+  const ScenarioResult result = ScenarioRunner(spec).run();
+  ASSERT_EQ(result.tables.size(), 2u);
+  EXPECT_EQ(result.tables[0].id, "fp");
+  EXPECT_EQ(result.tables[1].id, "coop");
+  EXPECT_EQ(result.tables[0].table.columns(),
+            (std::vector<std::string>{"solo_FP", "node_FP", "coop_FP",
+                                      "mean_voters"}));
+  EXPECT_EQ(result.tables[1].table.columns(),
+            (std::vector<std::string>{"D", "solo_DR", "node_DR", "coop_DR",
+                                      "mean_voters"}));
+  EXPECT_EQ(result.tables[0].table.num_rows(), 1u);
+  ASSERT_EQ(result.tables[1].table.num_rows(), 2u);
+
+  // A benign claim sits at the node's true position, so every voter in
+  // radius can hear it: the vote-level FP rate is exactly 0.  A 240-unit
+  // displacement plants the claim among voters with no radio evidence,
+  // so the per-vote anomaly rate should clear the benign rate.
+  const double node_fp = std::stod(result.tables[0].table.cell(0, 1));
+  EXPECT_EQ(node_fp, 0.0);
+  const double node_dr_far = std::stod(result.tables[1].table.cell(1, 2));
+  EXPECT_GT(node_dr_far, node_fp);
+}
+
+TEST(ScenarioRunnerKinds, ShardsPartitionTheNewKinds) {
+  for (const std::string& text :
+       {evolve_spec("[sweep]\nattacks = dec-bounded, dec-only\n"
+                    "damages = 60, 120\n"
+                    "[evolve]\ntrials = 4\nrounds = 2\ntrain_samples = 40\n"),
+        coop_spec("[sweep]\ndamages = 60, 120, 240\n"
+                  "[coop]\ntrials = 4\ntrain_samples = 40\n")}) {
+    const ScenarioSpec spec = parse(text);
+    SCOPED_TRACE(spec.name);
+    const ScenarioResult full = ScenarioRunner(spec).run();
+    std::vector<long long> seen;
+    for (int i = 0; i < 2; ++i) {
+      const ScenarioResult part = ScenarioRunner(spec).run(ShardRange{i, 2});
+      for (const ResultTable& t : part.tables) {
+        seen.insert(seen.end(), t.row_items.begin(), t.row_items.end());
+      }
+    }
+    std::vector<long long> all;
+    for (const ResultTable& t : full.tables) {
+      all.insert(all.end(), t.row_items.begin(), t.row_items.end());
+    }
+    std::sort(seen.begin(), seen.end());
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(seen, all);
+  }
+}
+
+// --- golden CSVs for the checked-in specs ------------------------------
+
+#ifdef LAD_SCENARIO_DIR
+
+// Runs a checked-in spec in quick mode at the given jobs count and
+// returns the emitted CSV bodies keyed by file name.
+std::vector<std::pair<std::string, std::string>> run_quick(
+    const std::string& scn, int jobs) {
+  namespace fs = std::filesystem;
+  ScenarioSpec spec =
+      ScenarioSpec::load(std::string(LAD_SCENARIO_DIR) + "/" + scn);
+  ScenarioOverrides o;
+  o.quick = true;
+  spec = apply_overrides(spec, o);
+  spec.jobs = jobs;
+
+  const fs::path dir = fs::path(testing::TempDir()) /
+                       ("lad_golden_" + spec.name + "_j" +
+                        std::to_string(jobs));
+  fs::remove_all(dir);
+  write_result_csvs(ScenarioRunner(spec).run(), dir.string());
+
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    out.emplace_back(entry.path().filename().string(),
+                     read_file(entry.path()));
+  }
+  std::sort(out.begin(), out.end());
+  fs::remove_all(dir);
+  return out;
+}
+
+// The checked-in specs for the new kinds are pinned by goldens: quick
+// mode must reproduce tests/data/scenario_goldens/ byte for byte, and a
+// concurrent run must match the sequential one exactly (the acceptance
+// bar shared by every scenario kind).
+class ScenarioGoldens : public testing::TestWithParam<const char*> {};
+
+TEST_P(ScenarioGoldens, QuickModeMatchesTheGoldenAcrossJobs) {
+  const auto sequential = run_quick(GetParam(), 1);
+  ASSERT_EQ(sequential.size(), 2u);  // every new kind emits two tables
+  for (const auto& [name, body] : sequential) {
+    EXPECT_FALSE(body.empty()) << name;
+    test::expect_matches_golden(body, "scenario_goldens/" + name);
+  }
+  const auto concurrent = run_quick(GetParam(), 4);
+  EXPECT_EQ(sequential, concurrent);
+}
+
+INSTANTIATE_TEST_SUITE_P(NewKinds, ScenarioGoldens,
+                         testing::Values("tab_time_evolving.scn",
+                                         "tab_in_network.scn"));
+
+#endif  // LAD_SCENARIO_DIR
+
+}  // namespace
+}  // namespace lad

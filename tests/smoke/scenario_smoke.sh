@@ -52,6 +52,12 @@ grep -qi "shard" <<<"$output" || fail "banana: error does not mention shard"
 run shard_oob 2 "$cli" run --scenario "$scn" --shard 5/2
 grep -qi "shard" <<<"$output" || fail "5/2: error does not mention shard"
 
+# A shard slice with no work items (more shards than items: quickstart
+# expands to 6, so shard 7/8 owns nothing) must exit 2 with a named
+# message, not exit 0 with no output.
+run shard_empty 2 "$cli" run --scenario "$scn" --shard 7/8
+grep -q "no work items" <<<"$output" || fail "empty shard: no 'no work items' message"
+
 # A typo'd flag must fail fast, not silently run all work items.
 run shard_typo 2 "$cli" run --scenario "$scn" --sahrd 0/2
 grep -q "unknown flag" <<<"$output" || fail "typo'd flag not rejected"

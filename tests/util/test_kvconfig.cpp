@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/assert.h"
 
 namespace lad {
@@ -128,6 +130,82 @@ TEST(KvConfig, BadRangesThrow) {
   EXPECT_THROW(expand_double_range("1:5:0"), AssertionError);    // step 0
   EXPECT_THROW(expand_double_range("1:5:-1"), AssertionError);   // step < 0
   EXPECT_THROW(expand_double_range("a:b:c"), AssertionError);
+}
+
+TEST(KvConfig, AccessorErrorsCarryFileAndLine) {
+  const KvConfig cfg = KvConfig::parse_string(
+      "[sweep]\n# filler\ndamages = 40:160:0\n", "bad.scn");
+  try {
+    cfg.section("sweep").get_double_list("damages", {});
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad.scn:3"), std::string::npos) << what;
+    EXPECT_NE(what.find("[sweep] damages"), std::string::npos) << what;
+    EXPECT_NE(what.find("step must be > 0"), std::string::npos) << what;
+  }
+  const KvConfig cfg2 =
+      KvConfig::parse_string("[a]\nnum = banana\n", "typo.scn");
+  try {
+    cfg2.section("a").get_int("num", 0);
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    EXPECT_NE(std::string(e.what()).find("typo.scn:2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(KvConfig, ReversedRangeInListAccessorIsNamedError) {
+  const KvConfig cfg =
+      KvConfig::parse_string("[sweep]\nd = 160:40:20\n", "rev.scn");
+  try {
+    cfg.section("sweep").get_double_list("d", {});
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rev.scn:2"), std::string::npos) << what;
+    EXPECT_NE(what.find("lo must be <= hi"), std::string::npos) << what;
+  }
+}
+
+TEST(KvConfig, OversizedRangeExpansionIsRejectedNotHung) {
+  // A denormal step passes `step > 0` but would expand to ~1e308 values;
+  // the size guard must reject it by name instead of looping forever.
+  try {
+    expand_double_range("0:1:1e-300");
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    EXPECT_NE(std::string(e.what()).find("limit"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(expand_double_range("0:inf:1"), AssertionError);
+  EXPECT_THROW(expand_double_range("nan:1:1"), AssertionError);
+  EXPECT_THROW(expand_int_range("0:100000000:1"), AssertionError);
+  // Just inside the limit still works.
+  EXPECT_EQ(expand_int_range("1:1000000:1").size(), 1000000u);
+}
+
+TEST(KvConfig, IntRangeNearLimitsDoesNotOverflow) {
+  const long long max = std::numeric_limits<long long>::max();
+  // `v += step` past LLONG_MAX is UB in the naive loop; the unsigned
+  // formulation must produce the exact endpoints and stop.
+  const auto vals =
+      expand_int_range(std::to_string(max - 2) + ":" + std::to_string(max) +
+                       ":2");
+  EXPECT_EQ(vals, (std::vector<long long>{max - 2, max}));
+  const long long min = std::numeric_limits<long long>::min();
+  // Bounds straddling the full 64-bit span: hi - lo overflows long long.
+  EXPECT_THROW(expand_int_range(std::to_string(min) + ":" +
+                                std::to_string(max) + ":1"),
+               AssertionError);
+}
+
+TEST(KvConfig, SectionKnowsOriginAndKeyLines) {
+  const KvConfig cfg = KvConfig::parse_string(kSample, "sample.scn");
+  const KvConfig::Section& beta = cfg.section("beta");
+  EXPECT_EQ(beta.origin(), "sample.scn");
+  EXPECT_EQ(beta.line_of("range"), 12);
+  EXPECT_EQ(beta.line_of("absent"), 0);
 }
 
 TEST(KvConfig, RenderListRoundTrips) {

@@ -64,6 +64,18 @@
 //       re-ordered by work-item tag, yielding CSVs byte-identical to the
 //       unsharded run's.  Overlapping shards and (unless --partial) gaps
 //       in the item tags are errors.
+//
+//   lad_cli fuzz-scn [--seed S] [--iters N] [--mode valid|invalid|both]
+//                    [--minimize] [--out dir]
+//       Property-fuzzes the .scn surface (see sim/scenario_fuzz.h).
+//       valid mode generates random-but-valid specs and requires the
+//       parser and the runner's item accounting to accept every one;
+//       invalid mode injects one named invalid edit per iteration and
+//       requires a named AssertionError mentioning the injected token.
+//       Exit 0 when every iteration behaves; exit 1 with the offending
+//       spec (and, with --minimize, a greedily shrunk reproducer) written
+//       under --out (default fuzz_failures/) otherwise.  Failures
+//       reproduce from (--seed, iteration) alone.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -75,6 +87,7 @@
 #include "sim/parallel.h"
 #include "sim/pipeline.h"
 #include "sim/scenario.h"
+#include "sim/scenario_fuzz.h"
 #include "stats/quantile.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -86,7 +99,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage: lad_cli <train|inspect|check|simulate|upgrade|run|"
-               "merge> [--flags]\n"
+               "merge|fuzz-scn> [--flags]\n"
                "       see the header of tools/lad_cli.cpp for details\n";
   return 2;
 }
@@ -439,6 +452,16 @@ int cmd_run(const Flags& flags) {
   const long long total = runner.num_items();
   const long long mine =
       (total - shard.index + shard.count - 1) / shard.count;
+  if (mine <= 0) {
+    // An empty slice of the cartesian product silently "succeeding" hides
+    // a misconfigured fleet (more shards than work items) or a spec that
+    // expands to nothing; fail loudly instead of exiting 0 with no output.
+    std::cerr << "run: no work items: scenario '" << spec.name
+              << "' expands to " << total << " work item(s) and shard "
+              << shard.index << "/" << shard.count
+              << " owns none of them\n";
+    return 2;
+  }
   std::cerr << "scenario '" << spec.name << "' ("
             << experiment_kind_name(spec.kind) << "): running " << mine
             << " of " << total << " work items (shard " << shard.index << "/"
@@ -501,6 +524,73 @@ int cmd_merge(const Flags& flags) {
   return 0;
 }
 
+int run_fuzz_mode(const FuzzOptions& options, const std::string& out_dir) {
+  const char* mode = options.invalid ? "invalid" : "valid";
+  const FuzzReport report = fuzz_scn(options);
+  std::cout << "fuzz-scn " << mode << ": " << report.iterations
+            << " iteration(s), " << report.failures.size()
+            << " failure(s)";
+  if (options.invalid) {
+    std::cout << ", " << report.classes_seen.size()
+              << " mutation class(es) exercised";
+  }
+  std::cout << "\n";
+  if (options.invalid &&
+      report.classes_seen.size() < scn_mutation_classes().size()) {
+    // Too few iterations to round-robin every class is itself a
+    // configuration error: the run would prove less than it claims.
+    std::cerr << "fuzz-scn: only " << report.classes_seen.size() << " of "
+              << scn_mutation_classes().size()
+              << " mutation classes exercised; raise --iters\n";
+    return 1;
+  }
+  if (report.ok()) return 0;
+
+  namespace fs = std::filesystem;
+  fs::create_directories(out_dir);
+  for (const FuzzFailure& f : report.failures) {
+    const std::string base = out_dir + "/" + mode + "_" +
+                             std::to_string(f.iteration);
+    std::cerr << "FAIL [" << mode << " iter " << f.iteration
+              << (f.klass.empty() ? "" : " " + f.klass) << "] " << f.message
+              << "\n";
+    std::ofstream(base + ".scn") << f.spec;
+    std::cerr << "  offending spec: " << base << ".scn\n";
+    if (!f.minimized.empty()) {
+      std::ofstream(base + ".min.scn") << f.minimized;
+      std::cerr << "  minimized reproducer: " << base << ".min.scn\n";
+    }
+  }
+  std::cerr << "fuzz-scn: reproduce any failure with --seed "
+            << options.seed << " (iteration index selects the stream)\n";
+  return 1;
+}
+
+int cmd_fuzz_scn(const Flags& flags) {
+  FuzzOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  options.iters = flags.get_int("iters", 200);
+  LAD_REQUIRE_MSG(options.iters > 0, "--iters must be positive");
+  options.minimize = flags.get_bool("minimize", false);
+  const std::string mode = flags.get_string("mode", "both");
+  LAD_REQUIRE_MSG(mode == "valid" || mode == "invalid" || mode == "both",
+                  "--mode must be valid, invalid, or both, got '" << mode
+                                                                  << "'");
+  const std::string out_dir = flags.get_string("out", "fuzz_failures");
+  if (const int rc = reject_unknown_flags(flags, "fuzz-scn")) return rc;
+
+  int rc = 0;
+  if (mode != "invalid") {
+    options.invalid = false;
+    rc |= run_fuzz_mode(options, out_dir);
+  }
+  if (mode != "valid") {
+    options.invalid = true;
+    rc |= run_fuzz_mode(options, out_dir);
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -515,6 +605,7 @@ int main(int argc, char** argv) {
     if (cmd == "upgrade") return cmd_upgrade(flags);
     if (cmd == "run") return cmd_run(flags);
     if (cmd == "merge") return cmd_merge(flags);
+    if (cmd == "fuzz-scn") return cmd_fuzz_scn(flags);
     return usage();
   } catch (const AssertionError& e) {
     std::cerr << "error: " << e.what() << "\n";
