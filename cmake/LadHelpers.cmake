@@ -1,12 +1,24 @@
 # Helper functions shared by every per-layer CMakeLists.
 
-# lad_add_library(<name> SOURCES <cpp...> [DEPS <targets...>])
+# Applies the LAD_WERROR gate to one project target.  Only targets created
+# through these helpers (plus lad_lint_core) opt in, so third-party code
+# (FetchContent gtest) never breaks the -Werror build.
+function(lad_apply_werror name)
+  if(LAD_WERROR)
+    target_compile_options(${name} PRIVATE
+      $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Werror>)
+  endif()
+endfunction()
+
+# lad_add_library(<name> [EXTRA_WARNINGS] SOURCES <cpp...> [DEPS <targets...>])
 #
 # Declares one static layer library rooted at src/.  Include paths and the
 # C++ standard propagate PUBLIC-ly, so test/bench/example targets only need
 # to link the layers they use and get the rest transitively.
+# EXTRA_WARNINGS adds -Wshadow -Wconversion — the hot-path layers
+# (deploy, sim, stats) carry it so numeric narrowing must be spelled out.
 function(lad_add_library name)
-  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  cmake_parse_arguments(ARG "EXTRA_WARNINGS" "" "SOURCES;DEPS" ${ARGN})
   add_library(${name} STATIC ${ARG_SOURCES})
   add_library(lad::${name} ALIAS ${name})
   target_include_directories(${name} PUBLIC "${PROJECT_SOURCE_DIR}/src")
@@ -17,7 +29,12 @@ function(lad_add_library name)
   if(LAD_WARNINGS)
     target_compile_options(${name} PRIVATE
       $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall;-Wextra>)
+    if(ARG_EXTRA_WARNINGS)
+      target_compile_options(${name} PRIVATE
+        $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wshadow;-Wconversion>)
+    endif()
   endif()
+  lad_apply_werror(${name})
 endfunction()
 
 # lad_add_test(<name> [LABEL <unit|e2e>] SOURCES <cpp...> [DEPS <targets...>])
@@ -33,6 +50,7 @@ function(lad_add_test name)
   add_executable(${name} ${ARG_SOURCES})
   target_link_libraries(${name} PRIVATE
     lad_test_support ${ARG_DEPS} GTest::gtest GTest::gtest_main)
+  lad_apply_werror(${name})
   gtest_discover_tests(${name}
     PROPERTIES LABELS ${ARG_LABEL}
     DISCOVERY_TIMEOUT 120)
@@ -51,4 +69,5 @@ function(lad_add_program name)
     add_executable(${name} EXCLUDE_FROM_ALL ${ARG_SOURCES})
   endif()
   target_link_libraries(${name} PRIVATE ${ARG_DEPS})
+  lad_apply_werror(${name})
 endfunction()

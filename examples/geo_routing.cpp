@@ -13,6 +13,8 @@
 //       excluded from forwarding decisions.
 #include <iostream>
 #include <optional>
+// lad-lint: allow(unordered-output) -- visited-set membership only; the
+// set is never iterated, so its order cannot leak into the CSV.
 #include <unordered_set>
 #include <vector>
 
@@ -39,6 +41,8 @@ std::optional<int> route(const RoutingWorld& world, std::size_t src,
   const Network& net = *world.net;
   const Vec2 target = world.claimed[dst];
   std::size_t current = src;
+  // lad-lint: allow(unordered-output) -- membership queries only, never
+  // iterated; routing output depends on node ids, not set order.
   std::unordered_set<std::size_t> visited;
   for (int hops = 0; hops < 200; ++hops) {
     if (current == dst) return hops;

@@ -1,7 +1,8 @@
 #include "deploy/observe_kernel.h"
 
-#include <cstdlib>
 #include <string_view>
+
+#include "util/env.h"
 
 namespace lad {
 
@@ -35,10 +36,7 @@ bool cpu_has_avx2() {
 #endif
 }
 
-bool no_avx2_env() {
-  const char* env = std::getenv("LAD_NO_AVX2");
-  return env != nullptr && *env != '\0';
-}
+bool no_avx2_env() { return env_flag("LAD_NO_AVX2"); }
 
 ObserveKernelFn resolve_default() {
 #if defined(LAD_HAVE_AVX2_KERNEL)

@@ -1,7 +1,5 @@
 #include "sim/parallel.h"
 
-#include <cerrno>
-#include <cstdlib>
 #include <thread>
 
 #ifdef LAD_HAVE_OPENMP
@@ -9,6 +7,7 @@
 #endif
 
 #include "util/assert.h"
+#include "util/env.h"
 #include "util/thread_pool.h"
 
 namespace lad {
@@ -20,22 +19,12 @@ namespace {
 // spawn that many workers.
 constexpr long kMaxThreads = 4096;
 
-// Parses the LAD_THREADS pin, or -1 when the variable is unset/empty.
-// Anything present but not an integer in [1, kMaxThreads] is a named
-// error: a mistyped pin silently falling back to all cores would defeat
-// the reproducibility the override exists for.
+// The LAD_THREADS pin, or -1 when the variable is unset/empty.  Anything
+// present but not an integer in [1, kMaxThreads] is a named error (from
+// env_int): a mistyped pin silently falling back to all cores would
+// defeat the reproducibility the override exists for.
 int env_thread_override() {
-  const char* env = std::getenv("LAD_THREADS");
-  if (env == nullptr || *env == '\0') return -1;
-  errno = 0;
-  char* rest = nullptr;
-  const long v = std::strtol(env, &rest, 10);
-  LAD_REQUIRE_MSG(errno == 0 && rest != env && *rest == '\0' && v >= 1 &&
-                      v <= kMaxThreads,
-                  "invalid LAD_THREADS value '"
-                      << env << "' (expected an integer in [1, " << kMaxThreads
-                      << "])");
-  return static_cast<int>(v);
+  return static_cast<int>(env_int("LAD_THREADS", -1, 1, kMaxThreads));
 }
 
 }  // namespace

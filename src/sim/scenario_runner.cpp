@@ -530,10 +530,10 @@ ScenarioResult ScenarioRunner::Impl::run_dr(const ShardRange& shard) {
                                    &rate_where](ItemSink& sink) {
                     Pipeline& pipeline = pipeline_for(
                         group_config(shape, actual_sigma, jitter));
-                    const BenignPass& benign =
+                    const BenignPass& benign_pass =
                         benign_for(pipeline, localizer);
                     const std::vector<double>& benign_scores =
-                        benign.scores.at(metric);
+                        benign_pass.scores.at(metric);
                     const ThresholdFit fit =
                         fit_threshold(metric, benign_scores, spec.fp_budget);
                     AttackSpec attack;
@@ -582,7 +582,7 @@ ScenarioResult ScenarioRunner::Impl::run_dr(const ShardRange& shard) {
                       row.add(rate_where(scores, attack_groups, thresholds,
                                          all),
                               4)
-                          .add(rate_where(benign_scores, benign.victim_groups,
+                          .add(rate_where(benign_scores, benign_pass.victim_groups,
                                           thresholds, all),
                                4);
                     } else {
@@ -603,10 +603,10 @@ ScenarioResult ScenarioRunner::Impl::run_dr(const ShardRange& shard) {
                           .add(rate_where(scores, attack_groups, thresholds,
                                           boundary),
                                4)
-                          .add(rate_where(benign_scores, benign.victim_groups,
+                          .add(rate_where(benign_scores, benign_pass.victim_groups,
                                           thresholds, interior),
                                4)
-                          .add(rate_where(benign_scores, benign.victim_groups,
+                          .add(rate_where(benign_scores, benign_pass.victim_groups,
                                           thresholds, boundary),
                                4);
                     }
@@ -774,6 +774,8 @@ ScenarioResult ScenarioRunner::Impl::run_correction(const ShardRange& shard) {
   // The deployed network consumes the head of Rng(seed); the benign-floor
   // item continues from the post-construction state, so the same network
   // and floor fall out of any shard that needs them.
+  // lad-lint: allow(rng-construct) -- historical root stream for this
+  // work item; re-keying would change every golden CSV.
   Rng rng(seed);
   const Network net(model, rng);
   const LocationCorrector corrector(model, gz);
@@ -855,7 +857,8 @@ ScenarioResult ScenarioRunner::Impl::run_correction(const ShardRange& shard) {
         mean /= static_cast<double>(errs.size());
         std::sort(errs.begin(), errs.end());
         const double p90 =
-            errs[static_cast<std::size_t>(0.9 * (errs.size() - 1))];
+            errs[static_cast<std::size_t>(
+                0.9 * static_cast<double>(errs.size() - 1))];
         sink.row(1)
             .add(attack_class_name(cls))
             .add(d, 0)
@@ -887,6 +890,8 @@ ScenarioResult ScenarioRunner::Impl::run_echo(const ShardRange& shard) {
 
   const DeploymentModel model(dcfg);
   const GzTable gz({dcfg.radio_range, dcfg.sigma});
+  // lad-lint: allow(rng-construct) -- historical root stream for this
+  // work item; re-keying would change every golden CSV.
   Rng rng(seed);
   const Network net(model, rng);
   const BeaconlessMleLocalizer localizer(model, gz);
@@ -1125,6 +1130,8 @@ ScenarioResult ScenarioRunner::Impl::run_mmse(const ShardRange& shard) {
 
   // DV-Hop end-to-end on one deployed network (deterministic shared state).
   const DeploymentModel model(spec.pipeline.deploy);
+  // lad-lint: allow(rng-construct) -- historical seed+1 stream of the
+  // shared DV-Hop network; re-keying would change the golden CSV.
   Rng net_rng(seed + 1);
   const Network net(model, net_rng);
   for (double lie : spec.dvhop_lies) {
@@ -1140,6 +1147,8 @@ ScenarioResult ScenarioRunner::Impl::run_mmse(const ShardRange& shard) {
         dvhop.compromise_anchor(0, polar_offset({167, 167}, lie, 0.7));
       }
       RunningStats err;
+      // lad-lint: allow(rng-construct) -- historical per-lie victim
+      // stream (seed + 2); re-keying would change the golden CSV.
       Rng pick(seed + 2);
       for (int trial = 0; trial < spec.dvhop_trials; ++trial) {
         const std::size_t node =
@@ -1226,6 +1235,8 @@ ScenarioResult ScenarioRunner::Impl::run_evolve(const ShardRange& shard) {
 
   const DeploymentModel model(dcfg);
   const GzTable gz({dcfg.radio_range, dcfg.sigma});
+  // lad-lint: allow(rng-construct) -- historical root stream for this
+  // work item; re-keying would change every golden CSV.
   Rng rng(seed);
   const Network net(model, rng);
   const BeaconlessMleLocalizer localizer(model, gz);
@@ -1337,6 +1348,8 @@ ScenarioResult ScenarioRunner::Impl::run_coop(const ShardRange& shard) {
 
   const DeploymentModel model(dcfg);
   const GzTable gz({dcfg.radio_range, dcfg.sigma});
+  // lad-lint: allow(rng-construct) -- historical root stream for this
+  // work item; re-keying would change every golden CSV.
   Rng rng(seed);
   const Network net(model, rng);
   const BeaconlessMleLocalizer localizer(model, gz);

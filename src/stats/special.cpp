@@ -25,6 +25,8 @@ double lgamma_threadsafe(double x) {
   int sign = 0;
   return lgamma_r(x, &sign);
 #else
+  // lad-lint: allow(ban-lgamma) -- fallback for libcs without lgamma_r;
+  // single-threaded use only (the PR 7 signgam race is a glibc concern).
   return std::lgamma(x);
 #endif
 }

@@ -15,6 +15,7 @@
 #endif
 
 #include "util/assert.h"
+#include "util/env.h"
 #include "util/string_util.h"
 
 namespace lad {
@@ -53,8 +54,8 @@ std::string format_double(double v) {
 }
 
 std::string run_git_rev() {
-  const char* env = std::getenv("LAD_GIT_REV");
-  if (env != nullptr && *env != '\0') return env;
+  const std::string env = env_string("LAD_GIT_REV");
+  if (!env.empty()) return env;
 #if !defined(_WIN32)
   if (FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
     char buf[128];
@@ -82,6 +83,8 @@ std::string host_description() {
 }
 
 std::string utc_date() {
+  // lad-lint: allow(ban-time) -- the date stamps BENCH_*.json metadata;
+  // it never feeds simulation output, which stays replayable.
   const std::time_t now = std::time(nullptr);
   std::tm tm{};
 #if defined(_WIN32)

@@ -19,6 +19,8 @@ class Timer {
   double millis() const { return seconds() * 1e3; }
 
  private:
+  // lad-lint: allow(ban-clock-now) -- Timer is bench/tool instrumentation
+  // only; wall-clock readings never feed simulation output.
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };

@@ -1,0 +1,7 @@
+// rng-construct fixture: library code takes an Rng stream; only
+// src/rng/ and the test fixtures construct generators directly.
+#include "rng/rng.h"
+double draw() {
+  lad::Rng rng(42);
+  return rng.uniform01();
+}

@@ -1,0 +1,5 @@
+// unordered-output fixture: this TU writes CSV output, so unordered
+// container iteration order could leak into the artifact.
+#include <unordered_map>
+#include "util/csv.h"
+void dump(const std::unordered_map<int, double>& rows);

@@ -1,0 +1,6 @@
+// kernel-cmp-ordered fixture: the compare must be ordered-quiet
+// (_CMP_LE_OQ family) to map exactly onto the scalar <= semantics.
+#include <immintrin.h>
+int hits(__m256d d2, __m256d a2) {
+  return _mm256_movemask_pd(_mm256_cmp_pd(d2, a2, _CMP_LE_OS));
+}

@@ -1,0 +1,7 @@
+// kernel-no-fma fixture: a fused dx*dx + dy*dy keeps the product
+// unrounded and can flip the borderline <= a2 compare vs the scalar
+// reference (see src/deploy/observe_kernel_avx2.cpp).
+#include <immintrin.h>
+__m256d dist2(__m256d dx, __m256d dy) {
+  return _mm256_fmadd_pd(dx, dx, _mm256_mul_pd(dy, dy));
+}

@@ -1,0 +1,4 @@
+// layer-dag fixture: geom must never grow a dependency on sim.
+#include "geom/vec2.h"
+#include "util/assert.h"
+#include "sim/scenario.h"

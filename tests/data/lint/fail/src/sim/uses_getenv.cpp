@@ -1,0 +1,4 @@
+// raw-getenv fixture: every environment knob goes through the validated
+// lad::env_* helpers (util/env.h) so garbage values fail by name.
+#include <cstdlib>
+bool quick_mode() { return std::getenv("LAD_QUICK") != nullptr; }

@@ -1,0 +1,4 @@
+// ban-lgamma fixture: std::lgamma writes the process-global signgam,
+// a data race under the threaded scoring passes (PR 7).  Use lgamma_r.
+#include <cmath>
+double log_gamma(double x) { return std::lgamma(x); }

@@ -1,0 +1,5 @@
+// allow-syntax fixture: suppressions must name a known rule and carry a
+// `-- justification`; both lines below are malformed, so the ban-rand
+// finding on each still fires too.
+int a() { return std::rand(); }  // lad-lint: allow(ban-rand)
+int b() { return std::rand(); }  // lad-lint: allow(no-such-rule) -- why

@@ -1,0 +1,7 @@
+// ban-clock-now fixture: std::chrono clocks belong in bench/ and tools/.
+#include <chrono>
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,3 @@
+// ban-rand fixture: C rand() and std::random_device are not seedable
+// per-stream; all randomness flows through lad::Rng.
+int noise() { return std::rand(); }

@@ -1,0 +1,3 @@
+// ban-time fixture: wall-clock reads in library code break replayable
+// output.
+long stamp() { return time(nullptr); }

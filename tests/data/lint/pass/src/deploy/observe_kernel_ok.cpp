@@ -1,0 +1,8 @@
+// Kernel pass: two IEEE multiplies + one add (no FMA) and an
+// ordered-quiet compare, exactly like the real AVX2 kernel.
+#include <immintrin.h>
+int hits(__m256d dx, __m256d dy, __m256d a2) {
+  const __m256d d2 =
+      _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+  return _mm256_movemask_pd(_mm256_cmp_pd(d2, a2, _CMP_LE_OQ));
+}

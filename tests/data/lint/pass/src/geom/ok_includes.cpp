@@ -1,0 +1,4 @@
+// layer-dag pass: geom may include its own headers and util.
+#include "geom/vec2.h"
+#include "util/assert.h"
+#include <vector>

@@ -1,0 +1,6 @@
+// rng-construct pass: src/rng/ defines the constructors, and
+// Rng::stream(...) derivation is the sanctioned pattern everywhere.
+#include "rng/rng.h"
+lad::Rng trial_stream(unsigned long long seed, unsigned long long trial) {
+  return lad::Rng::stream(seed, trial);
+}

@@ -1,0 +1,6 @@
+// Escape-hatch pass: a well-formed, justified suppression silences the
+// rule on the next line (and only there).
+// lad-lint: allow(ban-time) -- fixture proving the justified hatch works.
+long stamp() { return time(nullptr); }
+
+long stamp2(long t) { return t; }  // lad-lint: allow(ban-rand) -- same-line form, nothing to suppress.

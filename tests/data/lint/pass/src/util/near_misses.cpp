@@ -1,0 +1,21 @@
+// Near-miss pass file: identifiers and calls that merely resemble the
+// banned tokens must not fire.
+//
+// ban-rand: "srand" inside an identifier, rand without a call.
+int operand(int strand) { return strand; }
+// ban-time: strftime/gmtime_r contain "time" but read no clock.
+void fmt(char* buf, unsigned long n) { (void)buf; (void)n; }
+// ban-lgamma: the reentrant variant is the sanctioned spelling.
+double lg(double x) {
+  int sign = 0;
+  extern double lgamma_r(double, int*);
+  return lgamma_r(x, &sign);
+}
+// raw-getenv mentioned in a comment only: std::getenv("HOME").
+// rng-construct: taking a stream or a reference is the sanctioned shape.
+namespace lad {
+class Rng;
+Rng& reseed(Rng& rng) { return rng; }
+}  // namespace lad
+// unordered-output: unordered_map in a TU with no CSV/bundle output.
+void keep(int unordered_map_like) { (void)unordered_map_like; }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "support/approx.h"
+#include "util/env.h"
 #include "util/string_util.h"
 
 #include <algorithm>
@@ -53,7 +54,7 @@ std::string read_golden(const std::string& name) {
 
 void expect_matches_golden(const std::string& actual,
                            const std::string& name) {
-  if (std::getenv("LAD_REGOLD") != nullptr) {
+  if (env_flag("LAD_REGOLD")) {
     std::ofstream os(golden_path(name), std::ios::binary);
     ASSERT_TRUE(os) << "cannot write golden file " << golden_path(name);
     os << actual;

@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
 # Markdown link checker for README.md and docs/*.md.
 #
-# Extracts every inline markdown link/image target and verifies that
-# local targets exist relative to the file that references them (anchors
-# are stripped; http(s)/mailto links are skipped — CI has no network).
-# Exits non-zero listing each broken link, so new docs cannot rot
-# silently.
+# Three gates, so new docs cannot rot silently:
+#   1. Inline links/images [text](target): local targets must exist
+#      relative to the referencing file (http(s)/mailto skipped — CI
+#      has no network).
+#   2. Anchors: both in-page (#section) and cross-file (file.md#section)
+#      fragments must match a real heading in the target markdown file,
+#      using GitHub's slug rules (lowercase, punctuation stripped,
+#      spaces to hyphens).
+#   3. Wiki-style [[name]] references: must resolve to name, name.md, or
+#      docs/name.md relative to the referencing file or the repo root —
+#      anything else is a dangling stub.
+#
+# Exits non-zero listing each broken link.
 #
 # usage: tools/check_links.sh [file-or-dir ...]   (default: README.md docs)
 set -eu
@@ -21,8 +29,29 @@ files=$(for t in "${targets[@]}"; do
 done)
 [ -n "$files" ] || { echo "check_links: no markdown files found" >&2; exit 1; }
 
+# GitHub heading slug: lowercase; drop everything but alnum, space,
+# hyphen, underscore; spaces become hyphens.
+slugify() {
+  printf '%s' "$1" \
+    | tr '[:upper:]' '[:lower:]' \
+    | sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+# All heading slugs of a markdown file, one per line.  ATX headings
+# only (the repo uses no Setext headings); inline code/bold markers
+# inside the heading are stripped by slugify.
+heading_slugs() {
+  grep -E '^#{1,6} ' "$1" 2>/dev/null | sed -E 's/^#{1,6} +//' \
+    | while IFS= read -r h; do slugify "$h"; printf '\n'; done
+}
+
+has_anchor() { # file anchor
+  heading_slugs "$1" | grep -qxF "$2"
+}
+
 status=0
 checked=0
+anchors_checked=0
 for f in $files; do
   dir=$(dirname "$f")
   # Inline links: [text](target).  One per line; tolerate several per line.
@@ -31,15 +60,45 @@ for f in $files; do
     case "$link" in
       http://*|https://*|mailto:*) continue ;;
     esac
-    path="${link%%#*}"            # strip anchor
-    [ -n "$path" ] || continue    # pure in-page anchor
+    path="${link%%#*}"            # part before any anchor
+    anchor=""
+    case "$link" in *'#'*) anchor="${link#*#}" ;; esac
+    if [ -n "$path" ]; then
+      checked=$((checked + 1))
+      if [ ! -e "$dir/$path" ]; then
+        echo "BROKEN $f -> $link"
+        status=1
+        continue
+      fi
+    fi
+    if [ -n "$anchor" ]; then
+      target="$f"                 # pure in-page anchor
+      [ -z "$path" ] || target="$dir/$path"
+      case "$target" in
+        *.md)
+          anchors_checked=$((anchors_checked + 1))
+          if ! has_anchor "$target" "$anchor"; then
+            echo "BROKEN-ANCHOR $f -> $link (no heading slugs to '#$anchor' in $target)"
+            status=1
+          fi
+          ;;
+      esac
+    fi
+  done
+
+  # Wiki-style [[name]] references (used by some editors as doc stubs):
+  # each must resolve to a real file, else it is a dangling link.
+  wikis=$(grep -oE '\[\[[^]]+\]\]' "$f" | sed -e 's/^\[\[//' -e 's/\]\]$//' || true)
+  for w in $wikis; do
     checked=$((checked + 1))
-    if [ ! -e "$dir/$path" ]; then
-      echo "BROKEN $f -> $link"
+    if [ ! -e "$dir/$w" ] && [ ! -e "$dir/$w.md" ] \
+        && [ ! -e "docs/$w" ] && [ ! -e "docs/$w.md" ] \
+        && [ ! -e "$w" ] && [ ! -e "$w.md" ]; then
+      echo "DANGLING $f -> [[$w]]"
       status=1
     fi
   done
 done
 
-echo "check_links: $checked local links checked in $(echo "$files" | wc -l) files"
+echo "check_links: $checked local links ($anchors_checked anchors) checked in $(echo "$files" | wc -l) files"
 exit $status

@@ -1,0 +1,68 @@
+// Project-invariant static analyzer (see lint_core.h for the rule
+// catalog and docs/STATIC_ANALYSIS.md for the why behind each rule).
+//
+//   usage: lad_lint [--root DIR] [--layers FILE] [--list-rules] [dir ...]
+//
+// Walks src/ bench/ tools/ examples/ cmake/ under --root (default: the
+// current directory), prints one `file:line: rule: message` diagnostic
+// per finding, and exits 1 if anything fired.  Runs as ctest `smoke.lint`
+// so the gate is local-first, not CI-only.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+int main(int argc, char** argv) {
+  lad::lint::Config cfg;
+  std::string layers_file;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      cfg.root = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers_file = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : lad::lint::rule_names()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: lad_lint [--root DIR] [--layers FILE] [--list-rules] "
+          "[dir ...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "lad_lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (!dirs.empty()) cfg.scan_dirs = dirs;
+  if (layers_file.empty()) {
+    layers_file = cfg.root + "/tools/lint_rules/layers.txt";
+  }
+  if (const std::string err = lad::lint::load_layer_rules(layers_file, cfg);
+      !err.empty()) {
+    std::fprintf(stderr, "lad_lint: %s\n", err.c_str());
+    return 2;
+  }
+
+  const std::vector<lad::lint::Finding> findings = lad::lint::lint_tree(cfg);
+  for (const lad::lint::Finding& f : findings) {
+    std::fprintf(stderr, "%s\n", lad::lint::format_finding(f).c_str());
+  }
+  if (findings.empty()) {
+    std::printf("lad_lint: clean (%zu rules, root %s)\n",
+                lad::lint::rule_names().size(), cfg.root.c_str());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "lad_lint: %zu finding(s).  Fix, or suppress a justified "
+               "exception with `// lad-lint: allow(<rule>) -- <why>`.\n",
+               findings.size());
+  return 1;
+}

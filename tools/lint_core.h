@@ -1,0 +1,86 @@
+// lad_lint engine: project-invariant static analysis at the token /
+// include level (deliberately no libclang — the checks below are textual
+// by design, so the tool builds everywhere the project builds and runs in
+// milliseconds as a ctest).
+//
+// The rules encode invariants the runtime gates cannot see until after
+// the damage is done:
+//
+//   layer-dag            src/<layer>/ may only include headers from its
+//                        declared dependency set (tools/lint_rules/layers.txt)
+//   ban-rand             std::rand/srand/random_device — all randomness
+//                        flows through lad::Rng streams
+//   ban-time             time()/clock() wall-clock reads in library code
+//   ban-clock-now        std::chrono::*_clock::now outside bench/ + tools/
+//   ban-lgamma           std::lgamma/lgammaf write the process-global
+//                        `signgam` (TSan-proven race); use lgamma_r
+//   unordered-output     unordered_{map,set} in a TU that writes CSV or
+//                        bundle output (iteration order is not stable)
+//   kernel-no-fma        no fused multiply-add in observe_kernel*.cpp —
+//                        unrounded products flip borderline <= a2 compares
+//   kernel-cmp-ordered   vector compares in observe_kernel*.cpp must use
+//                        the ordered-quiet (_CMP_*_OQ) predicate family
+//   fast-math            no -ffast-math-implying flags in any CMakeLists
+//   rng-construct        direct Rng construction outside src/rng/ and
+//                        tests/support/ — everything else takes a stream
+//   raw-getenv           getenv outside the lad::env_* helpers (util/env.cpp)
+//   allow-syntax         a suppression comment that names an unknown rule
+//                        or omits its `-- justification`
+//
+// Escape hatch: a comment of the form
+//
+//   lad-lint: <keyword>(<rule>[,<rule>...]) -- <justification>
+//
+// where the keyword is "allow", placed on the offending line or alone on
+// the line above it.  The justification text is mandatory; a suppression
+// without one is itself a finding.  (Spelled indirectly here so the
+// analyzer does not read its own documentation as a suppression.)
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lad::lint {
+
+struct Finding {
+  std::string file;  // path as given (relative to the scan root)
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct Config {
+  // Scan root; scan_dirs are joined under it.  Files are reported
+  // relative to this root.
+  std::string root = ".";
+  std::vector<std::string> scan_dirs = {"src", "bench", "tools", "examples",
+                                        "cmake"};
+  // Layer dependency DAG: layer -> layers it may include from (its own
+  // name is always allowed implicitly).  Loaded from layers.txt.
+  std::map<std::string, std::vector<std::string>> layer_deps;
+};
+
+/// Every rule name the engine can emit, for --list-rules and for
+/// validating allow() comments.
+const std::vector<std::string>& rule_names();
+
+/// Parses a layers.txt ("layer: dep dep ..." lines, '#' comments) into
+/// cfg.layer_deps.  Returns "" on success or a description of the
+/// malformed line.
+std::string load_layer_rules(const std::string& path, Config& cfg);
+
+/// Lints one file body.  `rel_path` selects which rules apply (layer
+/// membership, kernel TUs, CMake files).
+std::vector<Finding> lint_file(const Config& cfg, const std::string& rel_path,
+                               const std::string& content);
+
+/// Walks cfg.scan_dirs under cfg.root and lints every source/CMake file.
+/// Missing scan dirs are skipped (fixture trees rarely have all four).
+std::vector<Finding> lint_tree(const Config& cfg);
+
+/// "file:line: rule: message" — the one true diagnostic format (tests
+/// assert on it verbatim).
+std::string format_finding(const Finding& f);
+
+}  // namespace lad::lint
