@@ -1,6 +1,9 @@
 #include "common.h"
 
+#include "sim/pipeline.h"
 #include "util/assert.h"
+#include "util/csv.h"
+#include "util/flags.h"
 #include "util/string_util.h"
 
 namespace lad::bench {

@@ -11,9 +11,14 @@
 #include <benchmark/benchmark.h>
 
 #include "core/detector.h"
+#include "core/metric.h"
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
 #include "deploy/gz.h"
 #include "deploy/gz_table.h"
 #include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
 #include "loc/beaconless_mle.h"
 #include "rng/rng.h"
 

@@ -24,10 +24,16 @@
 #include <string>
 #include <vector>
 
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
 #include "deploy/network.h"
+#include "deploy/observation.h"
 #include "deploy/observe_kernel.h"
+#include "geom/grid_index.h"
+#include "geom/vec2.h"
 #include "rng/rng.h"
 #include "sim/parallel.h"
+#include "util/assert.h"
 #include "util/bench_json.h"
 #include "util/flags.h"
 

@@ -21,6 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "attack/adversary.h"
+#include "core/metric.h"
+#include "deploy/deployment_model.h"
 #include "sim/pipeline.h"
 #include "sim/scenario.h"
 #include "util/bench_json.h"

@@ -5,6 +5,7 @@
 #include "common.h"
 #include "sim/scenario.h"
 #include "util/assert.h"
+#include "util/flags.h"
 
 // Compile-time default location of the checked-in specs; the build points
 // this at <source>/bench/scenarios so the binaries run from anywhere.

@@ -10,15 +10,24 @@ function(lad_apply_werror name)
   endif()
 endfunction()
 
-# lad_add_library(<name> [EXTRA_WARNINGS] SOURCES <cpp...> [DEPS <targets...>])
+# Applies the project warning set to one target.  The whole tree — every
+# layer, test, tool, and bench — compiles under -Wall -Wextra -Wshadow
+# -Wconversion, so numeric narrowing and shadowed names must be spelled
+# out everywhere, not just in the hot-path layers where the set started.
+function(lad_apply_warnings name)
+  if(LAD_WARNINGS)
+    target_compile_options(${name} PRIVATE
+      $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall;-Wextra;-Wshadow;-Wconversion>)
+  endif()
+endfunction()
+
+# lad_add_library(<name> SOURCES <cpp...> [DEPS <targets...>])
 #
 # Declares one static layer library rooted at src/.  Include paths and the
 # C++ standard propagate PUBLIC-ly, so test/bench/example targets only need
 # to link the layers they use and get the rest transitively.
-# EXTRA_WARNINGS adds -Wshadow -Wconversion — the hot-path layers
-# (deploy, sim, stats) carry it so numeric narrowing must be spelled out.
 function(lad_add_library name)
-  cmake_parse_arguments(ARG "EXTRA_WARNINGS" "" "SOURCES;DEPS" ${ARGN})
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
   add_library(${name} STATIC ${ARG_SOURCES})
   add_library(lad::${name} ALIAS ${name})
   target_include_directories(${name} PUBLIC "${PROJECT_SOURCE_DIR}/src")
@@ -26,14 +35,7 @@ function(lad_add_library name)
   if(ARG_DEPS)
     target_link_libraries(${name} PUBLIC ${ARG_DEPS})
   endif()
-  if(LAD_WARNINGS)
-    target_compile_options(${name} PRIVATE
-      $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall;-Wextra>)
-    if(ARG_EXTRA_WARNINGS)
-      target_compile_options(${name} PRIVATE
-        $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wshadow;-Wconversion>)
-    endif()
-  endif()
+  lad_apply_warnings(${name})
   lad_apply_werror(${name})
 endfunction()
 
@@ -50,6 +52,7 @@ function(lad_add_test name)
   add_executable(${name} ${ARG_SOURCES})
   target_link_libraries(${name} PRIVATE
     lad_test_support ${ARG_DEPS} GTest::gtest GTest::gtest_main)
+  lad_apply_warnings(${name})
   lad_apply_werror(${name})
   gtest_discover_tests(${name}
     PROPERTIES LABELS ${ARG_LABEL}
@@ -69,5 +72,6 @@ function(lad_add_program name)
     add_executable(${name} EXCLUDE_FROM_ALL ${ARG_SOURCES})
   endif()
   target_link_libraries(${name} PRIVATE ${ARG_DEPS})
+  lad_apply_warnings(${name})
   lad_apply_werror(${name})
 endfunction()

@@ -8,10 +8,13 @@
 // reducing the damage under Dec-Bounded ones.
 #include <iostream>
 
+#include "attack/adversary.h"
 #include "attack/displacement.h"
 #include "attack/greedy.h"
 #include "core/lad.h"
+#include "geom/vec2.h"
 #include "loc/beaconless_mle.h"
+#include "rng/rng.h"
 #include "util/csv.h"
 
 using namespace lad;

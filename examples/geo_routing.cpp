@@ -18,10 +18,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "attack/adversary.h"
 #include "attack/displacement.h"
 #include "attack/greedy.h"
 #include "core/lad.h"
+#include "geom/vec2.h"
 #include "loc/beaconless_mle.h"
+#include "rng/rng.h"
 #include "util/csv.h"
 
 using namespace lad;

@@ -8,10 +8,13 @@
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <iostream>
 
+#include "attack/adversary.h"
 #include "attack/displacement.h"
 #include "attack/greedy.h"
 #include "core/lad.h"
+#include "geom/vec2.h"
 #include "loc/beaconless_mle.h"
+#include "rng/rng.h"
 
 int main() {
   using namespace lad;

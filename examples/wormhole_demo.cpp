@@ -11,8 +11,10 @@
 #include <iostream>
 
 #include "core/lad.h"
+#include "geom/vec2.h"
 #include "loc/beaconless_mle.h"
 #include "net/broadcast.h"
+#include "rng/rng.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
@@ -70,9 +72,17 @@ int main() {
     const std::size_t gi = static_cast<std::size_t>(g);
     if (clean.counts[gi] == 0 && tunneled.counts[gi] == 0) continue;
     const Vec2 dp = model.deployment_point(g);
+    // Built with += rather than a const char* + std::string&& chain, which
+    // trips a GCC 12 -Wrestrict false positive (GCC PR105651) under -Werror.
+    std::string label = "G";
+    label += std::to_string(g);
+    label += '(';
+    label += format_double(dp.x, 0);
+    label += ',';
+    label += format_double(dp.y, 0);
+    label += ')';
     obs_table.new_row()
-        .add("G" + std::to_string(g) + "(" + format_double(dp.x, 0) + "," +
-             format_double(dp.y, 0) + ")")
+        .add(label)
         .add(clean.counts[gi])
         .add(tunneled.counts[gi]);
   }

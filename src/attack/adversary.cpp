@@ -1,5 +1,6 @@
 #include "attack/adversary.h"
 
+#include "deploy/observation.h"
 #include "util/assert.h"
 #include "util/string_util.h"
 

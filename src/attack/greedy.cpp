@@ -4,6 +4,9 @@
 #include <cmath>
 #include <queue>
 
+#include "attack/adversary.h"
+#include "core/metric.h"
+#include "deploy/observation.h"
 #include "util/assert.h"
 
 namespace lad {

@@ -25,6 +25,7 @@
 
 #include "attack/adversary.h"
 #include "core/metric.h"
+#include "deploy/observation.h"
 
 namespace lad {
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "deploy/network.h"
+#include "deploy/observation.h"
+#include "net/broadcast.h"
 #include "util/assert.h"
 
 namespace lad {

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "deploy/network.h"
 #include "deploy/observation.h"
 #include "net/broadcast.h"
 

@@ -6,6 +6,11 @@
 #include <limits>
 
 #include "core/serialize.h"
+#include "deploy/deployment_model.h"
+#include "deploy/gz_table.h"
+#include "deploy/observation.h"
+#include "geom/aabb.h"
+#include "geom/vec2.h"
 #include "stats/special.h"
 #include "util/assert.h"
 

@@ -36,6 +36,8 @@
 
 #include "deploy/deployment_model.h"
 #include "deploy/gz_table.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
 
 namespace lad {
 

@@ -2,7 +2,11 @@
 
 #include <sstream>
 
-#include "util/string_util.h"
+#include "core/metric.h"
+#include "deploy/deployment_model.h"
+#include "deploy/gz_table.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
 
 namespace lad {
 

@@ -17,6 +17,8 @@
 #include "core/metric.h"
 #include "deploy/deployment_model.h"
 #include "deploy/gz_table.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
 
 namespace lad {
 

@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/detector.h"
+#include "core/metric.h"
+#include "deploy/deployment_model.h"
+#include "deploy/gz_table.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
 #include "util/assert.h"
 
 namespace lad {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "deploy/observation.h"
 #include "stats/special.h"
 #include "util/assert.h"
 #include "util/string_util.h"

@@ -8,6 +8,15 @@
 #include <ostream>
 #include <sstream>
 
+#include "core/detector.h"
+#include "core/fusion.h"
+#include "core/metric.h"
+#include "core/trainer.h"
+#include "deploy/deployment_model.h"
+#include "deploy/gz.h"
+#include "deploy/gz_table.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
 #include "util/assert.h"
 #include "util/string_util.h"
 

@@ -44,8 +44,13 @@
 #include <vector>
 
 #include "core/detector.h"
-#include "core/fusion.h"
+#include "core/metric.h"
 #include "core/trainer.h"
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/gz_table.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
 
 namespace lad {
 

@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/metric.h"
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "geom/vec2.h"
 #include "stats/quantile.h"
+#include "stats/running_stats.h"
 #include "util/assert.h"
 
 namespace lad {

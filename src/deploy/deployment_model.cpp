@@ -3,6 +3,11 @@
 #include <cmath>
 #include <limits>
 
+#include "deploy/config.h"
+#include "deploy/gz_table.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
 #include "stats/special.h"
 #include "util/assert.h"
 #include "util/string_util.h"

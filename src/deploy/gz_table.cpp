@@ -1,5 +1,6 @@
 #include "deploy/gz_table.h"
 
+#include "geom/vec2.h"
 #include "util/assert.h"
 
 namespace lad {

@@ -3,7 +3,13 @@
 #include <cmath>
 #include <limits>
 
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/observation.h"
 #include "deploy/observe_kernel.h"
+#include "geom/grid_index.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
 #include "util/assert.h"
 
 namespace lad {

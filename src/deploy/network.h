@@ -20,6 +20,7 @@
 #include "deploy/deployment_model.h"
 #include "deploy/observation.h"
 #include "geom/grid_index.h"
+#include "geom/vec2.h"
 #include "rng/rng.h"
 
 namespace lad {

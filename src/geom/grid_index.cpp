@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "geom/aabb.h"
+#include "geom/vec2.h"
 #include "util/assert.h"
 
 namespace lad {

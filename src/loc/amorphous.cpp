@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "deploy/network.h"
+#include "geom/vec2.h"
 #include "loc/dvhop.h"
 #include "loc/mmse.h"
 #include "net/hopcount.h"

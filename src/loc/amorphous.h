@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "deploy/network.h"
+#include "geom/vec2.h"
 #include "loc/localizer.h"
 
 namespace lad {

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <vector>
 
+#include "deploy/network.h"
+#include "geom/aabb.h"
 #include "geom/geometry.h"
+#include "geom/vec2.h"
+#include "loc/beacons.h"
 #include "util/assert.h"
 
 namespace lad {

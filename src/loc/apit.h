@@ -13,6 +13,8 @@
 // ideal-RSS case.
 #pragma once
 
+#include "deploy/network.h"
+#include "geom/vec2.h"
 #include "loc/beacons.h"
 #include "loc/localizer.h"
 

@@ -3,6 +3,11 @@
 #include <array>
 #include <cmath>
 
+#include "deploy/deployment_model.h"
+#include "deploy/gz_table.h"
+#include "deploy/observation.h"
+#include "geom/aabb.h"
+#include "geom/vec2.h"
 #include "loc/weighted_centroid.h"
 #include "stats/special.h"
 #include "util/assert.h"

@@ -18,6 +18,9 @@
 
 #include "deploy/deployment_model.h"
 #include "deploy/gz_table.h"
+#include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
 #include "loc/localizer.h"
 
 namespace lad {

@@ -1,5 +1,8 @@
 #include "loc/beacons.h"
 
+#include "geom/aabb.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
 #include "util/assert.h"
 
 namespace lad {

@@ -1,5 +1,8 @@
 #include "loc/centroid.h"
 
+#include "deploy/network.h"
+#include "geom/vec2.h"
+
 namespace lad {
 
 Vec2 CentroidLocalizer::estimate_at(Vec2 p) const {

@@ -5,6 +5,8 @@
 // lie_magnitude / heard_count.
 #pragma once
 
+#include "deploy/network.h"
+#include "geom/vec2.h"
 #include "loc/beacons.h"
 #include "loc/localizer.h"
 

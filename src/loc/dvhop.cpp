@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <limits>
 
+#include "deploy/network.h"
+#include "geom/aabb.h"
+#include "geom/vec2.h"
+#include "loc/mmse.h"
 #include "net/hopcount.h"
 #include "util/assert.h"
 

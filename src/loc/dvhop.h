@@ -15,8 +15,9 @@
 #include <optional>
 #include <vector>
 
+#include "deploy/network.h"
+#include "geom/vec2.h"
 #include "loc/localizer.h"
-#include "loc/mmse.h"
 
 namespace lad {
 

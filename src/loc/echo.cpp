@@ -1,5 +1,7 @@
 #include "loc/echo.h"
 
+#include "geom/aabb.h"
+#include "geom/vec2.h"
 #include "util/assert.h"
 
 namespace lad {

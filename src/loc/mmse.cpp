@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "geom/vec2.h"
 #include "util/assert.h"
 
 namespace lad {

@@ -6,6 +6,8 @@
 // ablation as the controlled baseline).
 #pragma once
 
+#include "deploy/network.h"
+#include "geom/vec2.h"
 #include "loc/localizer.h"
 #include "rng/rng.h"
 

@@ -1,5 +1,9 @@
 #include "loc/weighted_centroid.h"
 
+#include "deploy/deployment_model.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
+
 namespace lad {
 
 Vec2 weighted_centroid_estimate(const DeploymentModel& model,

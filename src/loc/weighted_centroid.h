@@ -4,6 +4,9 @@
 #pragma once
 
 #include "deploy/deployment_model.h"
+#include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
 #include "loc/localizer.h"
 
 namespace lad {

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
+#include "net/wormhole.h"
 #include "util/assert.h"
 
 namespace lad {

@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "deploy/network.h"
+#include "geom/vec2.h"
 #include "util/assert.h"
 
 namespace lad {

@@ -1,5 +1,7 @@
 #include "net/wormhole.h"
 
+#include "geom/vec2.h"
+
 namespace lad {
 
 bool wormhole_delivers(const Wormhole& w, Vec2 sender, Vec2 receiver) {

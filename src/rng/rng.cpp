@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "rng/philox.h"
-#include "rng/splitmix.h"
 #include "util/assert.h"
 
 namespace lad {

@@ -1,7 +1,11 @@
 #include "sim/experiment.h"
 
-#include "loc/beaconless_mle.h"
+#include "attack/adversary.h"
+#include "core/metric.h"
+#include "core/trainer.h"
+#include "sim/pipeline.h"
 #include "stats/quantile.h"
+#include "stats/roc.h"
 #include "util/assert.h"
 
 namespace lad {

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "attack/adversary.h"
+#include "core/metric.h"
 #include "core/trainer.h"
 #include "sim/pipeline.h"
 #include "stats/roc.h"

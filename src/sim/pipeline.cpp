@@ -7,7 +7,18 @@
 
 #include "attack/displacement.h"
 #include "attack/greedy.h"
+#include "core/metric.h"
+#include "core/serialize.h"
+#include "core/trainer.h"
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/gz_table.h"
+#include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/aabb.h"
+#include "geom/vec2.h"
 #include "loc/beaconless_mle.h"
+#include "loc/localizer.h"
 #include "rng/rng.h"
 #include "sim/parallel.h"
 #include "util/assert.h"

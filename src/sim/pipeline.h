@@ -23,9 +23,11 @@
 #include "attack/adversary.h"
 #include "core/metric.h"
 #include "core/serialize.h"
+#include "deploy/config.h"
 #include "deploy/deployment_model.h"
 #include "deploy/gz_table.h"
 #include "deploy/network.h"
+#include "geom/vec2.h"
 #include "loc/localizer.h"
 
 namespace lad {

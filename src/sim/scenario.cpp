@@ -8,12 +8,18 @@
 #include <fstream>
 #include <set>
 
+#include "attack/adversary.h"
+#include "core/metric.h"
+#include "deploy/deployment_model.h"
 #include "loc/amorphous.h"
-#include "loc/beaconless_mle.h"
 #include "loc/dvhop.h"
 #include "loc/truth_noise.h"
 #include "loc/weighted_centroid.h"
+#include "sim/pipeline.h"
 #include "util/assert.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/kvconfig.h"
 #include "util/string_util.h"
 
 namespace lad {

@@ -24,7 +24,10 @@
 #include <string>
 #include <vector>
 
-#include "sim/experiment.h"
+#include "attack/adversary.h"
+#include "core/metric.h"
+#include "deploy/deployment_model.h"
+#include "sim/pipeline.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/kvconfig.h"

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <sstream>
 
+#include "rng/rng.h"
 #include "sim/scenario.h"
 #include "util/assert.h"
+#include "util/kvconfig.h"
 #include "util/string_util.h"
 
 namespace lad {

@@ -23,24 +23,36 @@
 #include <set>
 #include <sstream>
 
+#include "attack/adversary.h"
 #include "attack/displacement.h"
 #include "attack/greedy.h"
 #include "core/corrector.h"
 #include "core/detector.h"
+#include "core/metric.h"
 #include "core/serialize.h"
 #include "core/trainer.h"
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/gz.h"
+#include "deploy/gz_table.h"
+#include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
 #include "loc/beaconless_mle.h"
 #include "loc/dvhop.h"
 #include "loc/echo.h"
 #include "loc/mmse.h"
 #include "rng/rng.h"
+#include "sim/experiment.h"
 #include "sim/item_scheduler.h"
 #include "sim/latched_cache.h"
-#include "sim/parallel.h"
+#include "sim/pipeline.h"
 #include "stats/quantile.h"
+#include "stats/roc.h"
 #include "stats/running_stats.h"
 #include "stats/special.h"
 #include "util/assert.h"
+#include "util/csv.h"
 #include "util/string_util.h"
 
 namespace lad {

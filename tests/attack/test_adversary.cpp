@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "deploy/observation.h"
 #include "util/assert.h"
 
 namespace lad {

@@ -4,6 +4,9 @@
 
 #include <cmath>
 
+#include "geom/aabb.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
 #include "util/assert.h"
 
 namespace lad {

@@ -6,6 +6,9 @@
 
 #include <cmath>
 
+#include "attack/adversary.h"
+#include "core/metric.h"
+#include "deploy/observation.h"
 #include "rng/rng.h"
 
 namespace lad {

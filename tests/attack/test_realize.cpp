@@ -4,7 +4,17 @@
 
 #include <algorithm>
 
+#include "attack/adversary.h"
 #include "attack/greedy.h"
+#include "core/metric.h"
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/gz_table.h"
+#include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
+#include "net/broadcast.h"
+#include "rng/rng.h"
 
 namespace lad {
 namespace {

@@ -5,10 +5,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "attack/adversary.h"
 #include "attack/displacement.h"
 #include "attack/greedy.h"
+#include "core/metric.h"
 #include "core/serialize.h"
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/gz_table.h"
 #include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
 #include "stats/running_stats.h"
 #include "util/assert.h"
 

@@ -2,7 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "core/detector.h"
+#include "core/metric.h"
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/gz_table.h"
 #include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
 #include "util/assert.h"
 
 namespace lad {

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "deploy/observation.h"
 #include "stats/special.h"
 #include "util/assert.h"
 

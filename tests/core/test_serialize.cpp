@@ -4,7 +4,17 @@
 
 #include <sstream>
 
+#include "core/detector.h"
+#include "core/fusion.h"
+#include "core/metric.h"
+#include "core/trainer.h"
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/gz_table.h"
 #include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
 #include "util/assert.h"
 
 namespace lad {

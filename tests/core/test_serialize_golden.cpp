@@ -19,8 +19,14 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/detector.h"
+#include "core/metric.h"
+#include "deploy/config.h"
 #include "deploy/deployment_model.h"
+#include "deploy/gz_table.h"
 #include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
 #include "support/golden.h"
 #include "support/tiny_network.h"
 

@@ -4,6 +4,9 @@
 
 #include <algorithm>
 
+#include "core/metric.h"
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
 #include "rng/rng.h"
 #include "stats/quantile.h"
 #include "util/assert.h"

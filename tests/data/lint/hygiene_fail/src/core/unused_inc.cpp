@@ -1,0 +1,5 @@
+#include "util/thing.h"
+
+namespace fix {
+int core_local() { return 7; }
+}  // namespace fix

@@ -1,0 +1,8 @@
+#include "util/wrapper.h"
+
+namespace fix {
+int transit(const Wrapper& w) {
+  Thing t = w.inner;
+  return thing_count(t);
+}
+}  // namespace fix

@@ -1,0 +1,3 @@
+#pragma once
+
+#include "util/cyc_a.h"

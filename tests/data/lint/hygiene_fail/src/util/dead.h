@@ -1,0 +1,7 @@
+#pragma once
+
+namespace fix {
+struct DeadThing {
+  int unused = 0;
+};
+}  // namespace fix

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "util/thing.h"
+
+namespace fix {
+struct Wrapper {
+  Thing inner;
+};
+}  // namespace fix

@@ -1,0 +1,6 @@
+// lad-lint: allow(include-unused) -- exercising the hatch for this rule
+#include "util/thing.h"
+
+namespace fix {
+int hatch() { return 2; }
+}  // namespace fix

@@ -1,0 +1,6 @@
+// A side-effect include retained deliberately survives include-unused.
+#include "util/thing.h"  // IWYU pragma: keep
+
+namespace fix {
+int keeper() { return 1; }
+}  // namespace fix

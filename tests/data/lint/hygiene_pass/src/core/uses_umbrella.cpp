@@ -1,0 +1,5 @@
+#include "util/umbrella.h"
+
+namespace fix {
+int use(const Thing& t) { return thing_count(t); }
+}  // namespace fix

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace fix {
+struct SpareApi {
+  int v = 0;
+};
+}  // namespace fix

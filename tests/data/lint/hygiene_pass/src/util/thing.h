@@ -1,0 +1,8 @@
+#pragma once
+
+namespace fix {
+struct Thing {
+  int v = 0;
+};
+int thing_count(const Thing& t);
+}  // namespace fix

@@ -1,0 +1,3 @@
+#pragma once
+
+#include "util/thing.h"  // IWYU pragma: export

@@ -19,3 +19,17 @@ Rng& reseed(Rng& rng) { return rng; }
 }  // namespace lad
 // unordered-output: unordered_map in a TU with no CSV/bundle output.
 void keep(int unordered_map_like) { (void)unordered_map_like; }
+// Scanner state near-misses: banned tokens inside block comments and raw
+// string literals are inert, across line boundaries.
+/* time(nullptr) std::rand() getenv("HOME")
+   lgamma(0.5) std::random_device rd;
+*/
+const char* kRaw = R"(time(nullptr) std::rand() getenv)";
+const char* kRawCustom = R"lint( rand() )" not closed yet )lint";
+const char* kRawMulti = R"(spans
+  time(nullptr) and even a fake #include "util/fake.h"
+)";
+// An identifier ending in R must not open a raw string: operatoR"" is
+// just a string following an identifier.
+int operatoR = 0;
+const char* kNotRaw = "R\"(this is an ordinary string)\"";

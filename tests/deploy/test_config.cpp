@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "geom/aabb.h"
+#include "geom/vec2.h"
 #include "util/assert.h"
 
 namespace lad {

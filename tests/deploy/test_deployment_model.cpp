@@ -4,6 +4,11 @@
 
 #include <cmath>
 
+#include "deploy/config.h"
+#include "deploy/gz_table.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
 #include "stats/running_stats.h"
 #include "util/assert.h"
 

@@ -2,7 +2,14 @@
 
 #include <set>
 
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/gz_table.h"
 #include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/aabb.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
 #include "util/assert.h"
 
 namespace lad {

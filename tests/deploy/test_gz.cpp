@@ -8,7 +8,6 @@
 
 #include "geom/vec2.h"
 #include "rng/rng.h"
-#include "stats/special.h"
 
 namespace lad {
 namespace {

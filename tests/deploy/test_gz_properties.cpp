@@ -82,10 +82,12 @@ INSTANTIATE_TEST_SUITE_P(
     ParameterPlane, GzPropertyTest,
     ::testing::Combine(::testing::Values(10.0, 50.0, 120.0, 300.0),  // R
                        ::testing::Values(15.0, 50.0, 90.0)),         // sigma
-    [](const ::testing::TestParamInfo<std::tuple<double, double>>& info) {
-      return "R" + std::to_string(static_cast<int>(std::get<0>(info.param))) +
-             "Sigma" +
-             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    [](const ::testing::TestParamInfo<std::tuple<double, double>>& param_info) {
+      std::string tag = "R";
+      tag += std::to_string(static_cast<int>(std::get<0>(param_info.param)));
+      tag += "Sigma";
+      tag += std::to_string(static_cast<int>(std::get<1>(param_info.param)));
+      return tag;
     });
 
 }  // namespace

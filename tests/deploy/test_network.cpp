@@ -4,6 +4,12 @@
 
 #include <algorithm>
 
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
+
 namespace lad {
 namespace {
 

@@ -15,13 +15,17 @@
 #include <string>
 #include <vector>
 
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
 #include "deploy/network.h"
-#include "geom/grid_index.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
 #include "rng/rng.h"
 
 namespace lad {
 namespace {
 
+// lad-lint: allow(ban-clock-now) -- local perf sanity only; never in CSVs
 using Clock = std::chrono::steady_clock;
 
 struct SoaRows {

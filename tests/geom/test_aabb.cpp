@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "geom/vec2.h"
 #include "util/assert.h"
 
 namespace lad {

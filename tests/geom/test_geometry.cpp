@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "geom/vec2.h"
 #include "util/assert.h"
 
 namespace lad {

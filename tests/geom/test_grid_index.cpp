@@ -6,6 +6,8 @@
 
 #include <algorithm>
 
+#include "geom/aabb.h"
+#include "geom/vec2.h"
 #include "rng/rng.h"
 
 namespace lad {

@@ -4,6 +4,13 @@
 
 #include "util/assert.h"
 
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/gz_table.h"
+#include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
 #include "stats/running_stats.h"
 
 namespace lad {

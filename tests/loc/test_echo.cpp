@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "geom/aabb.h"
 #include "util/assert.h"
 
 namespace lad {

@@ -2,12 +2,20 @@
 
 #include "util/assert.h"
 
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
 #include "loc/amorphous.h"
 #include "loc/apit.h"
+#include "loc/beacons.h"
 #include "loc/centroid.h"
 #include "loc/dvhop.h"
+#include "loc/localizer.h"
 #include "loc/truth_noise.h"
 #include "loc/weighted_centroid.h"
+#include "rng/rng.h"
 #include "stats/running_stats.h"
 
 namespace lad {

@@ -4,6 +4,7 @@
 
 #include "util/assert.h"
 
+#include "geom/vec2.h"
 #include "rng/rng.h"
 
 namespace lad {

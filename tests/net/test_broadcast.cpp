@@ -4,6 +4,13 @@
 
 #include <algorithm>
 
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/network.h"
+#include "deploy/observation.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
+
 namespace lad {
 namespace {
 

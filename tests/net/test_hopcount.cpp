@@ -4,6 +4,12 @@
 
 #include <cmath>
 
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/network.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
+
 namespace lad {
 namespace {
 

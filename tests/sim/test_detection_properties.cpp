@@ -6,6 +6,8 @@
 // rather than only the configurations the figures show.
 #include <gtest/gtest.h>
 
+#include "attack/adversary.h"
+#include "core/metric.h"
 #include "core/trainer.h"
 #include "sim/pipeline.h"
 #include "stats/quantile.h"

@@ -3,10 +3,13 @@
 // anomalies - including the paper's headline qualitative claims.
 #include <gtest/gtest.h>
 
+#include "attack/adversary.h"
 #include "attack/displacement.h"
 #include "attack/greedy.h"
 #include "core/lad.h"
+#include "geom/vec2.h"
 #include "loc/beaconless_mle.h"
+#include "rng/rng.h"
 #include "sim/experiment.h"
 #include "sim/pipeline.h"
 #include "stats/quantile.h"

@@ -4,7 +4,10 @@
 
 #include "util/assert.h"
 
+#include "attack/adversary.h"
+#include "core/metric.h"
 #include "loc/truth_noise.h"
+#include "sim/pipeline.h"
 
 namespace lad {
 namespace {

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "sim/latched_cache.h"
+#include "sim/scenario.h"
 #include "util/assert.h"
+#include "util/csv.h"
 
 namespace lad {
 namespace {
@@ -39,8 +41,15 @@ TEST(ItemScheduler, SplicesInScheduleOrderWithMoreJobsThanItems) {
     ItemScheduler sched(result, jobs);
     for (long long item : {0, 1, 2}) {
       sched.add(item, [item](ItemSink& sink) {
-        sink.row(0).add(item).add("a" + std::to_string(item));
-        sink.row(1).add(item).add("b" + std::to_string(item));
+        // Built with += rather than `"a" + std::to_string(...)`: GCC 12's
+        // -Wrestrict false-fires on char* + std::string&& chains inlined
+        // into string::insert (PR105651), and the tree builds -Werror.
+        std::string a = "a";
+        a += std::to_string(item);
+        std::string b = "b";
+        b += std::to_string(item);
+        sink.row(0).add(item).add(a);
+        sink.row(1).add(item).add(b);
       });
     }
     sched.run();

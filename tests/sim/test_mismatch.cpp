@@ -3,6 +3,9 @@
 // knowledge model, and the alternative deployment layouts.
 #include <gtest/gtest.h>
 
+#include "core/metric.h"
+#include "deploy/deployment_model.h"
+#include "geom/vec2.h"
 #include "loc/truth_noise.h"
 #include "sim/pipeline.h"
 #include "stats/quantile.h"

@@ -70,6 +70,7 @@ TEST(ParallelForItems, NegativeMaxThreadsIsANamedError) {
 class LadThreadsEnvTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // lad-lint: allow(raw-getenv) -- save/restore must see the raw value
     const char* old = std::getenv("LAD_THREADS");
     if (old != nullptr) saved_ = old;
   }

@@ -6,7 +6,10 @@
 #include <cmath>
 #include <sstream>
 
+#include "attack/adversary.h"
+#include "core/metric.h"
 #include "core/serialize.h"
+#include "core/trainer.h"
 #include "deploy/observe_kernel.h"
 #include "loc/truth_noise.h"
 #include "stats/quantile.h"

@@ -7,7 +7,16 @@
 #include <fstream>
 #include <sstream>
 
+#include "attack/adversary.h"
+#include "core/metric.h"
+#include "core/serialize.h"
+#include "core/trainer.h"
+#include "sim/experiment.h"
+#include "sim/pipeline.h"
 #include "util/assert.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/kvconfig.h"
 #include "util/string_util.h"
 
 namespace lad {

@@ -13,6 +13,8 @@
 #include "sim/scenario.h"
 #include "support/golden.h"
 #include "util/assert.h"
+#include "util/csv.h"
+#include "util/kvconfig.h"
 
 namespace lad {
 namespace {

@@ -1,5 +1,10 @@
 #include "support/tiny_network.h"
 
+#include "deploy/config.h"
+#include "deploy/deployment_model.h"
+#include "deploy/network.h"
+#include "rng/rng.h"
+
 namespace lad::test {
 
 DeploymentConfig tiny_config() {

@@ -6,7 +6,6 @@
 #include "deploy/config.h"
 #include "deploy/deployment_model.h"
 #include "deploy/network.h"
-#include "rng/rng.h"
 
 namespace lad::test {
 

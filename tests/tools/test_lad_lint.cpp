@@ -143,6 +143,122 @@ TEST(LadLint, BannedTokensInsideStringsAndCommentsDoNotFire) {
   EXPECT_TRUE(lint_file(cfg, "src/util/t.cpp", body).empty());
 }
 
+// ---- whole-tree hygiene rules (PR 10) ---------------------------------
+
+TEST(LadLint, HygieneFailTreeFiresEachTreeRule) {
+  const Config cfg = fixture_config("hygiene_fail");
+  const std::vector<Finding> findings = lint_tree(cfg);
+  const auto dump = [&] {
+    std::string all;
+    for (const std::string& s : formatted(findings)) all += s + "\n";
+    return all;
+  };
+  EXPECT_TRUE(has(findings, "src/core/unused_inc.cpp", 1, "include-unused"))
+      << dump();
+  EXPECT_TRUE(
+      has(findings, "src/core/uses_transitive.cpp", 5, "include-transitive"))
+      << dump();
+  EXPECT_TRUE(has(findings, "src/util/cyc_b.h", 3, "include-cycle")) << dump();
+  EXPECT_TRUE(has(findings, "src/util/dead.h", 4, "dead-public")) << dump();
+  EXPECT_EQ(findings.size(), 4u) << dump();
+}
+
+TEST(LadLint, HygienePassTreeIsSilentWithAllowlist) {
+  Config cfg = fixture_config("hygiene_pass");
+  const std::string err =
+      load_public_allowlist(cfg.root + "/public_api.allow", cfg);
+  ASSERT_EQ(err, "");
+  const std::vector<Finding> findings = lint_tree(cfg);
+  EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
+TEST(LadLint, AllowlistIsWhatKeepsSpareApiAlive) {
+  // Without the allowlist the pass tree has exactly one finding: the
+  // deliberately-dead SpareApi.  This pins that the allowlist entry is
+  // load-bearing, not redundant.
+  const Config cfg = fixture_config("hygiene_pass");
+  const std::vector<Finding> findings = lint_tree(cfg);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/util/spare.h");
+  EXPECT_EQ(findings[0].rule, "dead-public");
+  EXPECT_NE(findings[0].message.find("SpareApi"), std::string::npos);
+}
+
+TEST(LadLint, WarnOnlyDowngradesExactlyThatRule) {
+  Config cfg = fixture_config("hygiene_fail");
+  cfg.warn_only.insert("dead-public");
+  const std::vector<Finding> findings = lint_tree(cfg);
+  ASSERT_EQ(findings.size(), 4u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.warning, f.rule == "dead-public") << format_finding(f);
+  }
+}
+
+TEST(LadLint, IncludeReportListsHeadersByTransitiveWeight) {
+  const Config cfg = fixture_config("hygiene_fail");
+  std::string report;
+  (void)lint_tree(cfg, &report);
+  EXPECT_NE(report.find("src/util/thing.h"), std::string::npos) << report;
+  EXPECT_NE(report.find("fan-in"), std::string::npos) << report;
+}
+
+// ---- scanner near-misses: block comments, raw strings, allows ---------
+
+TEST(LadLint, BlockCommentSpanningLinesHidesNothingAndFakesNothing) {
+  Config cfg;
+  cfg.layer_deps = {{"util", {}}};
+  const std::string body =
+      "/* a comment that opens here and keeps going\n"
+      "   time(nullptr) std::rand() getenv(\"HOME\")\n"
+      "*/ long a() { return time(nullptr); }\n";
+  const std::vector<Finding> findings = lint_file(cfg, "src/util/t.cpp", body);
+  // Banned tokens inside the comment are inert; the live call on the
+  // closing line still fires, at the closing line.
+  ASSERT_EQ(findings.size(), 1u) << format_finding(findings.front());
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[0].rule, "ban-time");
+}
+
+TEST(LadLint, RawStringLiteralContentIsInert) {
+  Config cfg;
+  cfg.layer_deps = {{"util", {}}};
+  const std::string body =
+      "const char* kDoc = R\"(std::rand() time(nullptr) getenv)\";\n"
+      "const char* kTwo = R\"x(lgamma( rand() )\" still raw )x\";\n"
+      "long b() { return time(nullptr); }\n";
+  const std::vector<Finding> findings = lint_file(cfg, "src/util/t.cpp", body);
+  ASSERT_EQ(findings.size(), 1u) << format_finding(findings.front());
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[0].rule, "ban-time");
+}
+
+TEST(LadLint, MultiLineRawStringDoesNotSwallowFollowingCode) {
+  Config cfg;
+  cfg.layer_deps = {{"util", {}}};
+  const std::string body =
+      "const char* kBlob = R\"(first line\n"
+      "  time(nullptr) inside the raw string\n"
+      "  #include \"util/fake.h\"\n"
+      ")\";\n"
+      "long c() { return time(nullptr); }\n";
+  const std::vector<Finding> findings = lint_file(cfg, "src/util/t.cpp", body);
+  ASSERT_EQ(findings.size(), 1u) << format_finding(findings.front());
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_EQ(findings[0].rule, "ban-time");
+}
+
+TEST(LadLint, AllowInsideBlockCommentStillAttaches) {
+  Config cfg;
+  cfg.layer_deps = {{"util", {}}};
+  const std::string body =
+      "/* lad-lint: allow(ban-time) -- block-comment hatch */\n"
+      "long a() { return time(nullptr); }\n"
+      "long b() { return time(nullptr); }\n";
+  const std::vector<Finding> findings = lint_file(cfg, "src/util/t.cpp", body);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
 TEST(LadLint, LayerRulesRejectUndeclaredDependency) {
   Config cfg;
   const std::string path =

@@ -80,17 +80,19 @@
 #include <fstream>
 #include <iostream>
 
+#include "attack/adversary.h"
 #include "attack/displacement.h"
 #include "attack/greedy.h"
 #include "core/lad.h"
+#include "geom/vec2.h"
 #include "loc/beaconless_mle.h"
+#include "rng/rng.h"
 #include "sim/parallel.h"
 #include "sim/pipeline.h"
 #include "sim/scenario.h"
 #include "sim/scenario_fuzz.h"
-#include "stats/quantile.h"
+#include "util/assert.h"
 #include "util/flags.h"
-#include "util/logging.h"
 #include "util/string_util.h"
 
 using namespace lad;

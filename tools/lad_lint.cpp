@@ -1,68 +1,174 @@
 // Project-invariant static analyzer (see lint_core.h for the rule
 // catalog and docs/STATIC_ANALYSIS.md for the why behind each rule).
 //
-//   usage: lad_lint [--root DIR] [--layers FILE] [--list-rules] [dir ...]
+//   usage: lad_lint [--root DIR] [--layers FILE] [--allowlist FILE]
+//                   [--warn-only RULE] [--format plain|github]
+//                   [--include-report] [--list-rules] [dir ...]
 //
-// Walks src/ bench/ tools/ examples/ cmake/ under --root (default: the
-// current directory), prints one `file:line: rule: message` diagnostic
-// per finding, and exits 1 if anything fired.  Runs as ctest `smoke.lint`
-// so the gate is local-first, not CI-only.
+// Walks src/ bench/ tools/ examples/ cmake/ tests/ under --root (default:
+// the current directory), prints one `file:line: rule: message` diagnostic
+// per finding, and exits:
+//
+//   0  clean (warn-only findings may still have been printed)
+//   1  at least one enforced finding
+//   2  broken invocation: unknown flag, missing flag value, unreadable
+//      root/layers/allowlist, or an unreadable source file
+//
+// CI and scripts rely on the 1-vs-2 split to tell a dirty tree from a
+// misconfigured run.  Runs as ctest `smoke.lint` so the gate is
+// local-first, not CI-only.
+#include <algorithm>
 #include <cstdio>
-#include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "lint_core.h"
 
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+
+int usage_error(const std::string& message) {
+  std::fprintf(stderr, "lad_lint: %s\n", message.c_str());
+  return kExitUsage;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   lad::lint::Config cfg;
   std::string layers_file;
+  std::string allowlist_file;
+  std::string format = "plain";
+  bool include_report = false;
   std::vector<std::string> dirs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--root" && i + 1 < argc) {
-      cfg.root = argv[++i];
-    } else if (arg == "--layers" && i + 1 < argc) {
-      layers_file = argv[++i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      (void)flag;
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = value("--root");
+      if (v == nullptr) return usage_error("--root requires a value");
+      cfg.root = v;
+    } else if (arg == "--layers") {
+      const char* v = value("--layers");
+      if (v == nullptr) return usage_error("--layers requires a value");
+      layers_file = v;
+    } else if (arg == "--allowlist") {
+      const char* v = value("--allowlist");
+      if (v == nullptr) return usage_error("--allowlist requires a value");
+      allowlist_file = v;
+    } else if (arg == "--warn-only") {
+      const char* v = value("--warn-only");
+      if (v == nullptr) return usage_error("--warn-only requires a rule name");
+      const auto& known = lad::lint::rule_names();
+      if (std::find(known.begin(), known.end(), v) == known.end()) {
+        return usage_error("--warn-only names an unknown rule: " +
+                           std::string(v));
+      }
+      cfg.warn_only.insert(v);
+    } else if (arg == "--format") {
+      const char* v = value("--format");
+      if (v == nullptr) return usage_error("--format requires a value");
+      format = v;
+      if (format != "plain" && format != "github") {
+        return usage_error("--format must be `plain` or `github`, got `" +
+                           format + "`");
+      }
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "plain" && format != "github") {
+        return usage_error("--format must be `plain` or `github`, got `" +
+                           format + "`");
+      }
+    } else if (arg == "--include-report") {
+      include_report = true;
     } else if (arg == "--list-rules") {
       for (const std::string& rule : lad::lint::rule_names()) {
         std::printf("%s\n", rule.c_str());
       }
-      return 0;
+      return kExitClean;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: lad_lint [--root DIR] [--layers FILE] [--list-rules] "
-          "[dir ...]\n");
-      return 0;
+          "usage: lad_lint [--root DIR] [--layers FILE] [--allowlist FILE]\n"
+          "                [--warn-only RULE] [--format plain|github]\n"
+          "                [--include-report] [--list-rules] [dir ...]\n"
+          "exit codes: 0 clean, 1 findings, 2 usage/IO error\n");
+      return kExitClean;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "lad_lint: unknown flag '%s'\n", arg.c_str());
-      return 2;
+      return usage_error("unknown flag '" + arg + "'");
     } else {
       dirs.push_back(arg);
     }
   }
   if (!dirs.empty()) cfg.scan_dirs = dirs;
+
+  std::error_code ec;
+  if (!std::filesystem::is_directory(cfg.root, ec)) {
+    return usage_error("--root is not a directory: " + cfg.root);
+  }
+
   if (layers_file.empty()) {
     layers_file = cfg.root + "/tools/lint_rules/layers.txt";
   }
   if (const std::string err = lad::lint::load_layer_rules(layers_file, cfg);
       !err.empty()) {
-    std::fprintf(stderr, "lad_lint: %s\n", err.c_str());
-    return 2;
+    return usage_error(err);
+  }
+  // The allowlist is optional at its default location (a tree without a
+  // curated API surface simply has none), but naming one explicitly that
+  // cannot be read is a broken invocation.
+  if (allowlist_file.empty()) {
+    const std::string candidate =
+        cfg.root + "/tools/lint_rules/public_api.allow";
+    if (std::filesystem::exists(candidate, ec)) allowlist_file = candidate;
+  }
+  if (!allowlist_file.empty()) {
+    if (const std::string err =
+            lad::lint::load_public_allowlist(allowlist_file, cfg);
+        !err.empty()) {
+      return usage_error(err);
+    }
   }
 
-  const std::vector<lad::lint::Finding> findings = lad::lint::lint_tree(cfg);
+  std::string report;
+  const std::vector<lad::lint::Finding> findings =
+      lad::lint::lint_tree(cfg, include_report ? &report : nullptr);
+
+  std::size_t enforced = 0;
+  std::size_t warnings = 0;
   for (const lad::lint::Finding& f : findings) {
-    std::fprintf(stderr, "%s\n", lad::lint::format_finding(f).c_str());
+    if (f.rule == "io-error") {
+      return usage_error("cannot read " + f.file);
+    }
+    const std::string line = format == "github"
+                                 ? lad::lint::format_finding_github(f)
+                                 : lad::lint::format_finding(f);
+    std::fprintf(stderr, "%s\n", line.c_str());
+    if (f.warning) {
+      ++warnings;
+    } else {
+      ++enforced;
+    }
   }
-  if (findings.empty()) {
-    std::printf("lad_lint: clean (%zu rules, root %s)\n",
-                lad::lint::rule_names().size(), cfg.root.c_str());
-    return 0;
+
+  if (include_report) std::printf("%s", report.c_str());
+
+  if (enforced == 0) {
+    std::printf("lad_lint: clean (%zu rules, root %s%s)\n",
+                lad::lint::rule_names().size(), cfg.root.c_str(),
+                warnings != 0 ? ", warn-only findings above" : "");
+    return kExitClean;
   }
   std::fprintf(stderr,
                "lad_lint: %zu finding(s).  Fix, or suppress a justified "
                "exception with `// lad-lint: allow(<rule>) -- <why>`.\n",
-               findings.size());
-  return 1;
+               enforced);
+  return kExitFindings;
 }

@@ -5,8 +5,9 @@
 #include <filesystem>
 #include <fstream>
 #include <regex>
-#include <set>
 #include <sstream>
+
+#include "lint_index.h"
 
 namespace lad::lint {
 
@@ -66,10 +67,38 @@ struct StrippedLine {
   std::string comment;  // concatenated comment text (for allow parsing)
 };
 
-/// One-pass comment/string scanner.  `in_block` carries the /* ... */
-/// state across lines.  CMake mode swaps the comment grammar: `#` to
-/// end of line, no block comments, and only double-quoted strings.
-StrippedLine strip_line(const std::string& raw, bool& in_block,
+/// Multi-line scanner state: /* ... */ block comments and raw string
+/// literals R"delim( ... )delim" both cross line boundaries, and the two
+/// must not be confused — a banned token inside a raw string is data,
+/// not code, and a raw string's closing quote must not terminate the
+/// wrong construct.
+struct ScanState {
+  bool in_block = false;   // inside /* ... */
+  bool in_raw = false;     // inside a raw string literal
+  std::string raw_close;   // the ")delim\"" sequence that ends it
+};
+
+/// True when the `"` at raw[i] opens a raw string literal: an R
+/// immediately before (with optional u8/u/U/L encoding prefix), itself
+/// preceded by a non-identifier character.
+bool opens_raw_string(const std::string& raw, std::size_t i) {
+  if (i == 0 || raw[i - 1] != 'R') return false;
+  std::size_t p = i - 1;  // points at 'R'
+  if (p >= 1) {
+    // Skip an encoding prefix: u8R" uR" UR" LR".
+    if (p >= 2 && raw[p - 2] == 'u' && raw[p - 1] == '8') {
+      p -= 2;
+    } else if (raw[p - 1] == 'u' || raw[p - 1] == 'U' || raw[p - 1] == 'L') {
+      p -= 1;
+    }
+  }
+  return p == 0 || !is_word(raw[p - 1]);
+}
+
+/// One-pass comment/string scanner.  CMake mode swaps the comment
+/// grammar: `#` to end of line, no block comments, and only double-quoted
+/// strings.
+StrippedLine strip_line(const std::string& raw, ScanState& st,
                         bool cmake = false) {
   StrippedLine out;
   std::size_t i = 0;
@@ -105,15 +134,23 @@ StrippedLine strip_line(const std::string& raw, bool& in_block,
     return out;
   }
   while (i < n) {
-    if (in_block) {
+    if (st.in_block) {
       const std::size_t close = raw.find("*/", i);
       if (close == std::string::npos) {
         out.comment.append(raw, i, n - i);
         return out;
       }
       out.comment.append(raw, i, close - i);
-      in_block = false;
+      st.in_block = false;
       i = close + 2;
+      continue;
+    }
+    if (st.in_raw) {
+      const std::size_t close = raw.find(st.raw_close, i);
+      if (close == std::string::npos) return out;  // still inside the literal
+      st.in_raw = false;
+      out.code += '"';
+      i = close + st.raw_close.size();
       continue;
     }
     const char c = raw[i];
@@ -122,8 +159,24 @@ StrippedLine strip_line(const std::string& raw, bool& in_block,
       return out;
     }
     if (c == '/' && i + 1 < n && raw[i + 1] == '*') {
-      in_block = true;
+      st.in_block = true;
       i += 2;
+      continue;
+    }
+    if (c == '"' && opens_raw_string(raw, i)) {
+      // R"delim( ... )delim" — the delimiter (up to 16 chars, no
+      // parens/spaces) picks the only close sequence that counts.
+      const std::size_t open_paren = raw.find('(', i + 1);
+      if (open_paren == std::string::npos) {
+        // Malformed raw literal; treat the rest of the line as opaque.
+        return out;
+      }
+      // The emitted code already holds the prefix R (and u8/u/U/L);
+      // keep one quote so token boundaries stay intact.
+      out.code += '"';
+      st.raw_close = ")" + raw.substr(i + 1, open_paren - (i + 1)) + "\"";
+      st.in_raw = true;
+      i = open_paren + 1;
       continue;
     }
     if (c == '"' || c == '\'') {
@@ -174,7 +227,7 @@ void parse_allow(const std::string& comment, const std::string& file, int line,
     pos = open;
     if (close == std::string::npos) {
       out.push_back({file, line, "allow-syntax",
-                     "unclosed lad-lint: allow(...) comment"});
+                     "unclosed lad-lint: allow(...) comment", false});
       return;
     }
     std::vector<std::string> rules;
@@ -189,20 +242,22 @@ void parse_allow(const std::string& comment, const std::string& file, int line,
         starts_with(rest, "--") && !trim_copy(rest.substr(2)).empty();
     if (rules.empty()) {
       out.push_back({file, line, "allow-syntax",
-                     "lad-lint: allow() names no rule"});
+                     "lad-lint: allow() names no rule", false});
     }
     for (const std::string& rule : rules) {
       const auto& known = rule_names();
       if (std::find(known.begin(), known.end(), rule) == known.end()) {
         out.push_back({file, line, "allow-syntax",
-                       "lad-lint: allow(" + rule + ") names an unknown rule"});
+                       "lad-lint: allow(" + rule + ") names an unknown rule",
+                       false});
         continue;
       }
       if (!justified) {
         out.push_back(
             {file, line, "allow-syntax",
              "lad-lint: allow(" + rule +
-                 ") needs a justification: `allow(" + rule + ") -- why`"});
+                 ") needs a justification: `allow(" + rule + ") -- why`",
+             false});
         continue;
       }
       allowed.insert(rule);
@@ -277,7 +332,9 @@ void lint_code_line(const FileContext& ctx, const std::string& code, int line,
                     const std::set<std::string>& allowed,
                     std::vector<Finding>& out) {
   const auto emit = [&](const std::string& rule, const std::string& msg) {
-    if (allowed.count(rule) == 0) out.push_back({ctx.rel_path, line, rule, msg});
+    if (allowed.count(rule) == 0) {
+      out.push_back({ctx.rel_path, line, rule, msg, false});
+    }
   };
 
   if (ctx.cmake) {
@@ -389,14 +446,76 @@ std::string include_path_of(const std::string& raw) {
   return raw.substr(q1 + 1, q2 - q1 - 1);
 }
 
+/// Pass-1 rules over an already-scanned file.
+std::vector<Finding> lint_scanned(const Config& cfg, const ScannedFile& scan,
+                                  const std::string& content) {
+  std::vector<Finding> out = scan.allow_findings;
+  const FileContext ctx = classify(scan.rel_path, content);
+
+  const auto* deps = ctx.layer.empty() || cfg.layer_deps.count(ctx.layer) == 0
+                         ? nullptr
+                         : &cfg.layer_deps.at(ctx.layer);
+  const bool undeclared_layer =
+      !ctx.layer.empty() && cfg.layer_deps.count(ctx.layer) == 0;
+  bool reported_undeclared = false;
+
+  static const std::set<std::string> kNoAllows;
+  const auto allows_on = [&](int line) -> const std::set<std::string>& {
+    const auto it = scan.allows.find(line);
+    return it == scan.allows.end() ? kNoAllows : it->second;
+  };
+
+  if (!ctx.cmake) {
+    for (const IncludeDirective& inc : scan.includes) {
+      if (ctx.layer.empty() || inc.path.find('/') == std::string::npos) {
+        continue;
+      }
+      const std::string target = inc.path.substr(0, inc.path.find('/'));
+      const std::set<std::string>& allowed = allows_on(inc.line);
+      if (undeclared_layer) {
+        if (!reported_undeclared && allowed.count("layer-dag") == 0) {
+          out.push_back({scan.rel_path, inc.line, "layer-dag",
+                         "layer `" + ctx.layer +
+                             "` is not declared in layers.txt",
+                         false});
+          reported_undeclared = true;
+        }
+      } else if (target != ctx.layer && deps != nullptr) {
+        const bool allowed_dep =
+            std::find(deps->begin(), deps->end(), target) != deps->end();
+        if (!allowed_dep && allowed.count("layer-dag") == 0) {
+          std::string allow_list = ctx.layer;
+          for (const std::string& d : *deps) allow_list += " " + d;
+          out.push_back({scan.rel_path, inc.line, "layer-dag",
+                         "src/" + ctx.layer + "/ may not include \"" +
+                             inc.path + "\" (allowed: " + allow_list + ")",
+                         false});
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < scan.code.size(); ++i) {
+    const int line = static_cast<int>(i) + 1;
+    lint_code_line(ctx, scan.code[i], line, allows_on(line), out);
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule, a.message) <
+           std::tie(b.line, b.rule, b.message);
+  });
+  return out;
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> names = {
-      "layer-dag",     "ban-rand",       "ban-time",
-      "ban-clock-now", "ban-lgamma",     "unordered-output",
-      "kernel-no-fma", "kernel-cmp-ordered", "fast-math",
-      "rng-construct", "raw-getenv",     "allow-syntax"};
+      "layer-dag",       "ban-rand",           "ban-time",
+      "ban-clock-now",   "ban-lgamma",         "unordered-output",
+      "kernel-no-fma",   "kernel-cmp-ordered", "fast-math",
+      "rng-construct",   "raw-getenv",         "allow-syntax",
+      "include-cycle",   "include-unused",     "include-transitive",
+      "dead-public"};
   return names;
 }
 
@@ -440,68 +559,79 @@ std::string load_layer_rules(const std::string& path, Config& cfg) {
   return "";
 }
 
-std::vector<Finding> lint_file(const Config& cfg, const std::string& rel_path,
-                               const std::string& content) {
-  std::vector<Finding> out;
-  const FileContext ctx = classify(rel_path, content);
+std::string load_public_allowlist(const std::string& path, Config& cfg) {
+  std::ifstream in(path);
+  if (!in.good()) return "cannot read public-API allowlist: " + path;
+  cfg.dead_public_allow.clear();
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim_copy(line);
+    if (line.empty()) continue;
+    std::istringstream words(line);
+    std::string name, extra;
+    words >> name;
+    if (words >> extra) {
+      return path + ":" + std::to_string(lineno) +
+             ": expected one symbol name per line";
+    }
+    cfg.dead_public_allow.insert(name);
+  }
+  return "";
+}
 
-  const auto* deps = ctx.layer.empty() || cfg.layer_deps.count(ctx.layer) == 0
-                         ? nullptr
-                         : &cfg.layer_deps.at(ctx.layer);
-  const bool undeclared_layer =
-      !ctx.layer.empty() && cfg.layer_deps.count(ctx.layer) == 0;
-
+ScannedFile scan_file(const std::string& rel_path, const std::string& content,
+                      bool cmake) {
+  ScannedFile out;
+  out.rel_path = rel_path;
   std::istringstream is(content);
   std::string raw;
-  bool in_block = false;
+  ScanState st;
   int line = 0;
   std::set<std::string> pending;  // allowances from a comment-only line
-  bool reported_undeclared = false;
   while (std::getline(is, raw)) {
     ++line;
     if (!raw.empty() && raw.back() == '\r') raw.pop_back();
-    StrippedLine s = strip_line(raw, in_block, ctx.cmake);
+    // Raw-string state must win over everything, including a line that
+    // happens to start with #include inside the literal.
+    const bool was_in_raw = st.in_raw;
+    StrippedLine s = strip_line(raw, st, cmake);
     std::set<std::string> allowed = pending;
-    parse_allow(s.comment, rel_path, line, allowed, out);
-    const bool comment_only = trim_copy(s.code).empty();
+    parse_allow(s.comment, rel_path, line, allowed, out.allow_findings);
 
-    if (!ctx.cmake) {
-      // layer-dag works on the raw line: the include path is a string
-      // literal, which strip_line blanks.
+    if (!cmake && !was_in_raw) {
       const std::string inc = include_path_of(raw);
-      if (!inc.empty() && !ctx.layer.empty() &&
-          inc.find('/') != std::string::npos) {
-        const std::string target = inc.substr(0, inc.find('/'));
-        if (undeclared_layer) {
-          if (!reported_undeclared && allowed.count("layer-dag") == 0) {
-            out.push_back({rel_path, line, "layer-dag",
-                           "layer `" + ctx.layer +
-                               "` is not declared in layers.txt"});
-            reported_undeclared = true;
-          }
-        } else if (target != ctx.layer && deps != nullptr) {
-          const bool allowed_dep =
-              std::find(deps->begin(), deps->end(), target) != deps->end();
-          if (!allowed_dep && allowed.count("layer-dag") == 0) {
-            std::string allow_list = ctx.layer;
-            for (const std::string& d : *deps) allow_list += " " + d;
-            out.push_back({rel_path, line, "layer-dag",
-                           "src/" + ctx.layer + "/ may not include \"" + inc +
-                               "\" (allowed: " + allow_list + ")"});
-          }
-        }
+      if (!inc.empty()) {
+        const bool keep =
+            s.comment.find("IWYU pragma: keep") != std::string::npos;
+        const bool exported =
+            s.comment.find("IWYU pragma: export") != std::string::npos;
+        out.includes.push_back({line, inc, keep, exported});
       }
     }
 
-    lint_code_line(ctx, s.code, line, allowed, out);
-
+    if (!allowed.empty()) out.allows[line] = allowed;
+    out.code.push_back(s.code);
     pending.clear();
-    if (comment_only) pending = allowed;
+    if (trim_copy(s.code).empty()) pending = allowed;
   }
   return out;
 }
 
+std::vector<Finding> lint_file(const Config& cfg, const std::string& rel_path,
+                               const std::string& content) {
+  const ScannedFile scan = scan_file(rel_path, content, is_cmake_file(rel_path));
+  return lint_scanned(cfg, scan, content);
+}
+
 std::vector<Finding> lint_tree(const Config& cfg) {
+  return lint_tree(cfg, nullptr);
+}
+
+std::vector<Finding> lint_tree(const Config& cfg, std::string* report) {
   std::vector<std::string> files;
   const fs::path root(cfg.root);
 
@@ -520,22 +650,49 @@ std::vector<Finding> lint_tree(const Config& cfg) {
     if (!fs::exists(base)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
       if (!entry.is_regular_file() || !want(entry.path())) continue;
-      files.push_back(fs::relative(entry.path(), root).generic_string());
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      // tests/data/ holds fixture payload (including deliberately
+      // violating lint fixture trees); it is never project source.
+      if (rel.find("tests/data/") != std::string::npos) continue;
+      files.push_back(rel);
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
   std::vector<Finding> out;
+  std::map<std::string, std::string> contents;
   for (const std::string& rel : files) {
     std::ifstream in(root / rel, std::ios::binary);
     if (!in.good()) {
-      out.push_back({rel, 0, "io-error", "cannot read file"});
+      out.push_back({rel, 0, "io-error", "cannot read file", false});
       continue;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    std::vector<Finding> findings = lint_file(cfg, rel, buf.str());
+    contents.emplace(rel, buf.str());
+  }
+
+  for (const auto& [rel, content] : contents) {
+    std::vector<Finding> findings = lint_file(cfg, rel, content);
     out.insert(out.end(), findings.begin(), findings.end());
+  }
+
+  // Pass 2: include graph + symbol index rules.
+  const TreeIndex index = TreeIndex::build(cfg, contents);
+  std::vector<Finding> tree_findings = index.run_rules(cfg);
+  out.insert(out.end(), tree_findings.begin(), tree_findings.end());
+  if (report != nullptr) *report = index.include_report();
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return std::tie(a.file, a.line, a.rule) <
+                            std::tie(b.file, b.line, b.rule);
+                   });
+
+  for (Finding& f : out) {
+    if (cfg.warn_only.count(f.rule) != 0) f.warning = true;
   }
   return out;
 }
@@ -543,6 +700,12 @@ std::vector<Finding> lint_tree(const Config& cfg) {
 std::string format_finding(const Finding& f) {
   return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
          f.message;
+}
+
+std::string format_finding_github(const Finding& f) {
+  const char* const level = f.warning ? "::warning" : "::error";
+  return std::string(level) + " file=" + f.file +
+         ",line=" + std::to_string(f.line) + "::" + f.rule + ": " + f.message;
 }
 
 }  // namespace lad::lint

@@ -3,8 +3,8 @@
 // by design, so the tool builds everywhere the project builds and runs in
 // milliseconds as a ctest).
 //
-// The rules encode invariants the runtime gates cannot see until after
-// the damage is done:
+// The engine runs two passes.  Pass 1 is per-file and enforces the rules
+// the runtime gates cannot see until after the damage is done:
 //
 //   layer-dag            src/<layer>/ may only include headers from its
 //                        declared dependency set (tools/lint_rules/layers.txt)
@@ -27,6 +27,18 @@
 //   allow-syntax         a suppression comment that names an unknown rule
 //                        or omits its `-- justification`
 //
+// Pass 2 is whole-tree (lint_index.h): it builds an include graph and a
+// heuristic symbol index over every project header and enforces
+//
+//   include-cycle        the include graph must stay acyclic
+//   include-unused       a direct #include "..." whose header exports no
+//                        token the including file references
+//   include-transitive   a project symbol that is used but whose defining
+//                        header only arrives transitively (the
+//                        refactor-breaking IWYU case)
+//   dead-public          a public src/ header symbol referenced by no TU
+//                        outside its own layer and no test
+//
 // Escape hatch: a comment of the form
 //
 //   lad-lint: <keyword>(<rule>[,<rule>...]) -- <justification>
@@ -35,9 +47,13 @@
 // the line above it.  The justification text is mandatory; a suppression
 // without one is itself a finding.  (Spelled indirectly here so the
 // analyzer does not read its own documentation as a suppression.)
+// Include lines additionally honor the standard `IWYU pragma: keep` /
+// `IWYU pragma: export` annotations, and dead-public has a checked-in
+// allowlist (tools/lint_rules/public_api.allow) for intentional API.
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -48,17 +64,50 @@ struct Finding {
   int line = 0;      // 1-based
   std::string rule;
   std::string message;
+  // True when the rule is on the Config::warn_only list: still reported,
+  // but a warn-only finding must not fail the build.
+  bool warning = false;
 };
 
 struct Config {
   // Scan root; scan_dirs are joined under it.  Files are reported
-  // relative to this root.
+  // relative to this root.  Anything under tests/data/ is fixture
+  // payload, never project source, and is always skipped.
   std::string root = ".";
-  std::vector<std::string> scan_dirs = {"src", "bench", "tools", "examples",
-                                        "cmake"};
+  std::vector<std::string> scan_dirs = {"src",      "bench", "tools",
+                                        "examples", "cmake", "tests"};
   // Layer dependency DAG: layer -> layers it may include from (its own
   // name is always allowed implicitly).  Loaded from layers.txt.
   std::map<std::string, std::vector<std::string>> layer_deps;
+  // Rules demoted to report-only: findings carry warning=true and the
+  // CLI does not count them toward the exit code.
+  std::set<std::string> warn_only;
+  // Symbol names that are intentional public API surface; dead-public
+  // never fires on them.  Loaded from public_api.allow.
+  std::set<std::string> dead_public_allow;
+};
+
+/// One quoted #include directive as seen in a file.
+struct IncludeDirective {
+  int line = 0;
+  std::string path;        // as written between the quotes
+  bool iwyu_keep = false;    // carries `IWYU pragma: keep`
+  bool iwyu_export = false;  // carries `IWYU pragma: export`
+};
+
+/// The scanner's view of one file: comments and string/char literals
+/// stripped (block comments and raw string literals may span lines — the
+/// scanner carries that state), suppression comments resolved into a
+/// per-line allow map, and include directives extracted.
+struct ScannedFile {
+  std::string rel_path;
+  std::vector<std::string> code;  // stripped code, code[i] is line i+1
+  // line -> rules a well-formed suppression allows on that line (the
+  // same-line hatch plus a comment-only line covering the next line).
+  std::map<int, std::set<std::string>> allows;
+  std::vector<IncludeDirective> includes;
+  // Malformed suppressions found while scanning (allow-syntax).
+  std::vector<Finding> allow_findings;
 };
 
 /// Every rule name the engine can emit, for --list-rules and for
@@ -70,17 +119,37 @@ const std::vector<std::string>& rule_names();
 /// malformed line.
 std::string load_layer_rules(const std::string& path, Config& cfg);
 
-/// Lints one file body.  `rel_path` selects which rules apply (layer
-/// membership, kernel TUs, CMake files).
+/// Parses a public_api.allow (one symbol per line, '#' comments) into
+/// cfg.dead_public_allow.  Returns "" on success or an error message.
+std::string load_public_allowlist(const std::string& path, Config& cfg);
+
+/// Runs the comment/string scanner over one file body.  `cmake` swaps
+/// the comment grammar (# to end of line, no block comments).
+ScannedFile scan_file(const std::string& rel_path, const std::string& content,
+                      bool cmake);
+
+/// Lints one file body (pass 1 only).  `rel_path` selects which rules
+/// apply (layer membership, kernel TUs, CMake files).
 std::vector<Finding> lint_file(const Config& cfg, const std::string& rel_path,
                                const std::string& content);
 
-/// Walks cfg.scan_dirs under cfg.root and lints every source/CMake file.
-/// Missing scan dirs are skipped (fixture trees rarely have all four).
+/// Walks cfg.scan_dirs under cfg.root and runs both passes over every
+/// source/CMake file.  Missing scan dirs are skipped (fixture trees
+/// rarely have all of them).  Unreadable files produce findings with the
+/// pseudo-rule "io-error"; the CLI maps those to exit 2, not exit 1.
 std::vector<Finding> lint_tree(const Config& cfg);
+
+/// Same walk, but also returns the include depth/fan-in report that
+/// `lad_lint --include-report` prints (empty when report == nullptr).
+std::vector<Finding> lint_tree(const Config& cfg, std::string* report);
 
 /// "file:line: rule: message" — the one true diagnostic format (tests
 /// assert on it verbatim).
 std::string format_finding(const Finding& f);
+
+/// GitHub Actions workflow-annotation form:
+/// "::error file=<file>,line=<line>::<rule>: <message>" (::warning for
+/// warn-only findings).
+std::string format_finding_github(const Finding& f);
 
 }  // namespace lad::lint
